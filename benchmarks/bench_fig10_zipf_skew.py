@@ -1,0 +1,90 @@
+"""Figure 10 and §8.4: latency and mailbox sizes under skewed popularity.
+
+Paper result: as the Zipf exponent s grows from 0 to 2 (at s = 2 the top 10
+users receive 94.2% of all requests), the *median* add-friend latency stays
+flat while the maximum grows and the minimum shrinks, because some mailboxes
+become large and others small.  At 1M users and s = 2 the largest mailbox is
+14.95 MB and the smallest 4.15 MB; dialing is barely affected (231 KB to
+1.39 MB).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.latency import LatencyModel
+from repro.analysis.sizes import WireSizes
+from repro.bench.reporting import format_table
+from repro.bench.workloads import WorkloadGenerator
+from repro.mixnet.mailbox import choose_mailbox_count
+
+SKEWS = [0.0, 0.5, 1.0, 1.5, 2.0]
+
+
+@pytest.mark.figure("Figure 10")
+def test_figure10_latency_vs_skew_report(capsys):
+    model = LatencyModel()
+    rows = []
+    results = {}
+    for s in SKEWS:
+        low, median, high = model.addfriend_latency_under_skew(1_000_000, s)
+        results[s] = (low, median, high)
+        rows.append([s, f"{low:.1f}", f"{median:.1f}", f"{high:.1f}"])
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["zipf s", "min s", "median s", "max s"], rows,
+            title="Figure 10: AddFriend latency vs popularity skew (1M users, 3 servers)",
+        ))
+    # Shape: median flat, max grows with skew, min does not grow.
+    assert abs(results[2.0][1] - results[0.0][1]) / results[0.0][1] < 0.25
+    assert results[2.0][2] > results[0.0][2]
+    assert results[2.0][0] <= results[0.0][0] + 1e-9
+
+
+@pytest.mark.figure("Figure 10 / §8.4")
+def test_section84_mailbox_sizes_under_skew(capsys):
+    """§8.4's mailbox-size extremes, from the workload generator + wire sizes."""
+    users, active = 1_000_000, 0.05
+    real = int(users * active)
+    mailbox_count = choose_mailbox_count(real, 12_000)
+    generator = WorkloadGenerator(population=100_000, zipf_s=2.0, seed="fig10-sizes")
+    loads = generator.mailbox_loads(mailbox_count, count=real)
+    sizes = WireSizes.paper()
+    noise_per_mailbox = 4_000 * 3
+    mailbox_bytes = [sizes.addfriend_mailbox_bytes(load + noise_per_mailbox) for load in loads]
+    smallest, largest = min(mailbox_bytes) / 1e6, max(mailbox_bytes) / 1e6
+    with capsys.disabled():
+        print(f"\n§8.4 add-friend mailboxes at s=2, 1M users: "
+              f"smallest {smallest:.2f} MB, largest {largest:.2f} MB "
+              f"(paper: 4.15 MB / 14.95 MB); top-10 share {generator.top_10_share():.1%}")
+    # Shape: a pronounced but bounded spread, and noise keeps the floor up.
+    assert largest > 2 * smallest
+    assert smallest > 3.0  # the noise floor keeps even empty mailboxes at ~3.7 MB
+    assert 0.90 < generator.top_10_share() < 0.96
+
+
+@pytest.mark.figure("Figure 10")
+def test_figure10_skew_does_not_change_median_mailbox(capsys):
+    """The median mailbox stays near the uniform size even at s = 2."""
+    real = 50_000
+    mailbox_count = choose_mailbox_count(real, 12_000)
+    sizes = WireSizes.paper()
+    uniform = WorkloadGenerator(population=100_000, zipf_s=0.0, seed="u").mailbox_loads(mailbox_count, count=real)
+    skewed = WorkloadGenerator(population=100_000, zipf_s=2.0, seed="s").mailbox_loads(mailbox_count, count=real)
+    med = lambda xs: sorted(xs)[len(xs) // 2]
+    uniform_median = sizes.addfriend_mailbox_bytes(med(uniform) + 12_000)
+    skewed_median = sizes.addfriend_mailbox_bytes(med(skewed) + 12_000)
+    with capsys.disabled():
+        print(f"\nmedian mailbox: uniform {uniform_median/1e6:.2f} MB vs s=2 {skewed_median/1e6:.2f} MB")
+    assert abs(skewed_median - uniform_median) / uniform_median < 0.35
+
+
+def _skew_point():
+    return LatencyModel().addfriend_latency_under_skew(1_000_000, 2.0)
+
+
+@pytest.mark.figure("Figure 10")
+def test_figure10_model_benchmark(benchmark):
+    low, median, high = benchmark(_skew_point)
+    assert low <= median <= high

@@ -1,0 +1,49 @@
+"""Figure 6: add-friend client bandwidth vs round duration.
+
+Paper result: with 1M users each add-friend mailbox holds ~24,000 requests
+(~7.4 MB); at a 1-hour round duration the client cost is ~2 KB/s for 1M
+users and ~2.5 KB/s for 10M users, falling as the round duration grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bandwidth import addfriend_bandwidth, figure6_series
+from repro.analysis.sizes import WireSizes
+from repro.bench.reporting import format_table
+
+ROUND_HOURS = [1, 2, 3, 4, 6, 8, 12, 16, 20, 24]
+USER_COUNTS = [100_000, 1_000_000, 10_000_000]
+
+
+@pytest.mark.figure("Figure 6")
+def test_figure6_series_report(capsys):
+    """Print the full Figure 6 data (paper sizes and this implementation's)."""
+    rows = []
+    for users, points in figure6_series(ROUND_HOURS, USER_COUNTS).items():
+        for hours, point in zip(ROUND_HOURS, points):
+            rows.append([f"{users:,}", hours, f"{point.mailbox_bytes/1e6:.2f}",
+                         f"{point.kb_per_second:.2f}", f"{point.gb_per_month:.2f}"])
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["users", "round (h)", "mailbox MB", "KB/s", "GB/month"], rows,
+            title="Figure 6: add-friend client bandwidth vs round duration (paper wire sizes)",
+        ))
+    # Shape checks: bandwidth falls with round duration, mailbox roughly flat in users.
+    one_hour = addfriend_bandwidth(10_000_000, 3600)
+    day = addfriend_bandwidth(10_000_000, 24 * 3600)
+    assert one_hour.kb_per_second > day.kb_per_second
+    assert 1.5 < one_hour.kb_per_second < 4.0  # paper: ~2.5 KB/s
+
+
+def bench_point():
+    return addfriend_bandwidth(1_000_000, 3600, sizes=WireSizes.this_implementation())
+
+
+@pytest.mark.figure("Figure 6")
+def test_figure6_model_benchmark(benchmark):
+    """pytest-benchmark target: evaluating one Figure-6 point is cheap."""
+    point = benchmark(bench_point)
+    assert point.mailbox_bytes > 0

@@ -1,0 +1,65 @@
+"""Figure 7: dialing client bandwidth vs round duration.
+
+Paper result: 1M users encode 125,000 dial tokens into a 0.75 MB Bloom
+filter; 10M users use 7 mailboxes of ~0.9 MB; with 5-minute rounds the
+client cost is ~3 KB/s (7.8 GB/month).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.bandwidth import dialing_bandwidth, figure7_series
+from repro.bench.reporting import format_table
+from repro.mixnet.mailbox import DialingMailbox
+from repro.utils.rng import DeterministicRng
+
+ROUND_MINUTES = [1, 2, 3, 4, 5, 8, 10]
+USER_COUNTS = [100_000, 1_000_000, 10_000_000]
+
+
+@pytest.mark.figure("Figure 7")
+def test_figure7_series_report(capsys):
+    rows = []
+    for users, points in figure7_series(ROUND_MINUTES, USER_COUNTS).items():
+        for minutes, point in zip(ROUND_MINUTES, points):
+            rows.append([f"{users:,}", minutes, point.mailbox_count,
+                         f"{point.mailbox_bytes/1e6:.2f}", f"{point.kb_per_second:.2f}",
+                         f"{point.gb_per_month:.2f}"])
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["users", "round (min)", "mailboxes", "bloom MB", "KB/s", "GB/month"], rows,
+            title="Figure 7: dialing client bandwidth vs round duration",
+        ))
+    headline = dialing_bandwidth(10_000_000, 300)
+    assert headline.mailbox_count == 7          # paper: 7 Bloom filters
+    assert 2.4 < headline.kb_per_second < 3.7   # paper: ~3 KB/s
+    assert 6.0 < headline.gb_per_month < 9.5    # paper: 7.8 GB/month
+
+
+@pytest.mark.figure("Figure 7")
+def test_figure7_real_bloom_filter_size(capsys):
+    """Cross-check the analytic size against an actual Bloom filter built by
+    the mixnet code at the paper's 1M-user operating point (125,000 tokens)."""
+    rng = DeterministicRng("fig7-bloom")
+    tokens = [rng.read(32) for _ in range(125_000)]
+    mailbox = DialingMailbox.build(0, tokens, false_positive_rate=1e-10)
+    size_mb = mailbox.size_bytes() / 1e6
+    with capsys.disabled():
+        print(f"\nFigure 7 cross-check: 125,000 tokens -> {size_mb:.2f} MB Bloom filter (paper: 0.75 MB)")
+    assert 0.65 < size_mb < 0.85
+    assert all(token in mailbox for token in tokens[:100])
+
+
+def _build_filter():
+    rng = DeterministicRng("fig7-bench")
+    tokens = [rng.read(32) for _ in range(5_000)]
+    return DialingMailbox.build(0, tokens, false_positive_rate=1e-10)
+
+
+@pytest.mark.figure("Figure 7")
+def test_figure7_bloom_construction_benchmark(benchmark):
+    """pytest-benchmark target: Bloom construction for a 5,000-token mailbox."""
+    mailbox = benchmark(_build_filter)
+    assert mailbox.token_count == 5_000

@@ -1,0 +1,77 @@
+"""Figure 8: AddFriend request latency vs number of online users.
+
+Paper result: median round latency grows with the number of users and with
+the number of servers; at 10 million users on 3 servers the median is 152
+seconds.  We report (a) the calibrated model's curve for 3/5/10 servers at
+10K-10M users, and (b) a directly measured end-to-end round on the
+in-process deployment at small scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.latency import LatencyModel
+from repro.bench.reporting import format_table
+
+USER_COUNTS = [10_000, 100_000, 1_000_000, 10_000_000]
+SERVER_COUNTS = [3, 5, 10]
+
+
+@pytest.mark.figure("Figure 8")
+def test_figure8_model_report(capsys):
+    model = LatencyModel()
+    rows = []
+    for servers in SERVER_COUNTS:
+        for users in USER_COUNTS:
+            point = model.addfriend_latency(users, servers)
+            rows.append([servers, f"{users:,}", f"{point.total_seconds:.1f}",
+                         f"{point.server_seconds:.1f}", f"{point.transfer_seconds:.1f}",
+                         f"{point.client_seconds:.1f}"])
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["servers", "users", "total s", "server s", "transfer s", "client s"], rows,
+            title="Figure 8: AddFriend latency vs online users (calibrated model; paper: 152 s at 10M/3 srv)",
+        ))
+    model_curve = [model.addfriend_latency(u, 3).total_seconds for u in USER_COUNTS]
+    assert model_curve == sorted(model_curve)
+    assert 90 < model_curve[-1] < 230
+    assert (
+        model.addfriend_latency(1_000_000, 10).total_seconds
+        > model.addfriend_latency(1_000_000, 3).total_seconds
+    )
+
+
+@pytest.mark.figure("Figure 8")
+def test_figure8_measured_small_scale_round(simulated_deployment, capsys):
+    """Measure a real end-to-end add-friend round on the in-process deployment
+    (40 clients, simulated IBE backend) -- the measured counterpart whose
+    per-op costs calibrate the model."""
+    deployment = simulated_deployment
+    for i in range(0, 10, 2):
+        a, b = f"batch{i}@example.org", f"batch{i+1}@example.org"
+        deployment.create_client(a)
+        deployment.create_client(b)
+        deployment.client(a).add_friend(b)
+    start = time.perf_counter()
+    summary = deployment.run_addfriend_round()
+    elapsed = time.perf_counter() - start
+    with capsys.disabled():
+        print(f"\nFigure 8 measured: {summary.submissions} clients, "
+              f"{summary.mix_result.noise_added} noise msgs, round took {elapsed:.2f}s "
+              f"({elapsed / max(summary.submissions, 1) * 1e3:.1f} ms/client)")
+    assert summary.submissions >= 40
+
+
+def _one_round(deployment):
+    return deployment.run_addfriend_round()
+
+
+@pytest.mark.figure("Figure 8")
+def test_figure8_round_benchmark(benchmark, simulated_deployment):
+    """pytest-benchmark target: one full add-friend round (cover traffic only)."""
+    summary = benchmark.pedantic(_one_round, args=(simulated_deployment,), iterations=1, rounds=3)
+    assert summary.protocol == "add-friend"

@@ -1,0 +1,69 @@
+"""Figure 9: Call request latency vs number of online users.
+
+Paper result: 118 seconds at 10 million users on 3 servers, growing with
+users and with the number of servers, and consistently below the add-friend
+latency at the same scale.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis.latency import LatencyModel
+from repro.bench.reporting import format_table
+
+USER_COUNTS = [10_000, 100_000, 1_000_000, 10_000_000]
+SERVER_COUNTS = [3, 5, 10]
+
+
+@pytest.mark.figure("Figure 9")
+def test_figure9_model_report(capsys):
+    model = LatencyModel()
+    rows = []
+    for servers in SERVER_COUNTS:
+        for users in USER_COUNTS:
+            point = model.dialing_latency(users, servers)
+            rows.append([servers, f"{users:,}", f"{point.total_seconds:.1f}",
+                         f"{point.server_seconds:.1f}", f"{point.transfer_seconds:.1f}",
+                         f"{point.client_seconds:.2f}"])
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["servers", "users", "total s", "server s", "transfer s", "client s"], rows,
+            title="Figure 9: Call latency vs online users (calibrated model; paper: 118 s at 10M/3 srv)",
+        ))
+    model_curve = [model.dialing_latency(u, 3).total_seconds for u in USER_COUNTS]
+    assert model_curve == sorted(model_curve)
+    assert 70 < model_curve[-1] < 180
+    # Dialing is always cheaper than add-friend at the same scale.
+    addfriend = LatencyModel().addfriend_latency(10_000_000, 3).total_seconds
+    assert model_curve[-1] < addfriend
+
+
+@pytest.mark.figure("Figure 9")
+def test_figure9_measured_small_scale_round(simulated_deployment, capsys):
+    deployment = simulated_deployment
+    emails = [f"user{i}@example.org" for i in range(40)]
+    for i in range(0, 40, 2):
+        deployment.client(emails[i]).call(emails[i + 1])
+    start = time.perf_counter()
+    summary = deployment.run_dialing_round()
+    elapsed = time.perf_counter() - start
+    calls_delivered = sum(len(v) for v in summary.events_by_client.values())
+    with capsys.disabled():
+        print(f"\nFigure 9 measured: {summary.submissions} clients, {calls_delivered} calls delivered, "
+              f"round took {elapsed:.2f}s ({elapsed / max(summary.submissions, 1) * 1e3:.1f} ms/client)")
+    assert summary.submissions >= 40
+
+
+def _one_dialing_round(deployment):
+    return deployment.run_dialing_round()
+
+
+@pytest.mark.figure("Figure 9")
+def test_figure9_round_benchmark(benchmark, simulated_deployment):
+    """pytest-benchmark target: one full dialing round (cover traffic only)."""
+    summary = benchmark.pedantic(_one_dialing_round, args=(simulated_deployment,), iterations=1, rounds=3)
+    assert summary.protocol == "dialing"

@@ -1,0 +1,89 @@
+"""§8.2 text-table numbers: mailbox composition and sizes.
+
+Paper result at 1M users (5% active): each add-friend mailbox holds ~12,000
+real requests plus ~12,000 noise requests (4,000 per server x 3 servers),
+~24,000 x 308 bytes = ~7.4 MB; the dialing mailbox encodes 125,000 tokens
+into a 0.75 MB Bloom filter.  This benchmark reproduces the table both from
+the analytic model and from the actual mixnet/mailbox code at a scaled-down
+operating point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.sizes import WireSizes
+from repro.bench.reporting import format_table
+from repro.mixnet.chain import MixChain
+from repro.mixnet.mailbox import choose_mailbox_count
+from repro.mixnet.noise import NoiseConfig
+from repro.mixnet.onion import wrap_onion
+from repro.mixnet.server import MixServer, encode_inner_payload
+from repro.utils.rng import DeterministicRng
+
+
+@pytest.mark.figure("§8.2 mailbox table")
+def test_mailbox_composition_table(capsys):
+    sizes = WireSizes.paper()
+    rows = []
+    for users in (100_000, 1_000_000, 10_000_000):
+        real = int(users * 0.05)
+        mailbox_count = choose_mailbox_count(real, 12_000)
+        real_per_mailbox = real // mailbox_count
+        noise_per_mailbox = 4_000 * 3
+        total = real_per_mailbox + noise_per_mailbox
+        rows.append([
+            f"{users:,}", mailbox_count, f"{real_per_mailbox:,}", f"{noise_per_mailbox:,}",
+            f"{total:,}", f"{sizes.addfriend_mailbox_bytes(total)/1e6:.2f}",
+        ])
+    with capsys.disabled():
+        print()
+        print(format_table(
+            ["users", "mailboxes", "real/mailbox", "noise/mailbox", "total", "MB"],
+            rows,
+            title="§8.2: add-friend mailbox composition (paper: ~24,000 requests, 7.4 MB at 1M users)",
+        ))
+    one_m = rows[1]
+    assert one_m[1] == 4
+    assert 6.5 < float(one_m[5]) < 8.2
+
+
+@pytest.mark.figure("§8.2 mailbox table")
+def test_real_mixnet_round_mailbox_balance(capsys):
+    """Run the actual mixnet at a scaled-down operating point and check the
+    noise-to-real balance the mailbox-count policy is designed to achieve."""
+    scale = 1_000  # paper's 1M-user point scaled down 1000x
+    real_requests = 50  # 5% of scale
+    noise = NoiseConfig(4, 0, 25, 0)  # mu scaled by the same factor
+    servers = [MixServer(f"m{i}", rng=DeterministicRng(f"table-{i}")) for i in range(3)]
+    chain = MixChain(servers, noise_config=noise)
+    mailbox_count = choose_mailbox_count(real_requests, 12)
+    publics = chain.open_round(1)
+    rng = DeterministicRng("table-workload")
+    envelopes = []
+    body_len = 308
+    for i in range(real_requests):
+        payload = encode_inner_payload(rng.randint_below(mailbox_count), rng.read(body_len))
+        envelopes.append(wrap_onion(payload, publics))
+    result = chain.run_round(1, "add-friend", envelopes, mailbox_count, body_len)
+    per_mailbox = [len(m) for m in result.mailboxes.addfriend.values()]
+    real_per_mailbox = real_requests / mailbox_count
+    noise_per_mailbox = 4 * 3
+    with capsys.disabled():
+        print(f"\nscaled mixnet round: {mailbox_count} mailboxes, sizes {per_mailbox}; "
+              f"expected ~{real_per_mailbox + noise_per_mailbox:.0f} each "
+              f"(real ~{real_per_mailbox:.0f} + noise ~{noise_per_mailbox})")
+    assert result.delivered_real == real_requests
+    for count in per_mailbox:
+        assert count >= noise_per_mailbox * 0.5
+
+
+def _analytic_table_row():
+    sizes = WireSizes.paper()
+    return sizes.addfriend_mailbox_bytes(24_000), sizes.dialing_mailbox_bytes(125_000)
+
+
+@pytest.mark.figure("§8.2 mailbox table")
+def test_mailbox_size_benchmark(benchmark):
+    addfriend_bytes, dialing_bytes = benchmark(_analytic_table_row)
+    assert addfriend_bytes > dialing_bytes

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Bootstrapping Pond's PANDA pairing from an Alpenhorn call (§8.5).
+
+PANDA assumes the two users already share a secret; the paper's Pond
+integration obtains that secret from an Alpenhorn ``Call`` instead of an
+out-of-band exchange.  This example runs the whole chain: add-friend, call,
+then a PANDA exchange seeded by the call's session key, after which both
+sides hold each other's Pond key material.
+
+Run with:  python examples/panda_bootstrap.py
+"""
+
+from __future__ import annotations
+
+from repro import AlpenhornConfig, Deployment
+from repro.apps.pond_panda import bootstrap_panda_from_call
+
+
+def main() -> None:
+    config = AlpenhornConfig.for_tests(backend="simulated")
+    deployment = Deployment(config, seed="panda-bootstrap")
+    deployment.create_client("alice@example.org")
+    bob = deployment.create_client("bob@example.org")
+
+    print("== Alpenhorn bootstrap ==")
+    deployment.befriend("alice@example.org", "bob@example.org")
+    placed = deployment.place_call("alice@example.org", "bob@example.org", intent=2)
+    received = bob.received_calls()[-1]
+    print(f"  call delivered with intent {received.intent}; shared secret "
+          f"{placed.session_key.hex()[:24]}... (both sides)")
+
+    print("\n== PANDA exchange seeded by the call ==")
+    caller_result, callee_result = bootstrap_panda_from_call(
+        caller_session_key=placed.session_key,
+        callee_session_key=received.session_key,
+        caller_payload=b"alice-pond-long-term-key",
+        callee_payload=b"bob-pond-long-term-key",
+    )
+    print(f"  alice learned bob's Pond key material: {caller_result.peer_payload!r}")
+    print(f"  bob learned alice's Pond key material: {callee_result.peer_payload!r}")
+    print(f"  pairwise keys match: {caller_result.pairwise_key == callee_result.pairwise_key}")
+    print("\nNo out-of-band secret was exchanged at any point.")
+
+
+if __name__ == "__main__":
+    main()

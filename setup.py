@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in pyproject.toml.  This file exists so
+that editable installs work in fully offline environments where the `wheel`
+package (required by PEP 660 editable installs with older setuptools) is not
+available: `python setup.py develop` or `pip install -e .` both work.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""Application integrations (§8.5 of the paper).
+
+Two integrations mirror the paper's evaluation: a minimal Vuvuzela-style
+dead-drop conversation layer whose dialing is replaced by Alpenhorn, and a
+PANDA-style bootstrap for Pond where the shared secret produced by an
+Alpenhorn call seeds a pairing protocol that would otherwise need an
+out-of-band secret.
+"""
+
+from repro.apps.vuvuzela import VuvuzelaConversationService, VuvuzelaMessenger
+from repro.apps.pond_panda import PandaExchange, bootstrap_panda_from_call
+
+__all__ = [
+    "VuvuzelaConversationService",
+    "VuvuzelaMessenger",
+    "PandaExchange",
+    "bootstrap_panda_from_call",
+]

@@ -1,0 +1,105 @@
+"""Bootstrapping a PANDA-style exchange from an Alpenhorn call (§8.5).
+
+Pond establishes relationships with PANDA, which assumes the two users
+already share a secret (normally exchanged out-of-band and typed into a
+GUI).  The paper's integration runs Alpenhorn first: the ``Call`` session
+key *is* the shared secret, eliminating the out-of-band step.
+
+``PandaExchange`` models the shared-secret pairing: both sides derive a
+meeting location and a pairwise key from the secret, deposit their
+long-term Pond key material at the meeting point, and read the other side's
+deposit.  If (and only if) the secrets match, the exchange completes and
+both parties hold each other's keys plus a confirmed pairwise key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto.aead import open_sealed, seal
+from repro.crypto.hashing import hkdf
+from repro.errors import DecryptionError, ProtocolError
+
+
+@dataclass
+class MeetingPointServer:
+    """The untrusted rendezvous server PANDA posts blobs to."""
+
+    _posts: dict[bytes, dict[str, bytes]] = field(default_factory=dict)
+
+    def post(self, meeting_id: bytes, tag: str, blob: bytes) -> None:
+        self._posts.setdefault(meeting_id, {})[tag] = blob
+
+    def fetch_other(self, meeting_id: bytes, own_tag: str) -> bytes | None:
+        posts = self._posts.get(meeting_id, {})
+        for tag, blob in posts.items():
+            if tag != own_tag:
+                return blob
+        return None
+
+
+@dataclass
+class PandaResult:
+    """What one side learns when the exchange completes."""
+
+    peer_payload: bytes
+    pairwise_key: bytes
+
+
+class PandaExchange:
+    """One participant's half of a PANDA exchange seeded by a shared secret."""
+
+    def __init__(self, name: str, shared_secret: bytes, server: MeetingPointServer) -> None:
+        if len(shared_secret) < 16:
+            raise ProtocolError("PANDA shared secret too short")
+        self.name = name
+        self.server = server
+        self._meeting_id = hkdf(shared_secret, info=b"panda/meeting-point", length=32)
+        self._exchange_key = hkdf(shared_secret, info=b"panda/exchange-key", length=32)
+        self.pairwise_key = hkdf(shared_secret, info=b"panda/pairwise-key", length=32)
+
+    def post_payload(self, payload: bytes) -> None:
+        """Deposit this side's (encrypted) key material at the meeting point."""
+        blob = seal(self._exchange_key, payload, associated_data=self.name.encode())
+        self.server.post(self._meeting_id, self.name, blob)
+
+    def collect(self) -> PandaResult | None:
+        """Fetch and decrypt the other side's deposit, if it has arrived."""
+        blob = self.server.fetch_other(self._meeting_id, self.name)
+        if blob is None:
+            return None
+        # The associated data is the *other* side's tag, which we do not know
+        # a priori; PANDA payloads carry their sender tag, so try to find it.
+        for tag, stored in self.server._posts.get(self._meeting_id, {}).items():
+            if tag == self.name:
+                continue
+            try:
+                payload = open_sealed(self._exchange_key, stored, associated_data=tag.encode())
+            except DecryptionError:
+                continue
+            return PandaResult(peer_payload=payload, pairwise_key=self.pairwise_key)
+        return None
+
+
+def bootstrap_panda_from_call(
+    caller_session_key: bytes,
+    callee_session_key: bytes,
+    caller_payload: bytes,
+    callee_payload: bytes,
+) -> tuple[PandaResult, PandaResult]:
+    """Run a complete PANDA exchange seeded by an Alpenhorn call.
+
+    The two session keys are what each side's Alpenhorn library returned for
+    the same call; they are equal when the call was genuine, and the
+    exchange only completes in that case.
+    """
+    server = MeetingPointServer()
+    caller = PandaExchange("caller", caller_session_key, server)
+    callee = PandaExchange("callee", callee_session_key, server)
+    caller.post_payload(caller_payload)
+    callee.post_payload(callee_payload)
+    caller_result = caller.collect()
+    callee_result = callee.collect()
+    if caller_result is None or callee_result is None:
+        raise ProtocolError("PANDA exchange did not complete (mismatched secrets?)")
+    return caller_result, callee_result

@@ -1,0 +1,11 @@
+"""Benchmark support: workload generators and table/figure reporting."""
+
+from repro.bench.workloads import WorkloadGenerator, zipf_recipient_weights
+from repro.bench.reporting import format_table, print_figure_series
+
+__all__ = [
+    "WorkloadGenerator",
+    "zipf_recipient_weights",
+    "format_table",
+    "print_figure_series",
+]

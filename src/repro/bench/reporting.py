@@ -1,0 +1,35 @@
+"""Plain-text reporting helpers shared by the benchmark harness.
+
+Every benchmark prints the rows/series the corresponding paper figure or
+table reports, side by side with the paper's headline numbers, so the
+benchmark output can be pasted into EXPERIMENTS.md directly.
+"""
+
+from __future__ import annotations
+
+
+def format_table(headers: list[str], rows: list[list], title: str | None = None) -> str:
+    """Format a small fixed-width table."""
+    columns = [[str(h)] + [str(row[i]) for row in rows] for i, h in enumerate(headers)]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_figure_series(title: str, x_label: str, series: dict[str, list[tuple[float, float]]]) -> str:
+    """Render a figure's data series as aligned text columns."""
+    lines = [title]
+    for name, points in series.items():
+        lines.append(f"  series: {name}")
+        for x, y in points:
+            lines.append(f"    {x_label}={x:<12g} value={y:.3f}")
+    text = "\n".join(lines)
+    print(text)
+    return text

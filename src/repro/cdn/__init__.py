@@ -1,0 +1,5 @@
+"""Content distribution of mailboxes to clients (§7)."""
+
+from repro.cdn.cdn import Cdn
+
+__all__ = ["Cdn"]

@@ -1,0 +1,81 @@
+"""A simulated CDN that serves per-round mailboxes to clients.
+
+The paper's prototype offloads mailbox distribution to a commercial CDN
+(§7); the mailbox contents are public state, so the CDN needs no trust.
+This in-process stand-in stores the serialized mailboxes per
+``(protocol, round, mailbox id)`` and tracks how many bytes each client
+downloaded, which feeds the bandwidth accounting in the benchmarks.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.errors import RoundError
+from repro.mixnet.mailbox import AddFriendMailbox, DialingMailbox, MailboxSet
+
+
+class Cdn:
+    """Stores and serves mailboxes; retains a bounded number of old rounds."""
+
+    def __init__(self, retained_rounds: int = 32) -> None:
+        self.retained_rounds = retained_rounds
+        # (protocol, round) -> {mailbox_id: serialized mailbox}
+        self._store: dict[tuple[str, int], dict[int, bytes]] = {}
+        self._mailbox_counts: dict[tuple[str, int], int] = {}
+        self.bytes_served: int = 0
+        self.downloads_by_client: dict[str, int] = defaultdict(int)
+
+    # -- publication (called by the entry server after a round) -----------
+    def publish(self, mailboxes: MailboxSet) -> None:
+        key = (mailboxes.protocol, mailboxes.round_number)
+        serialized: dict[int, bytes] = {}
+        if mailboxes.protocol == "add-friend":
+            for mailbox_id, mailbox in mailboxes.addfriend.items():
+                serialized[mailbox_id] = mailbox.to_bytes()
+        else:
+            for mailbox_id, mailbox in mailboxes.dialing.items():
+                serialized[mailbox_id] = mailbox.to_bytes()
+        self._store[key] = serialized
+        self._mailbox_counts[key] = mailboxes.mailbox_count
+        self._evict_old(mailboxes.protocol)
+
+    def _evict_old(self, protocol: str) -> None:
+        rounds = sorted(r for (p, r) in self._store if p == protocol)
+        while len(rounds) > self.retained_rounds:
+            oldest = rounds.pop(0)
+            self._store.pop((protocol, oldest), None)
+            self._mailbox_counts.pop((protocol, oldest), None)
+
+    # -- queries (made by clients) ------------------------------------------
+    def mailbox_count(self, protocol: str, round_number: int) -> int:
+        key = (protocol, round_number)
+        if key not in self._mailbox_counts:
+            raise RoundError(f"no published {protocol} mailboxes for round {round_number}")
+        return self._mailbox_counts[key]
+
+    def has_round(self, protocol: str, round_number: int) -> bool:
+        return (protocol, round_number) in self._store
+
+    def download(self, protocol: str, round_number: int, mailbox_id: int, client: str = "anonymous"):
+        """Fetch one mailbox; returns the deserialized mailbox object."""
+        key = (protocol, round_number)
+        if key not in self._store:
+            raise RoundError(f"no published {protocol} mailboxes for round {round_number}")
+        blob = self._store[key].get(mailbox_id)
+        if blob is None:
+            # An empty mailbox: nothing was addressed there this round.
+            if protocol == "add-friend":
+                return AddFriendMailbox(mailbox_id=mailbox_id)
+            return DialingMailbox.build(mailbox_id, [])
+        self.bytes_served += len(blob)
+        self.downloads_by_client[client] += len(blob)
+        if protocol == "add-friend":
+            return AddFriendMailbox.from_bytes(blob)
+        return DialingMailbox.from_bytes(blob)
+
+    def round_total_bytes(self, protocol: str, round_number: int) -> int:
+        key = (protocol, round_number)
+        if key not in self._store:
+            raise RoundError(f"no published {protocol} mailboxes for round {round_number}")
+        return sum(len(blob) for blob in self._store[key].values())

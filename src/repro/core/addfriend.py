@@ -1,0 +1,336 @@
+"""Client-side add-friend protocol logic (Algorithm 1 of the paper).
+
+This module is the per-round engine the :class:`~repro.core.client.Client`
+delegates to.  For every add-friend round a client:
+
+1. acquires its per-round IBE private-key shares (and PKG attestations) from
+   every PKG, authenticating with its long-term signing key;
+2. submits exactly one fixed-size request to the mixnet -- a real, IBE
+   encrypted friend request if one is queued, otherwise cover traffic;
+3. downloads its mailbox, attempts to decrypt every ciphertext with the
+   combined identity private key, verifies any requests that decrypt, and
+   updates the address book / keywheel accordingly;
+4. erases the round's private key shares.
+
+Keywheel anchoring: both sides must agree on the round at which the new
+wheel starts.  The rule implemented here is symmetric -- each side anchors
+at ``max(dialing round it proposed, dialing round the other side proposed)``
+-- which makes the initiator/responder flow and the simultaneous-add flow
+converge on the same anchor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.addressbook import AddressBook, FriendshipState, PendingOutgoing, TrustLevel
+from repro.core.friendrequest import FriendRequest
+from repro.core.identity import UserIdentity
+from repro.core.keywheel import Keywheel
+from repro.crypto import x25519
+from repro.crypto.aead import AEAD_OVERHEAD
+from repro.crypto.ibe.anytrust import AnytrustIbe
+from repro.crypto.ibe.interface import IbeCiphertext
+from repro.errors import ProtocolError
+from repro.mixnet.mailbox import COVER_MAILBOX_ID, mailbox_for_identity
+from repro.mixnet.onion import wrap_onion
+from repro.mixnet.server import encode_inner_payload
+from repro.pkg.server import extraction_request_statement
+from repro.utils.serialization import Packer, Unpacker
+
+# Both IBE backends produce a 128-byte header (uncompressed G2 point for the
+# pairing backend, same-sized opaque header for the simulated one), so the
+# ciphertext size is plaintext + this constant.
+_IBE_HEADER_SIZE = 128
+_IBE_FRAMING = 2
+
+
+@dataclass(frozen=True)
+class QueuedFriendRequest:
+    """An ``AddFriend`` call made by the application, awaiting the next round."""
+
+    email: str
+    expected_key: bytes | None = None
+    is_reply: bool = False
+
+
+@dataclass
+class RoundKeyMaterial:
+    """Per-round secrets a client holds only while the round is in flight."""
+
+    round_number: int
+    private_key: object  # combined identity private key (all PKG shares summed)
+    attestations: list = field(default_factory=list)
+
+
+@dataclass
+class PreparedReply:
+    """The ephemeral key pair generated when accepting an incoming request.
+
+    The confirming request sent in the next round must carry exactly this
+    public key (the wheel was already anchored with it).
+    """
+
+    dialing_private: bytes
+    dialing_public: bytes
+    dialing_round: int
+
+
+def padded_plaintext(request: FriendRequest, target_size: int) -> bytes:
+    """Pad a serialized friend request to the round's fixed plaintext size."""
+    raw = request.to_bytes()
+    body = Packer().bytes(raw).pack()
+    if len(body) > target_size:
+        raise ProtocolError(
+            f"friend request ({len(body)} bytes) exceeds the configured "
+            f"plaintext size ({target_size} bytes)"
+        )
+    return body + b"\x00" * (target_size - len(body))
+
+
+def unpad_plaintext(plaintext: bytes) -> FriendRequest:
+    unpacker = Unpacker(plaintext)
+    return FriendRequest.from_bytes(unpacker.bytes())
+
+
+class AddFriendEngine:
+    """Implements Algorithm 1 for one client."""
+
+    def __init__(
+        self,
+        identity: UserIdentity,
+        address_book: AddressBook,
+        keywheel: Keywheel,
+        ibe: AnytrustIbe,
+        plaintext_size: int,
+    ) -> None:
+        self.identity = identity
+        self.address_book = address_book
+        self.keywheel = keywheel
+        self.ibe = ibe
+        self.plaintext_size = plaintext_size
+        self.queue: list[QueuedFriendRequest] = []
+        self._round_keys: dict[int, RoundKeyMaterial] = {}
+        self._prepared_replies: dict[str, PreparedReply] = {}
+
+    # -- queueing (driven by the public API) ------------------------------
+    def enqueue(self, request: QueuedFriendRequest) -> None:
+        self.queue.append(request)
+
+    def pending_in_queue(self) -> int:
+        return len(self.queue)
+
+    # -- step 1: acquire round keys -----------------------------------------
+    def acquire_round_keys(self, round_number: int, pkgs: list, now: float) -> RoundKeyMaterial:
+        """Fetch private-key shares + attestations from every PKG and combine."""
+        statement = extraction_request_statement(self.identity.email, round_number)
+        signature = self.identity.sign(statement)
+        shares = []
+        attestations = []
+        for pkg in pkgs:
+            response = pkg.extract(self.identity.email, round_number, signature, now)
+            shares.append(response.private_key_share)
+            attestations.append(response.attestation)
+        combined = self.ibe.aggregate_private(shares)
+        material = RoundKeyMaterial(
+            round_number=round_number, private_key=combined, attestations=attestations
+        )
+        self._round_keys[round_number] = material
+        return material
+
+    def has_round_keys(self, round_number: int) -> bool:
+        return round_number in self._round_keys
+
+    def erase_round_keys(self, round_number: int) -> None:
+        """Forward secrecy: drop the identity key once the mailbox is scanned."""
+        self._round_keys.pop(round_number, None)
+
+    # -- step 2: build this round's request ------------------------------------
+    def body_length(self) -> int:
+        """The fixed length of every add-friend request body this client sends."""
+        return _IBE_FRAMING + _IBE_HEADER_SIZE + AEAD_OVERHEAD + self.plaintext_size
+
+    def build_request_payload(
+        self,
+        round_number: int,
+        dialing_round: int,
+        pkg_public_keys: list,
+        mailbox_count: int,
+    ) -> tuple[bytes, QueuedFriendRequest | None]:
+        """Return the inner payload (mailbox id + body) for this round.
+
+        Consumes at most one queued friend request; with an empty queue the
+        payload is cover traffic addressed to the cover mailbox.
+        """
+        material = self._round_keys.get(round_number)
+        if material is None:
+            raise ProtocolError(f"round {round_number} keys were not acquired")
+
+        if not self.queue:
+            body = b"\x00" * self.body_length()
+            return encode_inner_payload(COVER_MAILBOX_ID, body), None
+
+        queued = self.queue.pop(0)
+        prepared = self._prepared_replies.pop(queued.email.lower(), None)
+        if prepared is not None:
+            dialing_private = prepared.dialing_private
+            dialing_public = prepared.dialing_public
+            request_dialing_round = prepared.dialing_round
+        else:
+            dialing_private, dialing_public = x25519.generate_keypair()
+            request_dialing_round = dialing_round
+
+        request = FriendRequest.build(
+            sender_email=self.identity.email,
+            sender_signing_private=self.identity.signing_private,
+            sender_signing_public=self.identity.signing_public,
+            pkg_attestations=material.attestations,
+            pkg_round=round_number,
+            dialing_key=dialing_public,
+            dialing_round=request_dialing_round,
+        )
+        plaintext = padded_plaintext(request, self.plaintext_size)
+        ciphertext = self.ibe.encrypt(pkg_public_keys, queued.email, plaintext)
+        body = ciphertext.to_bytes()
+        if len(body) != self.body_length():
+            raise ProtocolError(
+                f"IBE ciphertext size {len(body)} does not match the fixed "
+                f"request size {self.body_length()}"
+            )
+
+        if not queued.is_reply:
+            # Only an *initial* request creates pending state; a confirming
+            # reply corresponds to a wheel that is already anchored.
+            self.address_book.add_pending_outgoing(
+                PendingOutgoing(
+                    email=queued.email,
+                    dialing_private=dialing_private,
+                    dialing_round=request_dialing_round,
+                    expected_key=queued.expected_key,
+                )
+            )
+            self.address_book.upsert_friend(
+                queued.email,
+                state=FriendshipState.REQUEST_SENT,
+                trust=TrustLevel.VERIFIED if queued.expected_key else TrustLevel.TOFU,
+                signing_key=queued.expected_key,
+            )
+        mailbox_id = mailbox_for_identity(queued.email, mailbox_count)
+        return encode_inner_payload(mailbox_id, body), queued
+
+    def wrap_for_mixnet(self, inner_payload: bytes, mix_public_keys: list[bytes]) -> bytes:
+        return wrap_onion(inner_payload, mix_public_keys)
+
+    # -- step 3: scan the mailbox ------------------------------------------------
+    def scan_mailbox(
+        self,
+        round_number: int,
+        ciphertexts: list[bytes],
+        aggregate_pkg_public,
+        accept_new_friend,
+        current_dialing_round: int,
+    ) -> list[dict]:
+        """Try to decrypt and process every ciphertext in the mailbox.
+
+        ``accept_new_friend(email, signing_key) -> bool`` is the application
+        callback.  Returns a list of event dicts describing what happened
+        (confirmations, new friendships, declines, rejections); the client
+        turns these into API-level effects.
+        """
+        material = self._round_keys.get(round_number)
+        if material is None:
+            raise ProtocolError(f"round {round_number} keys were not acquired")
+
+        events: list[dict] = []
+        for blob in ciphertexts:
+            request = self._try_decode(blob, material)
+            if request is None:
+                continue
+            event = self._process_request(
+                request, aggregate_pkg_public, accept_new_friend, current_dialing_round
+            )
+            if event is not None:
+                events.append(event)
+        return events
+
+    def _try_decode(self, blob: bytes, material: RoundKeyMaterial) -> FriendRequest | None:
+        """Attempt to decrypt one mailbox entry; None if it is not for us."""
+        try:
+            ciphertext = IbeCiphertext.from_bytes(blob)
+        except ValueError:
+            return None
+        plaintext = self.ibe.backend.decrypt(material.private_key, ciphertext)
+        if plaintext is None:
+            return None
+        try:
+            return unpad_plaintext(plaintext)
+        except Exception:
+            return None
+
+    def _process_request(
+        self,
+        request: FriendRequest,
+        aggregate_pkg_public,
+        accept_new_friend,
+        current_dialing_round: int,
+    ) -> dict | None:
+        sender = request.sender_email.lower()
+        if sender == self.identity.email:
+            return None
+
+        pending = self.address_book.pending_outgoing(sender)
+        expected_key = pending.expected_key if pending is not None else None
+        if expected_key is None and self.address_book.has_friend(sender):
+            friend = self.address_book.friend(sender)
+            if friend.trust is TrustLevel.VERIFIED:
+                expected_key = friend.signing_key
+
+        if not request.verify(aggregate_pkg_public, expected_sender_key=expected_key):
+            return {"type": "rejected", "email": sender, "reason": "verification failed"}
+
+        # TOFU: a key that conflicts with one we already recorded is an alarm.
+        if not self.address_book.record_observed_key(sender, request.sender_key):
+            return {"type": "rejected", "email": sender, "reason": "key mismatch (possible MITM)"}
+
+        if pending is not None:
+            # We previously sent them a request: this is the confirmation leg
+            # (or a simultaneous add from both sides -- same math either way).
+            shared = x25519.shared_secret(pending.dialing_private, request.dialing_key)
+            anchor = max(pending.dialing_round, request.dialing_round)
+            self.keywheel.add_friend(sender, shared, anchor)
+            self.address_book.pop_pending_outgoing(sender)
+            self.address_book.upsert_friend(
+                sender,
+                state=FriendshipState.CONFIRMED,
+                signing_key=request.sender_key,
+                established_round=anchor,
+            )
+            return {"type": "confirmed", "email": sender, "dialing_round": anchor}
+
+        # A brand-new incoming request: ask the application.
+        if not accept_new_friend(sender, request.sender_key):
+            self.address_book.upsert_friend(
+                sender, state=FriendshipState.REQUEST_RECEIVED, signing_key=request.sender_key
+            )
+            return {"type": "declined", "email": sender}
+
+        # Accepting: generate our ephemeral key now, anchor the wheel, and
+        # queue the confirming request for the next round (Algorithm 1 step 5).
+        dialing_private, dialing_public = x25519.generate_keypair()
+        reply_round = max(request.dialing_round, current_dialing_round + 1)
+        shared = x25519.shared_secret(dialing_private, request.dialing_key)
+        anchor = max(request.dialing_round, reply_round)
+        self.keywheel.add_friend(sender, shared, anchor)
+        self.address_book.upsert_friend(
+            sender,
+            state=FriendshipState.CONFIRMED,
+            signing_key=request.sender_key,
+            established_round=anchor,
+        )
+        self._prepared_replies[sender] = PreparedReply(
+            dialing_private=dialing_private,
+            dialing_public=dialing_public,
+            dialing_round=reply_round,
+        )
+        self.queue.append(QueuedFriendRequest(email=sender, is_reply=True))
+        return {"type": "accepted", "email": sender, "dialing_round": anchor}

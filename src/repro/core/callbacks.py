@@ -1,0 +1,46 @@
+"""Application callbacks (the bottom half of the Figure 1 API).
+
+An application embedding the Alpenhorn client supplies two callbacks:
+
+* ``new_friend(email, signing_key) -> bool`` -- invoked when a friend
+  request arrives; returning True accepts it (which makes the library send
+  the confirming request back).
+* ``incoming_call(email, intent, session_key)`` -- invoked when a dial token
+  from a friend is found in the dialing mailbox.
+
+The defaults accept every friend request and record incoming calls, which is
+what the tests and examples usually want; real applications override them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.dialtoken import IncomingCall
+
+NewFriendCallback = Callable[[str, bytes], bool]
+IncomingCallCallback = Callable[[str, int, bytes], None]
+
+
+@dataclass
+class ApplicationCallbacks:
+    """Holds the application-supplied callbacks plus convenience recording."""
+
+    new_friend: NewFriendCallback | None = None
+    incoming_call: IncomingCallCallback | None = None
+
+    # Recorded events, useful for tests and simple applications.
+    friend_requests_seen: list[tuple[str, bytes]] = field(default_factory=list)
+    calls_received: list[IncomingCall] = field(default_factory=list)
+
+    def on_new_friend(self, email: str, signing_key: bytes) -> bool:
+        self.friend_requests_seen.append((email, signing_key))
+        if self.new_friend is None:
+            return True
+        return bool(self.new_friend(email, signing_key))
+
+    def on_incoming_call(self, call: IncomingCall) -> None:
+        self.calls_received.append(call)
+        if self.incoming_call is not None:
+            self.incoming_call(call.caller, call.intent, call.session_key)

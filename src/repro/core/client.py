@@ -1,0 +1,250 @@
+"""The Alpenhorn client: the Figure 1 API on top of the round engines.
+
+A :class:`Client` owns a user identity, an address book, a keywheel table,
+and the add-friend / dialing engines.  Applications interact with it through
+the same surface the paper's Go library exposes:
+
+* :meth:`register`       -- create the account (email confirmation at every PKG),
+* :meth:`my_signing_key` -- the long-term key to print on a business card,
+* :meth:`add_friend`     -- queue a friend request to an email address,
+* :meth:`call`           -- queue a call to an established friend,
+* callbacks ``new_friend`` and ``incoming_call`` supplied at construction.
+
+The client is driven in rounds by a :class:`~repro.core.coordinator.Deployment`
+(or by an application's own loop): ``participate_addfriend_round`` /
+``process_addfriend_mailbox`` and ``participate_dialing_round`` /
+``process_dialing_mailbox``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.addfriend import AddFriendEngine, QueuedFriendRequest
+from repro.core.addressbook import AddressBook, FriendshipState
+from repro.core.callbacks import ApplicationCallbacks, IncomingCallCallback, NewFriendCallback
+from repro.core.config import AlpenhornConfig
+from repro.core.dialing import DialingEngine
+from repro.core.dialtoken import IncomingCall, OutgoingCall, PlacedCall
+from repro.core.identity import UserIdentity
+from repro.core.keywheel import Keywheel
+from repro.crypto import bls
+from repro.crypto.ibe.anytrust import AnytrustIbe
+from repro.errors import ProtocolError
+from repro.mixnet.mailbox import mailbox_for_identity
+from repro.pkg.server import PkgServer
+
+
+@dataclass
+class ClientStats:
+    """Counters used by tests and the bandwidth accounting."""
+
+    addfriend_rounds: int = 0
+    dialing_rounds: int = 0
+    real_friend_requests_sent: int = 0
+    cover_friend_requests_sent: int = 0
+    real_dials_sent: int = 0
+    cover_dials_sent: int = 0
+    mailbox_bytes_downloaded: int = 0
+    bloom_bytes_downloaded: int = 0
+
+
+class Client:
+    """One user's Alpenhorn client."""
+
+    def __init__(
+        self,
+        email: str,
+        config: AlpenhornConfig,
+        ibe: AnytrustIbe,
+        new_friend: NewFriendCallback | None = None,
+        incoming_call: IncomingCallCallback | None = None,
+        signing_seed: bytes | None = None,
+    ) -> None:
+        self.config = config
+        self.identity = UserIdentity.create(email, seed=signing_seed)
+        self.address_book = AddressBook()
+        self.keywheel = Keywheel()
+        self.callbacks = ApplicationCallbacks(new_friend=new_friend, incoming_call=incoming_call)
+        self.ibe = ibe
+        self.addfriend = AddFriendEngine(
+            identity=self.identity,
+            address_book=self.address_book,
+            keywheel=self.keywheel,
+            ibe=ibe,
+            plaintext_size=config.addfriend_request_size,
+        )
+        self.dialing = DialingEngine(keywheel=self.keywheel, num_intents=config.num_intents)
+        self.stats = ClientStats()
+        self.registered = False
+
+    # ------------------------------------------------------------------ #
+    # Figure 1 API
+    # ------------------------------------------------------------------ #
+    @property
+    def email(self) -> str:
+        return self.identity.email
+
+    def my_signing_key(self) -> bytes:
+        """``MySigningKey()``: the long-term public key to share out-of-band."""
+        return self.identity.signing_public
+
+    def register(self, pkgs: list[PkgServer], email_network, now: float = 0.0) -> None:
+        """``Register()``: prove ownership of the email address to every PKG.
+
+        The client reads the confirmation token each PKG emailed to its
+        address and echoes it back, after which the address is locked to the
+        client's long-term signing key (§4.6).
+        """
+        for pkg in pkgs:
+            pkg.begin_registration(self.email, self.identity.signing_public, now)
+            inbox = email_network.read_inbox(self.email)
+            token = None
+            for message in reversed(inbox):
+                if message.sender.startswith(pkg.name):
+                    token = message.body
+                    break
+            if token is None:
+                raise ProtocolError(f"no confirmation email from {pkg.name} for {self.email}")
+            pkg.confirm_registration(self.email, token, now)
+        self.registered = True
+
+    def add_friend(self, email: str, their_signing_key: bytes | None = None) -> None:
+        """``AddFriend()``: queue a friend request for the next add-friend round."""
+        email = email.lower()
+        if email == self.email:
+            raise ProtocolError("cannot add yourself as a friend")
+        if self.keywheel.has_friend(email):
+            raise ProtocolError(f"{email} is already a friend")
+        self.addfriend.enqueue(QueuedFriendRequest(email=email, expected_key=their_signing_key))
+
+    def call(self, email: str, intent: int = 0) -> None:
+        """``Call()``: queue a call; the session key is delivered when the
+        next dialing round in which the keywheel is live completes."""
+        self.dialing.enqueue(OutgoingCall(friend=email.lower(), intent=intent))
+
+    def friends(self) -> list[str]:
+        """Confirmed friends (those with an established keywheel)."""
+        return [f.email for f in self.address_book.confirmed_friends()]
+
+    def remove_friend(self, email: str) -> None:
+        """Erase a friendship and its keywheel (§3.2's unlinking escape hatch)."""
+        self.address_book.remove_friend(email)
+        self.keywheel.remove_friend(email)
+
+    def placed_calls(self) -> list[PlacedCall]:
+        return list(self.dialing.placed_calls)
+
+    def received_calls(self) -> list[IncomingCall]:
+        return list(self.callbacks.calls_received)
+
+    # ------------------------------------------------------------------ #
+    # Compromise recovery (§9)
+    # ------------------------------------------------------------------ #
+    def recover_from_compromise(self, pkgs: list[PkgServer], email_network, now: float) -> None:
+        """Deregister, rotate the signing key, re-register, and drop keywheels.
+
+        After recovery the user re-runs ``add_friend`` with each friend to
+        establish fresh keywheels (the paper recommends restoring friends'
+        long-term keys from an offline backup, which maps to passing
+        ``their_signing_key`` when re-adding).
+        """
+        for pkg in pkgs:
+            signature = self.identity.sign(PkgServer.deregistration_statement(self.email))
+            pkg.deregister(self.email, signature, now)
+        old_friends = [friend.email for friend in self.address_book.friends()]
+        self.identity = self.identity.rotate()
+        self.address_book = AddressBook()
+        self.keywheel = Keywheel()
+        self.addfriend = AddFriendEngine(
+            identity=self.identity,
+            address_book=self.address_book,
+            keywheel=self.keywheel,
+            ibe=self.ibe,
+            plaintext_size=self.config.addfriend_request_size,
+        )
+        self.dialing = DialingEngine(keywheel=self.keywheel, num_intents=self.config.num_intents)
+        self.registered = False
+        self._friends_to_re_add = old_friends
+
+    # ------------------------------------------------------------------ #
+    # Round participation (driven by the Deployment)
+    # ------------------------------------------------------------------ #
+    def participate_addfriend_round(
+        self,
+        announcement,
+        pkgs: list[PkgServer],
+        next_dialing_round: int,
+        now: float,
+    ) -> bytes:
+        """Steps 1-3 of Algorithm 1: acquire keys, build, and wrap the request."""
+        round_number = announcement.round_number
+        self.addfriend.acquire_round_keys(round_number, pkgs, now)
+        inner, queued = self.addfriend.build_request_payload(
+            round_number=round_number,
+            dialing_round=next_dialing_round,
+            pkg_public_keys=announcement.pkg_public_keys,
+            mailbox_count=announcement.mailbox_count,
+        )
+        if queued is None:
+            self.stats.cover_friend_requests_sent += 1
+        else:
+            self.stats.real_friend_requests_sent += 1
+        self.stats.addfriend_rounds += 1
+        return self.addfriend.wrap_for_mixnet(inner, announcement.mix_public_keys)
+
+    def process_addfriend_mailbox(
+        self,
+        round_number: int,
+        cdn,
+        pkg_bls_public_keys: list,
+        current_dialing_round: int,
+    ) -> list[dict]:
+        """Steps 4-5 of Algorithm 1: download, scan, verify, update state.
+
+        ``pkg_bls_public_keys`` are the PKGs' *long-term* attestation keys
+        (distributed with the client software, like CA certificates); their
+        aggregate verifies the ``PKGSigs`` field of incoming requests.
+        """
+        mailbox_count = cdn.mailbox_count("add-friend", round_number)
+        mailbox_id = mailbox_for_identity(self.email, mailbox_count)
+        mailbox = cdn.download("add-friend", round_number, mailbox_id, client=self.email)
+        self.stats.mailbox_bytes_downloaded += mailbox.size_bytes()
+        aggregate = bls.aggregate_publics(pkg_bls_public_keys)
+        events = self.addfriend.scan_mailbox(
+            round_number=round_number,
+            ciphertexts=mailbox.ciphertexts,
+            aggregate_pkg_public=aggregate,
+            accept_new_friend=self.callbacks.on_new_friend,
+            current_dialing_round=current_dialing_round,
+        )
+        self.addfriend.erase_round_keys(round_number)
+        return events
+
+    def participate_dialing_round(self, announcement) -> bytes:
+        """Build and wrap this round's dialing request (token or cover)."""
+        inner, placed = self.dialing.build_request_payload(
+            round_number=announcement.round_number,
+            mailbox_count=announcement.mailbox_count,
+        )
+        if placed is None:
+            self.stats.cover_dials_sent += 1
+        else:
+            self.stats.real_dials_sent += 1
+        self.stats.dialing_rounds += 1
+        return self.dialing.wrap_for_mixnet(inner, announcement.mix_public_keys)
+
+    def process_dialing_mailbox(self, round_number: int, cdn) -> list[IncomingCall]:
+        """Download the Bloom filter, detect incoming calls, advance wheels."""
+        mailbox_count = cdn.mailbox_count("dialing", round_number)
+        mailbox_id = mailbox_for_identity(self.email, mailbox_count)
+        mailbox = cdn.download("dialing", round_number, mailbox_id, client=self.email)
+        self.stats.bloom_bytes_downloaded += mailbox.size_bytes()
+        calls = self.dialing.scan_mailbox(round_number, mailbox)
+        for call in calls:
+            self.callbacks.on_incoming_call(call)
+        self.dialing.finish_round(round_number)
+        return calls
+
+    def __repr__(self) -> str:
+        return f"Client({self.email!r}, friends={len(self.keywheel)})"

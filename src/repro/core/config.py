@@ -1,0 +1,101 @@
+"""Deployment and protocol configuration.
+
+The knobs mirror the parameters the paper's evaluation varies: number of mix
+servers and PKGs, round durations, noise volumes, mailbox sizing targets,
+the Bloom filter false-positive rate, and the number of dialing intents the
+application uses (§5.3).  ``crypto_backend`` selects between the real
+pairing-based IBE and the oracle-based simulation backend used for
+large-scale benchmarks (see DESIGN.md §2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.mixnet.mailbox import (
+    DEFAULT_ADDFRIEND_TARGET_PER_MAILBOX,
+    DEFAULT_DIALING_TARGET_PER_MAILBOX,
+)
+from repro.mixnet.noise import NoiseConfig
+
+# Sizes that determine the fixed request layout for a round.
+DIAL_TOKEN_SIZE = 32
+
+
+@dataclass
+class AlpenhornConfig:
+    """All tunables for one Alpenhorn deployment."""
+
+    # Server topology (paper default: 3 mix servers, each also running a PKG).
+    num_mix_servers: int = 3
+    num_pkg_servers: int = 3
+
+    # Crypto backend: "bn254" (real Boneh-Franklin over the pairing) or
+    # "simulated" (oracle backend for large-scale protocol simulation).
+    crypto_backend: str = "bn254"
+
+    # Round durations in seconds (§8.2: hours for add-friend, minutes for
+    # dialing).  Only used by the latency/bandwidth models and the logical
+    # clock; the in-process simulator advances rounds explicitly.
+    addfriend_round_duration: float = 60 * 60.0
+    dialing_round_duration: float = 5 * 60.0
+
+    # Noise configuration (per server, per mailbox).
+    noise: NoiseConfig = field(default_factory=NoiseConfig)
+
+    # Mailbox sizing targets (§6, §8.2).
+    addfriend_target_per_mailbox: int = DEFAULT_ADDFRIEND_TARGET_PER_MAILBOX
+    dialing_target_per_mailbox: int = DEFAULT_DIALING_TARGET_PER_MAILBOX
+
+    # Dialing parameters.
+    bloom_false_positive_rate: float = 1e-10
+    num_intents: int = 10  # §8.1: "the maximum number of intents was 10"
+
+    # Add-friend request body: the friend request plus IBE overhead is padded
+    # to this length so every request in a round has identical size.
+    addfriend_request_size: int = 640
+
+    # How long a client keeps trying to fetch an old mailbox before advancing
+    # its keywheels anyway (§5.1); measured in rounds here.
+    max_mailbox_lag_rounds: int = 24
+
+    # Rate limiting (the §9 blinded-token DoS defence); disabled by default.
+    require_rate_tokens: bool = False
+    rate_tokens_per_day: int = 100
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.num_mix_servers < 1:
+            raise ConfigurationError("need at least one mix server")
+        if self.num_pkg_servers < 1:
+            raise ConfigurationError("need at least one PKG server")
+        if self.crypto_backend not in ("bn254", "simulated"):
+            raise ConfigurationError(
+                f"unknown crypto backend {self.crypto_backend!r}; "
+                "expected 'bn254' or 'simulated'"
+            )
+        if self.num_intents < 1:
+            raise ConfigurationError("need at least one dialing intent")
+        if not 0 < self.bloom_false_positive_rate < 1:
+            raise ConfigurationError("Bloom false-positive rate must be in (0, 1)")
+        if self.addfriend_request_size < 256:
+            raise ConfigurationError("add-friend request size too small to hold a request")
+        if self.addfriend_round_duration <= 0 or self.dialing_round_duration <= 0:
+            raise ConfigurationError("round durations must be positive")
+
+    @staticmethod
+    def for_tests(num_mix_servers: int = 2, num_pkg_servers: int = 2, backend: str = "bn254") -> "AlpenhornConfig":
+        """A small, low-noise configuration for unit and integration tests."""
+        return AlpenhornConfig(
+            num_mix_servers=num_mix_servers,
+            num_pkg_servers=num_pkg_servers,
+            crypto_backend=backend,
+            noise=NoiseConfig(2, 0, 2, 0),
+            addfriend_target_per_mailbox=16,
+            dialing_target_per_mailbox=16,
+            bloom_false_positive_rate=1e-6,
+            num_intents=3,
+        )

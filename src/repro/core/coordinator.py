@@ -1,0 +1,246 @@
+"""The in-process deployment: servers, clients, and round-driven execution.
+
+A :class:`Deployment` instantiates everything §3.1 of the paper describes --
+the PKG servers, the mixnet chain, the entry server, the CDN, and the email
+substrate -- wires clients to them, and advances the two protocols in
+explicit rounds.  It replaces the paper's EC2 testbed: transport is direct
+method calls, time is a logical clock, and all protocol messages are the
+real wire-format bytes the library produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cdn.cdn import Cdn
+from repro.core.client import Client
+from repro.core.config import AlpenhornConfig
+from repro.core.dialtoken import DIAL_TOKEN_SIZE
+from repro.crypto.ibe.anytrust import AnytrustIbe
+from repro.crypto.ibe.boneh_franklin import BonehFranklinIbe
+from repro.crypto.ibe.simulated import SimulatedIbe, SimulatedPkgOracle
+from repro.emailsim.provider import EmailNetwork
+from repro.entry.server import EntryServer
+from repro.errors import ConfigurationError
+from repro.mixnet.chain import MixChain, RoundResult
+from repro.mixnet.mailbox import choose_mailbox_count
+from repro.mixnet.server import MixServer
+from repro.pkg.coordinator import PkgCoordinator
+from repro.pkg.server import PkgServer
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass
+class RoundSummary:
+    """What the deployment reports after driving one full round."""
+
+    protocol: str
+    round_number: int
+    mailbox_count: int
+    submissions: int
+    mix_result: RoundResult
+    events_by_client: dict[str, list] = field(default_factory=dict)
+
+
+class Deployment:
+    """An entire Alpenhorn system running in one process."""
+
+    def __init__(self, config: AlpenhornConfig | None = None, seed: str = "deployment") -> None:
+        self.config = config if config is not None else AlpenhornConfig()
+        self.seed = seed
+        self.clock: float = 0.0
+
+        # Crypto backend shared by PKGs and clients.
+        if self.config.crypto_backend == "bn254":
+            self._ibe_backend = BonehFranklinIbe()
+        elif self.config.crypto_backend == "simulated":
+            self._ibe_backend = SimulatedIbe(SimulatedPkgOracle())
+        else:  # pragma: no cover - guarded by config validation
+            raise ConfigurationError(f"unknown backend {self.config.crypto_backend!r}")
+        self.ibe = AnytrustIbe(self._ibe_backend)
+
+        # Substrates.
+        self.email_network = EmailNetwork()
+        self.pkgs = [
+            PkgServer(
+                name=f"pkg{i}",
+                ibe_backend=self._ibe_backend,
+                email_network=self.email_network,
+                bls_seed=DeterministicRng(f"{seed}/pkg/{i}").read(32),
+            )
+            for i in range(self.config.num_pkg_servers)
+        ]
+        self.pkg_coordinator = PkgCoordinator(self.pkgs)
+        self.mix_servers = [
+            MixServer(f"mix{i}", rng=DeterministicRng(f"{seed}/mix/{i}"))
+            for i in range(self.config.num_mix_servers)
+        ]
+        self.mix_chain = MixChain(self.mix_servers, noise_config=self.config.noise)
+        self.entry = EntryServer(self.mix_chain, self.pkg_coordinator)
+        self.cdn = Cdn()
+
+        # Clients and round counters.
+        self.clients: dict[str, Client] = {}
+        self.addfriend_round = 0
+        self.dialing_round = 0
+        self.round_summaries: list[RoundSummary] = []
+
+    # ------------------------------------------------------------------ #
+    # Client management
+    # ------------------------------------------------------------------ #
+    def create_client(
+        self,
+        email: str,
+        new_friend=None,
+        incoming_call=None,
+        register: bool = True,
+    ) -> Client:
+        """Create (and by default register) a client for an email address."""
+        email = email.lower()
+        if email in self.clients:
+            raise ConfigurationError(f"a client for {email} already exists")
+        self.email_network.ensure_provider(email)
+        client = Client(
+            email=email,
+            config=self.config,
+            ibe=self.ibe,
+            new_friend=new_friend,
+            incoming_call=incoming_call,
+        )
+        if register:
+            client.register(self.pkgs, self.email_network, now=self.clock)
+        self.clients[email] = client
+        return client
+
+    def client(self, email: str) -> Client:
+        return self.clients[email.lower()]
+
+    # ------------------------------------------------------------------ #
+    # Time
+    # ------------------------------------------------------------------ #
+    def advance_clock(self, seconds: float) -> None:
+        self.clock += seconds
+
+    # ------------------------------------------------------------------ #
+    # Add-friend rounds
+    # ------------------------------------------------------------------ #
+    def _addfriend_mailbox_count(self) -> int:
+        queued = sum(c.addfriend.pending_in_queue() for c in self.clients.values())
+        return choose_mailbox_count(queued, self.config.addfriend_target_per_mailbox)
+
+    def run_addfriend_round(self) -> RoundSummary:
+        """Drive one complete add-friend round across every client."""
+        self.addfriend_round += 1
+        round_number = self.addfriend_round
+        mailbox_count = self._addfriend_mailbox_count()
+
+        sample_client = next(iter(self.clients.values()), None)
+        body_length = (
+            sample_client.addfriend.body_length()
+            if sample_client is not None
+            else self.config.addfriend_request_size + 158
+        )
+        announcement = self.entry.announce_round(
+            "add-friend", round_number, mailbox_count, body_length
+        )
+
+        # Every client participates every round (cover traffic included).
+        for client in self.clients.values():
+            envelope = client.participate_addfriend_round(
+                announcement,
+                pkgs=self.pkgs,
+                next_dialing_round=self.dialing_round + 2,
+                now=self.clock,
+            )
+            self.entry.submit("add-friend", round_number, client.email, envelope)
+
+        submissions = self.entry.submissions("add-friend", round_number)
+        result = self.entry.close_round("add-friend", round_number)
+        self.cdn.publish(result.mailboxes)
+
+        # Clients fetch and scan their mailboxes, then the PKGs erase the
+        # round's master secrets (clients already hold their round keys).
+        events_by_client: dict[str, list] = {}
+        for client in self.clients.values():
+            events = client.process_addfriend_mailbox(
+                round_number,
+                self.cdn,
+                pkg_bls_public_keys=[pkg.bls_public_key for pkg in self.pkgs],
+                current_dialing_round=self.dialing_round,
+            )
+            if events:
+                events_by_client[client.email] = events
+        self.pkg_coordinator.close_round(round_number)
+        self.advance_clock(self.config.addfriend_round_duration)
+
+        summary = RoundSummary(
+            protocol="add-friend",
+            round_number=round_number,
+            mailbox_count=mailbox_count,
+            submissions=submissions,
+            mix_result=result,
+            events_by_client=events_by_client,
+        )
+        self.round_summaries.append(summary)
+        return summary
+
+    # ------------------------------------------------------------------ #
+    # Dialing rounds
+    # ------------------------------------------------------------------ #
+    def _dialing_mailbox_count(self) -> int:
+        queued = sum(c.dialing.pending_in_queue() for c in self.clients.values())
+        return choose_mailbox_count(queued, self.config.dialing_target_per_mailbox)
+
+    def run_dialing_round(self) -> RoundSummary:
+        """Drive one complete dialing round across every client."""
+        self.dialing_round += 1
+        round_number = self.dialing_round
+        mailbox_count = self._dialing_mailbox_count()
+        announcement = self.entry.announce_round(
+            "dialing", round_number, mailbox_count, DIAL_TOKEN_SIZE
+        )
+
+        for client in self.clients.values():
+            envelope = client.participate_dialing_round(announcement)
+            self.entry.submit("dialing", round_number, client.email, envelope)
+
+        submissions = self.entry.submissions("dialing", round_number)
+        result = self.entry.close_round("dialing", round_number)
+        self.cdn.publish(result.mailboxes)
+
+        events_by_client: dict[str, list] = {}
+        for client in self.clients.values():
+            calls = client.process_dialing_mailbox(round_number, self.cdn)
+            if calls:
+                events_by_client[client.email] = calls
+        self.advance_clock(self.config.dialing_round_duration)
+
+        summary = RoundSummary(
+            protocol="dialing",
+            round_number=round_number,
+            mailbox_count=mailbox_count,
+            submissions=submissions,
+            mix_result=result,
+            events_by_client=events_by_client,
+        )
+        self.round_summaries.append(summary)
+        return summary
+
+    # ------------------------------------------------------------------ #
+    # Convenience flows used by examples and integration tests
+    # ------------------------------------------------------------------ #
+    def befriend(self, alice_email: str, bob_email: str) -> None:
+        """Run the two add-friend rounds needed for a mutual friendship."""
+        self.client(alice_email).add_friend(bob_email)
+        self.run_addfriend_round()  # Alice's request reaches Bob, Bob accepts
+        self.run_addfriend_round()  # Bob's confirmation reaches Alice
+
+    def place_call(self, caller_email: str, callee_email: str, intent: int = 0):
+        """Queue a call and run dialing rounds until it goes out and lands."""
+        caller = self.client(caller_email)
+        caller.call(callee_email, intent)
+        for _ in range(self.config.max_mailbox_lag_rounds):
+            self.run_dialing_round()
+            if caller.dialing.pending_in_queue() == 0:
+                break
+        return caller.placed_calls()[-1] if caller.placed_calls() else None

@@ -1,0 +1,42 @@
+"""Dial token helpers for the dialing protocol (§5).
+
+A dial token is a 256-bit pseudo-random value derived from the shared
+keywheel secret for a (round, intent) pair.  The caller sends it -- through
+the mixnet -- to the recipient's dialing mailbox; the recipient recognises
+calls by recomputing every token its friends could have sent this round and
+testing them against the mailbox's Bloom filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+DIAL_TOKEN_SIZE = 32
+
+
+@dataclass(frozen=True)
+class OutgoingCall:
+    """A call queued by the application, waiting for the next dialing round."""
+
+    friend: str
+    intent: int
+
+
+@dataclass(frozen=True)
+class PlacedCall:
+    """A call that went out in some round, with the session key we derived."""
+
+    friend: str
+    intent: int
+    round_number: int
+    session_key: bytes
+
+
+@dataclass(frozen=True)
+class IncomingCall:
+    """A call discovered while scanning a dialing mailbox."""
+
+    caller: str
+    intent: int
+    round_number: int
+    session_key: bytes

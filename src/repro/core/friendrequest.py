@@ -1,0 +1,143 @@
+"""Friend request wire format and authentication (Figure 3 and §4.5).
+
+A friend request is what one user sends another, IBE-encrypted, through the
+add-friend mixnet.  Its fields follow Figure 3 of the paper:
+
+* ``sender_email``   -- who is asking to be friends,
+* ``sender_key``     -- the sender's long-term Ed25519 signing key,
+* ``sender_sig``     -- an Ed25519 signature by that key over the
+  (email, dialing key, dialing round) tuple,
+* ``pkg_sigs``       -- the aggregated BLS multi-signature from the PKGs
+  attesting that ``sender_key`` belongs to ``sender_email`` for this round,
+* ``dialing_key``    -- an ephemeral X25519 public key (the Diffie-Hellman
+  half used to derive the keywheel secret), and
+* ``dialing_round``  -- the dialing round at which the new keywheel starts.
+
+Verification mirrors Algorithm 1 step 4: check the PKG multi-signature
+against the aggregate PKG public key (one honest PKG suffices), and check
+the sender's own signature.  If the recipient knows the sender's key
+out-of-band, it is additionally compared against ``sender_key``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import bls, ed25519
+from repro.crypto.bn254.curve import G1Point, G2Point
+from repro.errors import SerializationError
+from repro.pkg.server import pkg_statement
+from repro.utils.serialization import Packer, Unpacker
+
+_SENDER_SIG_DOMAIN = b"alpenhorn/friend-request/sender-sig"
+
+
+def sender_statement(email: str, dialing_key: bytes, dialing_round: int) -> bytes:
+    """The statement covered by ``sender_sig``."""
+    return (
+        Packer()
+        .bytes(_SENDER_SIG_DOMAIN)
+        .str(email.lower())
+        .bytes(dialing_key)
+        .u64(dialing_round)
+        .pack()
+    )
+
+
+@dataclass
+class FriendRequest:
+    """A decrypted add-friend request (Figure 3)."""
+
+    sender_email: str
+    sender_key: bytes              # Ed25519 public key, 32 bytes
+    sender_sig: bytes              # Ed25519 signature, 64 bytes
+    pkg_sigs: bytes                # aggregated BLS signature (G1), 64 bytes
+    dialing_key: bytes             # X25519 public key, 32 bytes
+    dialing_round: int
+    pkg_round: int                 # add-friend round the PKG attestation covers
+
+    # -- construction ------------------------------------------------------
+    @staticmethod
+    def build(
+        sender_email: str,
+        sender_signing_private: bytes,
+        sender_signing_public: bytes,
+        pkg_attestations: list[G1Point],
+        pkg_round: int,
+        dialing_key: bytes,
+        dialing_round: int,
+    ) -> "FriendRequest":
+        statement = sender_statement(sender_email, dialing_key, dialing_round)
+        sender_sig = ed25519.sign(sender_signing_private, statement)
+        aggregated = bls.aggregate_signatures(pkg_attestations)
+        return FriendRequest(
+            sender_email=sender_email.lower(),
+            sender_key=sender_signing_public,
+            sender_sig=sender_sig,
+            pkg_sigs=aggregated.to_bytes(),
+            dialing_key=dialing_key,
+            dialing_round=dialing_round,
+            pkg_round=pkg_round,
+        )
+
+    # -- serialization ------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        return (
+            Packer()
+            .str(self.sender_email)
+            .fixed(self.sender_key, 32)
+            .fixed(self.sender_sig, 64)
+            .fixed(self.pkg_sigs, 64)
+            .fixed(self.dialing_key, 32)
+            .u64(self.dialing_round)
+            .u64(self.pkg_round)
+            .pack()
+        )
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "FriendRequest":
+        unpacker = Unpacker(data)
+        try:
+            request = FriendRequest(
+                sender_email=unpacker.str(),
+                sender_key=unpacker.fixed(32),
+                sender_sig=unpacker.fixed(64),
+                pkg_sigs=unpacker.fixed(64),
+                dialing_key=unpacker.fixed(32),
+                dialing_round=unpacker.u64(),
+                pkg_round=unpacker.u64(),
+            )
+            unpacker.done()
+        except SerializationError:
+            raise
+        return request
+
+    def wire_size(self) -> int:
+        return len(self.to_bytes())
+
+    # -- verification ----------------------------------------------------------
+    def verify(
+        self,
+        aggregate_pkg_public: G2Point,
+        expected_sender_key: bytes | None = None,
+    ) -> bool:
+        """Algorithm 1, step 4: ok1 (PKG attestation) and ok2 (sender sig).
+
+        ``expected_sender_key`` is the out-of-band key, if the recipient has
+        one; a mismatch fails verification regardless of the signatures.
+        """
+        if expected_sender_key is not None and expected_sender_key != self.sender_key:
+            return False
+        try:
+            aggregated_sig = G1Point.from_bytes(self.pkg_sigs)
+        except Exception:
+            return False
+        ok1 = bls.verify(
+            aggregate_pkg_public,
+            pkg_statement(self.sender_email, self.sender_key, self.pkg_round),
+            aggregated_sig,
+        )
+        if not ok1:
+            return False
+        statement = sender_statement(self.sender_email, self.dialing_key, self.dialing_round)
+        return ed25519.verify(self.sender_key, statement, self.sender_sig)

@@ -1,0 +1,47 @@
+"""User identity: email address plus the long-term Ed25519 signing key.
+
+The long-term key is the only durable secret a client holds besides its
+keywheels.  It authenticates key-extraction requests to the PKGs (§4.6) and
+signs the ``SenderSig`` field of friend requests (§4.5).  It is *not* an
+encryption key, so compromising it later does not reveal past metadata or
+message contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import ed25519
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class UserIdentity:
+    """A user's email address and long-term signing key pair."""
+
+    email: str
+    signing_private: bytes
+    signing_public: bytes
+
+    @staticmethod
+    def create(email: str, seed: bytes | None = None) -> "UserIdentity":
+        if "@" not in email:
+            raise ConfigurationError(f"malformed email address: {email!r}")
+        if seed is not None:
+            private = seed
+            public = ed25519.public_key(seed)
+        else:
+            private, public = ed25519.generate_keypair()
+        return UserIdentity(
+            email=email.lower(), signing_private=private, signing_public=public
+        )
+
+    def sign(self, message: bytes) -> bytes:
+        return ed25519.sign(self.signing_private, message)
+
+    def rotate(self) -> "UserIdentity":
+        """Generate a fresh key pair for the same email (compromise recovery, §9)."""
+        return UserIdentity.create(self.email)
+
+    def __repr__(self) -> str:
+        return f"UserIdentity({self.email!r})"

@@ -1,0 +1,74 @@
+"""ChaCha20-Poly1305 AEAD (RFC 8439 construction).
+
+This is the authenticated encryption used throughout the system:
+
+* each mixnet onion layer is sealed under an X25519-derived key,
+* the body of an IBE-encrypted friend request is sealed under a random
+  32-byte key which is what the IBE layer actually encrypts (hybrid
+  encryption), and
+* the example Vuvuzela-style conversation protocol seals its messages with
+  keywheel-derived session keys.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.crypto.chacha20 import chacha20_encrypt, chacha20_stream, KEY_SIZE, NONCE_SIZE
+from repro.crypto.poly1305 import poly1305_mac, TAG_SIZE
+from repro.errors import DecryptionError, CryptoError
+from repro.utils.rng import random_bytes
+
+AEAD_OVERHEAD = NONCE_SIZE + TAG_SIZE
+
+
+def _pad16(data: bytes) -> bytes:
+    if len(data) % 16 == 0:
+        return b""
+    return b"\x00" * (16 - len(data) % 16)
+
+
+def _auth_input(associated_data: bytes, ciphertext: bytes) -> bytes:
+    return (
+        associated_data
+        + _pad16(associated_data)
+        + ciphertext
+        + _pad16(ciphertext)
+        + struct.pack("<QQ", len(associated_data), len(ciphertext))
+    )
+
+
+def seal(key: bytes, plaintext: bytes, associated_data: bytes = b"", nonce: bytes | None = None) -> bytes:
+    """Encrypt and authenticate ``plaintext``; returns nonce || ciphertext || tag."""
+    if len(key) != KEY_SIZE:
+        raise CryptoError(f"AEAD key must be {KEY_SIZE} bytes, got {len(key)}")
+    if nonce is None:
+        nonce = random_bytes(NONCE_SIZE)
+    elif len(nonce) != NONCE_SIZE:
+        raise CryptoError(f"AEAD nonce must be {NONCE_SIZE} bytes, got {len(nonce)}")
+    one_time_key = chacha20_stream(key, nonce, 32, initial_counter=0)
+    ciphertext = chacha20_encrypt(key, nonce, plaintext, initial_counter=1)
+    tag = poly1305_mac(one_time_key, _auth_input(associated_data, ciphertext))
+    return nonce + ciphertext + tag
+
+
+def open_sealed(key: bytes, sealed: bytes, associated_data: bytes = b"") -> bytes:
+    """Verify and decrypt a box produced by :func:`seal`.
+
+    Raises :class:`~repro.errors.DecryptionError` if the key is wrong or the
+    message was tampered with.
+    """
+    if len(key) != KEY_SIZE:
+        raise CryptoError(f"AEAD key must be {KEY_SIZE} bytes, got {len(key)}")
+    if len(sealed) < AEAD_OVERHEAD:
+        raise DecryptionError("sealed box too short")
+    nonce = sealed[:NONCE_SIZE]
+    tag = sealed[-TAG_SIZE:]
+    ciphertext = sealed[NONCE_SIZE:-TAG_SIZE]
+    one_time_key = chacha20_stream(key, nonce, 32, initial_counter=0)
+    expected_tag = poly1305_mac(one_time_key, _auth_input(associated_data, ciphertext))
+    import hmac
+
+    if not hmac.compare_digest(expected_tag, tag):
+        raise DecryptionError("authentication tag mismatch")
+    return chacha20_encrypt(key, nonce, ciphertext, initial_counter=1)

@@ -1,0 +1,110 @@
+"""Blind BLS signatures: unlinkable rate-limiting tokens (§9, "DoS attacks").
+
+The paper sketches a defence against clients that flood the mixnet with real
+(non-cover) requests: servers issue a limited number of *blinded* signatures
+to each user per day and reject requests that do not carry a valid unblinded
+token.  Because issuance is blind, spending a token does not link the request
+to the user who obtained it, so the defence does not leak metadata.
+
+We implement the blind variant of BLS:
+
+* the client picks a random token id ``m`` and a blinding scalar ``b``, and
+  sends ``B = b * H(m)`` to the issuer;
+* the issuer returns ``S' = sk * B`` (it learns nothing about ``m``);
+* the client unblinds ``S = b^{-1} * S'``, which is a standard BLS signature
+  on ``m`` and verifies against the issuer's public key;
+* the verifier additionally keeps a spent-token set to prevent double
+  spending.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import bls
+from repro.crypto.bn254.curve import G1Point, G2Point
+from repro.crypto.bn254.field import CURVE_ORDER
+from repro.errors import CryptoError, RateLimitError
+from repro.utils.rng import random_bytes
+
+TOKEN_ID_SIZE = 32
+
+
+@dataclass(frozen=True)
+class BlindingState:
+    """Client-side state kept between blinding and unblinding."""
+
+    token_id: bytes
+    blinding_scalar: int
+
+
+@dataclass(frozen=True)
+class RateToken:
+    """An unblinded, spendable token: (token id, BLS signature on it)."""
+
+    token_id: bytes
+    signature: G1Point
+
+    def to_bytes(self) -> bytes:
+        return self.token_id + self.signature.to_bytes()
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "RateToken":
+        if len(data) != TOKEN_ID_SIZE + 64:
+            raise CryptoError("invalid rate token encoding")
+        return RateToken(
+            token_id=data[:TOKEN_ID_SIZE],
+            signature=G1Point.from_bytes(data[TOKEN_ID_SIZE:]),
+        )
+
+
+def blind(token_id: bytes | None = None) -> tuple[G1Point, BlindingState]:
+    """Client: blind a fresh token id for issuance."""
+    if token_id is None:
+        token_id = random_bytes(TOKEN_ID_SIZE)
+    if len(token_id) != TOKEN_ID_SIZE:
+        raise CryptoError(f"token id must be {TOKEN_ID_SIZE} bytes")
+    blinding_scalar = int.from_bytes(random_bytes(32), "big") % CURVE_ORDER or 1
+    blinded = bls.hash_message(token_id).scalar_mul(blinding_scalar)
+    return blinded, BlindingState(token_id=token_id, blinding_scalar=blinding_scalar)
+
+
+def issue(issuer_secret: int, blinded: G1Point) -> G1Point:
+    """Issuer: sign a blinded element (learns nothing about the token id)."""
+    if not 0 < issuer_secret < CURVE_ORDER:
+        raise CryptoError("invalid issuer secret key")
+    if blinded.is_identity() or not blinded.is_on_curve():
+        raise CryptoError("invalid blinded element")
+    return blinded.scalar_mul(issuer_secret)
+
+
+def unblind(state: BlindingState, blind_signature: G1Point) -> RateToken:
+    """Client: remove the blinding factor, yielding a standard BLS signature."""
+    inverse = pow(state.blinding_scalar, CURVE_ORDER - 2, CURVE_ORDER)
+    signature = blind_signature.scalar_mul(inverse)
+    return RateToken(token_id=state.token_id, signature=signature)
+
+
+def verify_token(issuer_public: G2Point, token: RateToken) -> bool:
+    """Verifier: check that the token carries a valid signature from the issuer."""
+    return bls.verify(issuer_public, token.token_id, token.signature)
+
+
+class TokenVerifier:
+    """Stateful verifier enforcing single-spend semantics."""
+
+    def __init__(self, issuer_public: G2Point) -> None:
+        self.issuer_public = issuer_public
+        self._spent: set[bytes] = set()
+
+    def spend(self, token: RateToken) -> None:
+        """Validate and consume a token; raises :class:`RateLimitError` otherwise."""
+        if token.token_id in self._spent:
+            raise RateLimitError("rate token already spent")
+        if not verify_token(self.issuer_public, token):
+            raise RateLimitError("invalid rate token signature")
+        self._spent.add(token.token_id)
+
+    @property
+    def spent_count(self) -> int:
+        return len(self._spent)

@@ -1,0 +1,371 @@
+"""Extension-field tower for BN254: Fq -> Fq2 -> Fq6 -> Fq12.
+
+The tower follows the standard construction for Barreto-Naehrig curves:
+
+* ``Fq2  = Fq[u]  / (u^2 + 1)``
+* ``Fq6  = Fq2[v] / (v^3 - xi)`` with the non-residue ``xi = 9 + u``
+* ``Fq12 = Fq6[w] / (w^2 - v)``
+
+Base-field elements are plain Python integers reduced modulo the field
+modulus; the extension classes are small ``__slots__`` value types.  The
+implementation favours clarity over micro-optimisation but keeps the
+operation counts of the standard tower formulas (Karatsuba-style
+multiplication in Fq6/Fq12), which keeps a full pairing in the hundreds of
+milliseconds on CPython.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CryptoError
+
+# alt_bn128 parameters.  p is the base-field modulus, r the prime order of
+# G1/G2/GT.  The BN parameter t generates both: p(t) and r(t) are the usual
+# BN polynomials, and the optimal-ate loop count is 6t + 2.
+BN_PARAMETER_T = 4965661367192848881
+FIELD_MODULUS = 21888242871839275222246405745257275088696311157297823662689037894645226208583
+CURVE_ORDER = 21888242871839275222246405745257275088548364400416034343698204186575808495617
+ATE_LOOP_COUNT = 6 * BN_PARAMETER_T + 2
+
+_P = FIELD_MODULUS
+
+
+def fq_inv(value: int) -> int:
+    """Inverse in the base field (via Fermat's little theorem)."""
+    value %= _P
+    if value == 0:
+        raise CryptoError("division by zero in Fq")
+    return pow(value, _P - 2, _P)
+
+
+def fq_sqrt(value: int) -> int | None:
+    """Square root in Fq, or None if ``value`` is a non-residue.
+
+    The modulus satisfies p = 3 (mod 4), so a candidate root is
+    ``value^((p+1)/4)``.
+    """
+    value %= _P
+    candidate = pow(value, (_P + 1) // 4, _P)
+    if candidate * candidate % _P == value:
+        return candidate
+    return None
+
+
+class Fq2:
+    """Element ``c0 + c1*u`` of Fq2 with ``u^2 = -1``."""
+
+    __slots__ = ("c0", "c1")
+
+    def __init__(self, c0: int, c1: int = 0) -> None:
+        self.c0 = c0 % _P
+        self.c1 = c1 % _P
+
+    # -- constructors -------------------------------------------------
+    @staticmethod
+    def zero() -> "Fq2":
+        return Fq2(0, 0)
+
+    @staticmethod
+    def one() -> "Fq2":
+        return Fq2(1, 0)
+
+    # -- arithmetic ---------------------------------------------------
+    def __add__(self, other: "Fq2") -> "Fq2":
+        return Fq2(self.c0 + other.c0, self.c1 + other.c1)
+
+    def __sub__(self, other: "Fq2") -> "Fq2":
+        return Fq2(self.c0 - other.c0, self.c1 - other.c1)
+
+    def __neg__(self) -> "Fq2":
+        return Fq2(-self.c0, -self.c1)
+
+    def __mul__(self, other):
+        if isinstance(other, int):
+            return Fq2(self.c0 * other, self.c1 * other)
+        a0, a1, b0, b1 = self.c0, self.c1, other.c0, other.c1
+        t0 = a0 * b0
+        t1 = a1 * b1
+        # (a0 + a1 u)(b0 + b1 u) = (a0 b0 - a1 b1) + (a0 b1 + a1 b0) u
+        return Fq2(t0 - t1, (a0 + a1) * (b0 + b1) - t0 - t1)
+
+    __rmul__ = __mul__
+
+    def square(self) -> "Fq2":
+        a0, a1 = self.c0, self.c1
+        # (a0 + a1 u)^2 = (a0 - a1)(a0 + a1) + 2 a0 a1 u
+        return Fq2((a0 - a1) * (a0 + a1), 2 * a0 * a1)
+
+    def conjugate(self) -> "Fq2":
+        return Fq2(self.c0, -self.c1)
+
+    def inverse(self) -> "Fq2":
+        norm = (self.c0 * self.c0 + self.c1 * self.c1) % _P
+        if norm == 0:
+            raise CryptoError("division by zero in Fq2")
+        inv_norm = fq_inv(norm)
+        return Fq2(self.c0 * inv_norm, -self.c1 * inv_norm)
+
+    def mul_by_nonresidue(self) -> "Fq2":
+        """Multiply by ``xi = 9 + u`` (used by the Fq6 reduction)."""
+        a0, a1 = self.c0, self.c1
+        return Fq2(9 * a0 - a1, a0 + 9 * a1)
+
+    def pow(self, exponent: int) -> "Fq2":
+        result = Fq2.one()
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base.square()
+            exponent >>= 1
+        return result
+
+    # -- predicates / misc --------------------------------------------
+    def is_zero(self) -> bool:
+        return self.c0 == 0 and self.c1 == 0
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Fq2) and self.c0 == other.c0 and self.c1 == other.c1
+
+    def __hash__(self) -> int:
+        return hash((self.c0, self.c1))
+
+    def __repr__(self) -> str:
+        return f"Fq2({self.c0}, {self.c1})"
+
+    def sqrt(self) -> "Fq2 | None":
+        """Square root in Fq2, or None if not a quadratic residue.
+
+        Uses the standard complex-method: for a = a0 + a1 u with u^2 = -1,
+        solve via the base-field norm.
+        """
+        if self.is_zero():
+            return Fq2.zero()
+        a0, a1 = self.c0, self.c1
+        if a1 == 0:
+            root = fq_sqrt(a0)
+            if root is not None:
+                return Fq2(root, 0)
+            # sqrt(a0) = sqrt(-a0) * u  since u^2 = -1
+            root = fq_sqrt(-a0 % _P)
+            if root is None:
+                return None
+            return Fq2(0, root)
+        norm = (a0 * a0 + a1 * a1) % _P
+        alpha = fq_sqrt(norm)
+        if alpha is None:
+            return None
+        delta = (a0 + alpha) * fq_inv(2) % _P
+        x0 = fq_sqrt(delta)
+        if x0 is None:
+            delta = (a0 - alpha) * fq_inv(2) % _P
+            x0 = fq_sqrt(delta)
+            if x0 is None:
+                return None
+        x1 = a1 * fq_inv(2 * x0) % _P
+        candidate = Fq2(x0, x1)
+        if candidate.square() == self:
+            return candidate
+        return None
+
+
+# Non-residue used throughout the tower.
+XI = Fq2(9, 1)
+
+
+class Fq6:
+    """Element ``c0 + c1*v + c2*v^2`` of Fq6 with ``v^3 = xi``."""
+
+    __slots__ = ("c0", "c1", "c2")
+
+    def __init__(self, c0: Fq2, c1: Fq2, c2: Fq2) -> None:
+        self.c0 = c0
+        self.c1 = c1
+        self.c2 = c2
+
+    @staticmethod
+    def zero() -> "Fq6":
+        return Fq6(Fq2.zero(), Fq2.zero(), Fq2.zero())
+
+    @staticmethod
+    def one() -> "Fq6":
+        return Fq6(Fq2.one(), Fq2.zero(), Fq2.zero())
+
+    def __add__(self, other: "Fq6") -> "Fq6":
+        return Fq6(self.c0 + other.c0, self.c1 + other.c1, self.c2 + other.c2)
+
+    def __sub__(self, other: "Fq6") -> "Fq6":
+        return Fq6(self.c0 - other.c0, self.c1 - other.c1, self.c2 - other.c2)
+
+    def __neg__(self) -> "Fq6":
+        return Fq6(-self.c0, -self.c1, -self.c2)
+
+    def __mul__(self, other: "Fq6") -> "Fq6":
+        a0, a1, a2 = self.c0, self.c1, self.c2
+        b0, b1, b2 = other.c0, other.c1, other.c2
+        t0 = a0 * b0
+        t1 = a1 * b1
+        t2 = a2 * b2
+        c0 = ((a1 + a2) * (b1 + b2) - t1 - t2).mul_by_nonresidue() + t0
+        c1 = (a0 + a1) * (b0 + b1) - t0 - t1 + t2.mul_by_nonresidue()
+        c2 = (a0 + a2) * (b0 + b2) - t0 - t2 + t1
+        return Fq6(c0, c1, c2)
+
+    def square(self) -> "Fq6":
+        return self * self
+
+    def mul_by_v(self) -> "Fq6":
+        """Multiply by ``v`` (shifts coefficients, reducing v^3 to xi)."""
+        return Fq6(self.c2.mul_by_nonresidue(), self.c0, self.c1)
+
+    def scale(self, factor: Fq2) -> "Fq6":
+        return Fq6(self.c0 * factor, self.c1 * factor, self.c2 * factor)
+
+    def inverse(self) -> "Fq6":
+        a0, a1, a2 = self.c0, self.c1, self.c2
+        t0 = a0.square() - (a1 * a2).mul_by_nonresidue()
+        t1 = a2.square().mul_by_nonresidue() - a0 * a1
+        t2 = a1.square() - a0 * a2
+        denom = a0 * t0 + (a2 * t1 + a1 * t2).mul_by_nonresidue()
+        denom_inv = denom.inverse()
+        return Fq6(t0 * denom_inv, t1 * denom_inv, t2 * denom_inv)
+
+    def is_zero(self) -> bool:
+        return self.c0.is_zero() and self.c1.is_zero() and self.c2.is_zero()
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Fq6)
+            and self.c0 == other.c0
+            and self.c1 == other.c1
+            and self.c2 == other.c2
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.c0, self.c1, self.c2))
+
+    def __repr__(self) -> str:
+        return f"Fq6({self.c0!r}, {self.c1!r}, {self.c2!r})"
+
+
+# Frobenius constant gamma1 = xi^((p-1)/6), an Fq2 element.  Powers of it
+# appear when applying the p-power Frobenius coefficient-wise in the w-basis.
+_GAMMA1 = XI.pow((_P - 1) // 6)
+_GAMMA1_POWERS = [Fq2.one()]
+for _ in range(5):
+    _GAMMA1_POWERS.append(_GAMMA1_POWERS[-1] * _GAMMA1)
+
+
+class Fq12:
+    """Element ``c0 + c1*w`` of Fq12 with ``w^2 = v``."""
+
+    __slots__ = ("c0", "c1")
+
+    def __init__(self, c0: Fq6, c1: Fq6) -> None:
+        self.c0 = c0
+        self.c1 = c1
+
+    @staticmethod
+    def zero() -> "Fq12":
+        return Fq12(Fq6.zero(), Fq6.zero())
+
+    @staticmethod
+    def one() -> "Fq12":
+        return Fq12(Fq6.one(), Fq6.zero())
+
+    @staticmethod
+    def from_w_coefficients(coeffs: list[Fq2]) -> "Fq12":
+        """Build an element from its six coefficients in the basis 1..w^5.
+
+        The w-basis relates to the tower as ``a_k w^k`` with
+        ``c0 = (a0, a2, a4)`` and ``c1 = (a1, a3, a5)`` over ``v = w^2``.
+        """
+        if len(coeffs) != 6:
+            raise CryptoError("Fq12 needs exactly 6 Fq2 coefficients")
+        c0 = Fq6(coeffs[0], coeffs[2], coeffs[4])
+        c1 = Fq6(coeffs[1], coeffs[3], coeffs[5])
+        return Fq12(c0, c1)
+
+    def w_coefficients(self) -> list[Fq2]:
+        return [self.c0.c0, self.c1.c0, self.c0.c1, self.c1.c1, self.c0.c2, self.c1.c2]
+
+    def __add__(self, other: "Fq12") -> "Fq12":
+        return Fq12(self.c0 + other.c0, self.c1 + other.c1)
+
+    def __sub__(self, other: "Fq12") -> "Fq12":
+        return Fq12(self.c0 - other.c0, self.c1 - other.c1)
+
+    def __neg__(self) -> "Fq12":
+        return Fq12(-self.c0, -self.c1)
+
+    def __mul__(self, other: "Fq12") -> "Fq12":
+        a0, a1 = self.c0, self.c1
+        b0, b1 = other.c0, other.c1
+        t0 = a0 * b0
+        t1 = a1 * b1
+        c0 = t0 + t1.mul_by_v()
+        c1 = (a0 + a1) * (b0 + b1) - t0 - t1
+        return Fq12(c0, c1)
+
+    def square(self) -> "Fq12":
+        a0, a1 = self.c0, self.c1
+        t0 = a0 * a1
+        c0 = (a0 + a1) * (a0 + a1.mul_by_v()) - t0 - t0.mul_by_v()
+        c1 = t0 + t0
+        return Fq12(c0, c1)
+
+    def conjugate(self) -> "Fq12":
+        """The p^6-power Frobenius (negates the w-odd half)."""
+        return Fq12(self.c0, -self.c1)
+
+    def inverse(self) -> "Fq12":
+        denom = (self.c0.square() - self.c1.square().mul_by_v()).inverse()
+        return Fq12(self.c0 * denom, -(self.c1 * denom))
+
+    def frobenius(self) -> "Fq12":
+        """Apply the p-power Frobenius endomorphism."""
+        coeffs = self.w_coefficients()
+        mapped = [
+            coeffs[k].conjugate() * _GAMMA1_POWERS[k] for k in range(6)
+        ]
+        return Fq12.from_w_coefficients(mapped)
+
+    def frobenius_power(self, power: int) -> "Fq12":
+        result = self
+        for _ in range(power % 12):
+            result = result.frobenius()
+        return result
+
+    def pow(self, exponent: int) -> "Fq12":
+        if exponent < 0:
+            return self.inverse().pow(-exponent)
+        result = Fq12.one()
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base.square()
+            exponent >>= 1
+        return result
+
+    def is_zero(self) -> bool:
+        return self.c0.is_zero() and self.c1.is_zero()
+
+    def is_one(self) -> bool:
+        return self == Fq12.one()
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Fq12) and self.c0 == other.c0 and self.c1 == other.c1
+
+    def __hash__(self) -> int:
+        return hash((self.c0, self.c1))
+
+    def __repr__(self) -> str:
+        return f"Fq12({self.c0!r}, {self.c1!r})"
+
+    def to_bytes(self) -> bytes:
+        """Canonical 384-byte encoding (12 base-field coefficients)."""
+        out = bytearray()
+        for coeff in self.w_coefficients():
+            out += coeff.c0.to_bytes(32, "big")
+            out += coeff.c1.to_bytes(32, "big")
+        return bytes(out)

@@ -1,0 +1,165 @@
+"""Optimal-ate pairing on BN254.
+
+The pairing ``e: G1 x G2 -> GT`` (GT being the order-r subgroup of Fq12*)
+is computed with the standard optimal-ate construction for Barreto-Naehrig
+curves: a Miller loop of length ``6t + 2`` over the twist, two extra line
+evaluations at the Frobenius images of Q, and a final exponentiation to the
+power ``(p^12 - 1) / r`` (split into its easy and hard parts).
+
+All line evaluations keep the G2 point in Fq2 twist coordinates; the line is
+assembled directly as a (sparse) Fq12 element in the w-basis, which avoids
+ever materialising points with Fq12 coordinates.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.bn254.curve import G1Point, G2Point
+from repro.crypto.bn254.field import (
+    ATE_LOOP_COUNT,
+    CURVE_ORDER,
+    FIELD_MODULUS,
+    Fq2,
+    Fq12,
+    XI,
+)
+from repro.errors import CryptoError
+
+_P = FIELD_MODULUS
+
+# Frobenius twist constants: applying the p-power Frobenius to an untwisted
+# point psi(x, y) = (x w^2, y w^3) keeps it in twisted form with
+# x -> conj(x) * gamma1^2 and y -> conj(y) * gamma1^3, gamma1 = xi^((p-1)/6).
+_GAMMA1 = XI.pow((_P - 1) // 6)
+_TWIST_FROB_X = _GAMMA1.square()
+_TWIST_FROB_Y = _GAMMA1.square() * _GAMMA1
+
+# Final exponentiation exponents.
+_EASY_HARD_SPLIT = (_P**4 - _P**2 + 1) // CURVE_ORDER
+
+
+def _frobenius_g2(point: G2Point) -> G2Point:
+    """The p-power Frobenius endomorphism expressed on twist coordinates."""
+    if point.is_identity():
+        return point
+    return G2Point(
+        point.x.conjugate() * _TWIST_FROB_X,
+        point.y.conjugate() * _TWIST_FROB_Y,
+    )
+
+
+def _line_to_fq12(constant: int, w1: Fq2, w3: Fq2) -> Fq12:
+    """Assemble the sparse line value ``constant + w1*w + w3*w^3``."""
+    coeffs = [
+        Fq2(constant, 0),
+        w1,
+        Fq2.zero(),
+        w3,
+        Fq2.zero(),
+        Fq2.zero(),
+    ]
+    return Fq12.from_w_coefficients(coeffs)
+
+
+def _line_function(r: G2Point, q: G2Point, p: G1Point) -> tuple[Fq12, G2Point]:
+    """Evaluate the line through R and Q (on the untwisted curve) at P.
+
+    Returns the line value as an Fq12 element and the new point R + Q in
+    twist coordinates.  Handles the doubling case (R == Q) and the vertical
+    line (R == -Q).
+    """
+    xr, yr = r.x, r.y
+    xq, yq = q.x, q.y
+    xp, yp = p.x, p.y
+
+    if r.is_identity() or q.is_identity():
+        raise CryptoError("line function called with the point at infinity")
+
+    if xr == xq and (yr + yq).is_zero():
+        # Vertical line x - xr = 0 evaluated at psi-untwisted coordinates:
+        # value = xp - xr * w^2.
+        coeffs = [Fq2(xp, 0), Fq2.zero(), -xr, Fq2.zero(), Fq2.zero(), Fq2.zero()]
+        return Fq12.from_w_coefficients(coeffs), r + q
+
+    if xr == xq and yr == yq:
+        slope = (xr.square() * 3) * (yr * 2).inverse()
+    else:
+        slope = (yq - yr) * (xq - xr).inverse()
+
+    # Line through psi(R) with slope slope*w, evaluated at P = (xp, yp):
+    #   l = yp - slope*xp*w + (slope*xr - yr)*w^3
+    w1 = -(slope * xp)
+    w3 = slope * xr - yr
+    line = _line_to_fq12(yp, w1, w3)
+
+    x_new = slope.square() - xr - xq
+    y_new = slope * (xr - x_new) - yr
+    return line, G2Point(x_new, y_new)
+
+
+def miller_loop(p: G1Point, q: G2Point) -> Fq12:
+    """The optimal-ate Miller loop (without the final exponentiation)."""
+    if p.is_identity() or q.is_identity():
+        return Fq12.one()
+
+    f = Fq12.one()
+    r = q
+    loop_bits = bin(ATE_LOOP_COUNT)[2:]
+    for bit in loop_bits[1:]:
+        line, r = _line_function(r, r, p)
+        f = f.square() * line
+        if bit == "1":
+            line, r = _line_function(r, q, p)
+            f = f * line
+
+    q1 = _frobenius_g2(q)
+    q2 = -_frobenius_g2(q1)
+
+    line, r = _line_function(r, q1, p)
+    f = f * line
+    line, _ = _line_function(r, q2, p)
+    f = f * line
+    return f
+
+
+def final_exponentiation(f: Fq12) -> Fq12:
+    """Raise a Miller-loop output to the power ``(p^12 - 1) / r``.
+
+    Split into the "easy" part ``(p^6 - 1)(p^2 + 1)`` (cheap, via Frobenius
+    and one inversion) and the "hard" part ``(p^4 - p^2 + 1) / r`` (generic
+    square-and-multiply).
+    """
+    if f.is_zero():
+        raise CryptoError("cannot exponentiate zero")
+    # Easy part.
+    result = f.conjugate() * f.inverse()          # f^(p^6 - 1)
+    result = result.frobenius_power(2) * result   # ^(p^2 + 1)
+    # Hard part.
+    return result.pow(_EASY_HARD_SPLIT)
+
+
+def pairing(p: G1Point, q: G2Point) -> Fq12:
+    """The full optimal-ate pairing e(P, Q)."""
+    if not p.is_on_curve():
+        raise CryptoError("pairing: P is not on G1")
+    if not q.is_on_curve():
+        raise CryptoError("pairing: Q is not on G2")
+    return final_exponentiation(miller_loop(p, q))
+
+
+def multi_pairing(pairs: list[tuple[G1Point, G2Point]]) -> Fq12:
+    """Compute the product of pairings sharing one final exponentiation.
+
+    Used by BLS verification, where checking ``e(sig, -P2) * e(H(m), pk) == 1``
+    with a single final exponentiation saves roughly half the work of two
+    independent pairings.
+    """
+    accumulator = Fq12.one()
+    for p, q in pairs:
+        if not p.is_on_curve():
+            raise CryptoError("multi_pairing: P is not on G1")
+        if not q.is_on_curve():
+            raise CryptoError("multi_pairing: Q is not on G2")
+        if p.is_identity() or q.is_identity():
+            continue
+        accumulator = accumulator * miller_loop(p, q)
+    return final_exponentiation(accumulator)

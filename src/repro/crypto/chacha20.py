@@ -1,0 +1,85 @@
+"""ChaCha20 stream cipher (RFC 8439), pure Python.
+
+Used as the symmetric cipher inside the AEAD construction that protects
+onion layers and the hybrid payload of IBE-encrypted friend requests.
+Messages in Alpenhorn are small (a few hundred bytes), so the pure-Python
+throughput is more than sufficient.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import CryptoError
+
+KEY_SIZE = 32
+NONCE_SIZE = 12
+BLOCK_SIZE = 64
+
+_CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)
+_MASK32 = 0xFFFFFFFF
+
+
+def _rotl32(value: int, count: int) -> int:
+    value &= _MASK32
+    return ((value << count) | (value >> (32 - count))) & _MASK32
+
+
+def _quarter_round(state: list[int], a: int, b: int, c: int, d: int) -> None:
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 7)
+
+
+def _chacha20_block(key_words: tuple[int, ...], counter: int, nonce_words: tuple[int, ...]) -> bytes:
+    initial = list(_CONSTANTS) + list(key_words) + [counter & _MASK32] + list(nonce_words)
+    state = list(initial)
+    for _ in range(10):
+        _quarter_round(state, 0, 4, 8, 12)
+        _quarter_round(state, 1, 5, 9, 13)
+        _quarter_round(state, 2, 6, 10, 14)
+        _quarter_round(state, 3, 7, 11, 15)
+        _quarter_round(state, 0, 5, 10, 15)
+        _quarter_round(state, 1, 6, 11, 12)
+        _quarter_round(state, 2, 7, 8, 13)
+        _quarter_round(state, 3, 4, 9, 14)
+    words = [(state[i] + initial[i]) & _MASK32 for i in range(16)]
+    return struct.pack("<16I", *words)
+
+
+def _split_key_nonce(key: bytes, nonce: bytes) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    if len(key) != KEY_SIZE:
+        raise CryptoError(f"ChaCha20 key must be {KEY_SIZE} bytes, got {len(key)}")
+    if len(nonce) != NONCE_SIZE:
+        raise CryptoError(f"ChaCha20 nonce must be {NONCE_SIZE} bytes, got {len(nonce)}")
+    key_words = struct.unpack("<8I", key)
+    nonce_words = struct.unpack("<3I", nonce)
+    return key_words, nonce_words
+
+
+def chacha20_stream(key: bytes, nonce: bytes, length: int, initial_counter: int = 0) -> bytes:
+    """Return ``length`` bytes of ChaCha20 keystream."""
+    key_words, nonce_words = _split_key_nonce(key, nonce)
+    blocks = []
+    counter = initial_counter
+    produced = 0
+    while produced < length:
+        blocks.append(_chacha20_block(key_words, counter, nonce_words))
+        counter += 1
+        produced += BLOCK_SIZE
+    return b"".join(blocks)[:length]
+
+
+def chacha20_encrypt(key: bytes, nonce: bytes, plaintext: bytes, initial_counter: int = 0) -> bytes:
+    """Encrypt (or decrypt) by XOR with the keystream."""
+    stream = chacha20_stream(key, nonce, len(plaintext), initial_counter)
+    return bytes(p ^ s for p, s in zip(plaintext, stream))
+
+
+# Decryption is the same XOR operation.
+chacha20_decrypt = chacha20_encrypt

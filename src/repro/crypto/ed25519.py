@@ -1,0 +1,166 @@
+"""Ed25519 signatures (RFC 8032), pure Python.
+
+Each Alpenhorn user has a long-term Ed25519 signing key (``MySigningKey`` in
+Figure 1); friend requests carry a ``SenderSig`` made with this key, and PKG
+servers authenticate extraction requests against the registered public key.
+Mixnet and PKG servers also hold long-term Ed25519 keys used to sign round
+announcements and (in the coordinator) mailbox digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.errors import CryptoError, SignatureError
+from repro.utils.rng import random_bytes
+
+KEY_SIZE = 32
+SIGNATURE_SIZE = 64
+
+_P = 2**255 - 19
+_L = 2**252 + 27742317777372353535851937790883648493
+_D = (-121665 * pow(121666, _P - 2, _P)) % _P
+_I = pow(2, (_P - 1) // 4, _P)
+
+
+def _sha512(data: bytes) -> bytes:
+    return hashlib.sha512(data).digest()
+
+
+def _recover_x(y: int, sign: int) -> int:
+    if y >= _P:
+        raise CryptoError("invalid point encoding")
+    x2 = (y * y - 1) * pow(_D * y * y + 1, _P - 2, _P) % _P
+    if x2 == 0:
+        if sign:
+            raise CryptoError("invalid point encoding")
+        return 0
+    x = pow(x2, (_P + 3) // 8, _P)
+    if (x * x - x2) % _P != 0:
+        x = x * _I % _P
+    if (x * x - x2) % _P != 0:
+        raise CryptoError("invalid point encoding")
+    if x & 1 != sign:
+        x = _P - x
+    return x
+
+
+# Points are stored in extended homogeneous coordinates (X, Y, Z, T)
+# with x = X/Z, y = Y/Z, x*y = T/Z.
+_BASE_Y = 4 * pow(5, _P - 2, _P) % _P
+_BASE_X = _recover_x(_BASE_Y, 0)
+_BASE = (_BASE_X, _BASE_Y, 1, _BASE_X * _BASE_Y % _P)
+_IDENTITY = (0, 1, 1, 0)
+
+
+def _point_add(p, q):
+    x1, y1, z1, t1 = p
+    x2, y2, z2, t2 = q
+    a = (y1 - x1) * (y2 - x2) % _P
+    b = (y1 + x1) * (y2 + x2) % _P
+    c = 2 * t1 * t2 * _D % _P
+    d = 2 * z1 * z2 % _P
+    e = b - a
+    f = d - c
+    g = d + c
+    h = b + a
+    return (e * f % _P, g * h % _P, f * g % _P, e * h % _P)
+
+
+def _point_mul(scalar: int, point):
+    result = _IDENTITY
+    addend = point
+    while scalar:
+        if scalar & 1:
+            result = _point_add(result, addend)
+        addend = _point_add(addend, addend)
+        scalar >>= 1
+    return result
+
+
+def _point_equal(p, q) -> bool:
+    x1, y1, z1, _ = p
+    x2, y2, z2, _ = q
+    if (x1 * z2 - x2 * z1) % _P != 0:
+        return False
+    return (y1 * z2 - y2 * z1) % _P == 0
+
+
+def _point_compress(point) -> bytes:
+    x, y, z, _ = point
+    zinv = pow(z, _P - 2, _P)
+    x = x * zinv % _P
+    y = y * zinv % _P
+    return (y | ((x & 1) << 255)).to_bytes(32, "little")
+
+
+def _point_decompress(data: bytes):
+    if len(data) != 32:
+        raise CryptoError("invalid point encoding length")
+    encoded = int.from_bytes(data, "little")
+    sign = encoded >> 255
+    y = encoded & ((1 << 255) - 1)
+    x = _recover_x(y, sign)
+    return (x, y, 1, x * y % _P)
+
+
+def _secret_expand(secret: bytes) -> tuple[int, bytes]:
+    if len(secret) != KEY_SIZE:
+        raise CryptoError(f"Ed25519 secret must be {KEY_SIZE} bytes, got {len(secret)}")
+    h = _sha512(secret)
+    a = int.from_bytes(h[:32], "little")
+    a &= (1 << 254) - 8
+    a |= 1 << 254
+    return a, h[32:]
+
+
+def generate_private_key() -> bytes:
+    """Generate a fresh Ed25519 seed (private key)."""
+    return random_bytes(KEY_SIZE)
+
+
+def public_key(private_key: bytes) -> bytes:
+    """Derive the 32-byte public key from a private seed."""
+    a, _ = _secret_expand(private_key)
+    return _point_compress(_point_mul(a, _BASE))
+
+
+def generate_keypair() -> tuple[bytes, bytes]:
+    """Return a fresh ``(private_key, public_key)`` pair."""
+    private = generate_private_key()
+    return private, public_key(private)
+
+
+def sign(private_key: bytes, message: bytes) -> bytes:
+    """Produce a 64-byte Ed25519 signature over ``message``."""
+    a, prefix = _secret_expand(private_key)
+    public = _point_compress(_point_mul(a, _BASE))
+    r = int.from_bytes(_sha512(prefix + message), "little") % _L
+    big_r = _point_compress(_point_mul(r, _BASE))
+    h = int.from_bytes(_sha512(big_r + public + message), "little") % _L
+    s = (r + h * a) % _L
+    return big_r + s.to_bytes(32, "little")
+
+
+def verify(public: bytes, message: bytes, signature: bytes) -> bool:
+    """Check an Ed25519 signature; returns True/False (never raises on bad sig)."""
+    if len(public) != KEY_SIZE or len(signature) != SIGNATURE_SIZE:
+        return False
+    try:
+        point_a = _point_decompress(public)
+        point_r = _point_decompress(signature[:32])
+    except CryptoError:
+        return False
+    s = int.from_bytes(signature[32:], "little")
+    if s >= _L:
+        return False
+    h = int.from_bytes(_sha512(signature[:32] + public + message), "little") % _L
+    left = _point_mul(s, _BASE)
+    right = _point_add(point_r, _point_mul(h, point_a))
+    return _point_equal(left, right)
+
+
+def verify_strict(public: bytes, message: bytes, signature: bytes) -> None:
+    """Like :func:`verify` but raises :class:`SignatureError` on failure."""
+    if not verify(public, message, signature):
+        raise SignatureError("Ed25519 signature verification failed")

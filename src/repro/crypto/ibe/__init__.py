@@ -1,0 +1,39 @@
+"""Identity-based encryption backends.
+
+Three interchangeable backends implement the same interface
+(:mod:`repro.crypto.ibe.interface`):
+
+* :mod:`repro.crypto.ibe.boneh_franklin` -- the real Boneh-Franklin scheme
+  over the BN254 pairing, with ciphertext anonymity (§4.1, §4.3 of the
+  paper).
+* :mod:`repro.crypto.ibe.anytrust` -- the paper's Anytrust-IBE construction
+  (§4.2, Appendix A): master public keys from n PKGs are summed for
+  encryption and the user's n identity keys are summed for decryption, so
+  one honest PKG suffices.
+* :mod:`repro.crypto.ibe.simulated` -- a functionally equivalent oracle
+  backend with no public-key math, used only to drive large-scale protocol
+  simulations and benchmark workloads at speeds a pure-Python pairing cannot
+  reach.  It is clearly marked insecure.
+"""
+
+from repro.crypto.ibe.interface import IbeCiphertext, IbeScheme
+from repro.crypto.ibe.boneh_franklin import (
+    BonehFranklinIbe,
+    IbeMasterKeyPair,
+    IbePrivateKey,
+    IBE_OVERHEAD,
+)
+from repro.crypto.ibe.anytrust import AnytrustIbe
+from repro.crypto.ibe.simulated import SimulatedIbe, SimulatedPkgOracle
+
+__all__ = [
+    "IbeCiphertext",
+    "IbeScheme",
+    "BonehFranklinIbe",
+    "IbeMasterKeyPair",
+    "IbePrivateKey",
+    "IBE_OVERHEAD",
+    "AnytrustIbe",
+    "SimulatedIbe",
+    "SimulatedPkgOracle",
+]

@@ -1,0 +1,69 @@
+"""Anytrust-IBE: distributing the PKG across n servers (§4.2, Appendix A).
+
+The construction is the paper's: encryption uses the *sum* of all PKGs'
+master public keys, and decryption uses the *sum* of the user's identity
+private keys obtained from each PKG.  Because
+
+    e(sum_i(s_i * H1(id)), U) = e(H1(id), sum_i(s_i * P2))^r
+
+the ciphertext is exactly a Boneh-Franklin ciphertext under the aggregate
+key, so the size and decryption cost are independent of the number of PKGs
+-- the efficiency property the paper highlights over onion-encrypting once
+per PKG.  Privacy holds as long as any single master secret stays unknown
+(proof in Appendix A of the paper).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.ibe.boneh_franklin import BonehFranklinIbe, IbeMasterKeyPair, IbePrivateKey
+from repro.crypto.ibe.interface import IbeCiphertext, IbeScheme
+from repro.errors import CryptoError
+
+
+class AnytrustIbe:
+    """Convenience wrapper driving a backend in the anytrust configuration.
+
+    The wrapper does not hold any key material itself: PKG servers each hold
+    one :class:`IbeMasterKeyPair` and clients pass the full list of per-PKG
+    public keys / private keys to the combine helpers.
+    """
+
+    def __init__(self, backend: IbeScheme | None = None) -> None:
+        self.backend = backend if backend is not None else BonehFranklinIbe()
+
+    # -- PKG side ------------------------------------------------------
+    def generate_pkg_keypairs(self, count: int, seeds: list[bytes] | None = None) -> list[IbeMasterKeyPair]:
+        """Generate one independent master key pair per PKG."""
+        if count < 1:
+            raise CryptoError("need at least one PKG")
+        if seeds is not None and len(seeds) != count:
+            raise CryptoError("seed count does not match PKG count")
+        keypairs = []
+        for index in range(count):
+            seed = seeds[index] if seeds is not None else None
+            keypairs.append(self.backend.generate_master_keypair(seed))
+        return keypairs
+
+    def extract_share(self, master: IbeMasterKeyPair, identity: str) -> IbePrivateKey:
+        """One PKG's share of the user's identity private key."""
+        return self.backend.extract(master.secret, identity)
+
+    # -- client side ---------------------------------------------------
+    def aggregate_public(self, publics: list):
+        """The encryption key: the sum of all PKG master public keys."""
+        return self.backend.combine_master_publics(publics)
+
+    def aggregate_private(self, shares: list[IbePrivateKey]) -> IbePrivateKey:
+        """The decryption key: the sum of all per-PKG private key shares."""
+        return self.backend.combine_private_keys(shares)
+
+    def encrypt(self, publics: list, identity: str, message: bytes) -> IbeCiphertext:
+        """Encrypt to ``identity`` under the aggregate of ``publics``."""
+        return self.backend.encrypt(self.aggregate_public(publics), identity, message)
+
+    def decrypt(self, shares: list[IbePrivateKey], ciphertext: IbeCiphertext) -> bytes | None:
+        """Decrypt with the aggregate of the per-PKG private key shares."""
+        return self.backend.decrypt(self.aggregate_private(shares), ciphertext)
+
+    def ciphertext_overhead(self) -> int:
+        return self.backend.ciphertext_overhead()

@@ -1,0 +1,112 @@
+"""X25519 Diffie-Hellman key exchange (RFC 7748), pure Python.
+
+Used for the ephemeral ``DialingKey`` exchanged inside friend requests
+(§4.7) and for the per-hop onion keys of the mixnet (Algorithm 1, step 3).
+"""
+
+from __future__ import annotations
+
+from repro.errors import CryptoError
+from repro.utils.rng import random_bytes
+
+KEY_SIZE = 32
+
+_P = 2**255 - 19
+_A24 = 121665
+_BASE_POINT_U = 9
+
+
+def _decode_scalar(scalar: bytes) -> int:
+    if len(scalar) != KEY_SIZE:
+        raise CryptoError(f"X25519 scalar must be {KEY_SIZE} bytes, got {len(scalar)}")
+    raw = bytearray(scalar)
+    raw[0] &= 248
+    raw[31] &= 127
+    raw[31] |= 64
+    return int.from_bytes(raw, "little")
+
+
+def _decode_u(u: bytes) -> int:
+    if len(u) != KEY_SIZE:
+        raise CryptoError(f"X25519 point must be {KEY_SIZE} bytes, got {len(u)}")
+    raw = bytearray(u)
+    raw[31] &= 127
+    return int.from_bytes(raw, "little") % _P
+
+
+def _encode_u(u: int) -> bytes:
+    return (u % _P).to_bytes(KEY_SIZE, "little")
+
+
+def _montgomery_ladder(k: int, u: int) -> int:
+    x1 = u
+    x2, z2 = 1, 0
+    x3, z3 = u, 1
+    swap = 0
+    for t in range(254, -1, -1):
+        k_t = (k >> t) & 1
+        swap ^= k_t
+        if swap:
+            x2, x3 = x3, x2
+            z2, z3 = z3, z2
+        swap = k_t
+
+        a = (x2 + z2) % _P
+        aa = (a * a) % _P
+        b = (x2 - z2) % _P
+        bb = (b * b) % _P
+        e = (aa - bb) % _P
+        c = (x3 + z3) % _P
+        d = (x3 - z3) % _P
+        da = (d * a) % _P
+        cb = (c * b) % _P
+        x3 = (da + cb) % _P
+        x3 = (x3 * x3) % _P
+        z3 = (da - cb) % _P
+        z3 = (z3 * z3 * x1) % _P
+        x2 = (aa * bb) % _P
+        z2 = (e * (aa + _A24 * e)) % _P
+    if swap:
+        x2, x3 = x3, x2
+        z2, z3 = z3, z2
+    return (x2 * pow(z2, _P - 2, _P)) % _P
+
+
+def scalar_mult(scalar: bytes, point: bytes) -> bytes:
+    """Multiply a curve point (u-coordinate) by a scalar."""
+    k = _decode_scalar(scalar)
+    u = _decode_u(point)
+    return _encode_u(_montgomery_ladder(k, u))
+
+
+def scalar_base_mult(scalar: bytes) -> bytes:
+    """Multiply the standard base point by a scalar (derive a public key)."""
+    return scalar_mult(scalar, _encode_u(_BASE_POINT_U))
+
+
+def generate_private_key() -> bytes:
+    """Generate a fresh X25519 private key."""
+    return random_bytes(KEY_SIZE)
+
+
+def public_key(private_key: bytes) -> bytes:
+    """Derive the public key for a private key."""
+    return scalar_base_mult(private_key)
+
+
+def shared_secret(private_key: bytes, peer_public_key: bytes) -> bytes:
+    """Compute the raw Diffie-Hellman shared secret.
+
+    Raises :class:`~repro.errors.CryptoError` if the result is the all-zero
+    point (contributory behaviour check).
+    """
+    secret = scalar_mult(private_key, peer_public_key)
+    if secret == b"\x00" * KEY_SIZE:
+        raise CryptoError("X25519 produced the all-zero shared secret")
+    return secret
+
+
+def generate_keypair() -> tuple[bytes, bytes]:
+    """Return a fresh ``(private_key, public_key)`` pair."""
+    private = generate_private_key()
+    return private, public_key(private)

@@ -1,0 +1,5 @@
+"""Simulated email substrate used for PKG account registration (§4.6)."""
+
+from repro.emailsim.provider import EmailMessage, EmailProvider, EmailNetwork
+
+__all__ = ["EmailMessage", "EmailProvider", "EmailNetwork"]

@@ -1,0 +1,5 @@
+"""The untrusted entry server: round coordination and request batching (§7)."""
+
+from repro.entry.server import EntryServer, RoundAnnouncement
+
+__all__ = ["EntryServer", "RoundAnnouncement"]

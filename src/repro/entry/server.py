@@ -1,0 +1,146 @@
+"""The entry server: announces rounds, batches client requests (§7).
+
+The paper's prototype separates an *entry server* from the mixnet and PKGs.
+Its jobs are to hold the (many) client connections, announce when a new
+round starts -- including everything a client needs to participate: the
+round number, the mixnet round public keys, the PKG round master public
+keys, the number of mailboxes, and the expected request size -- and to
+aggregate all client envelopes into a single batch handed to the first mix
+server.  The entry server is untrusted: it sees only onion-encrypted,
+fixed-size envelopes, one per client per round.
+
+As an extension (§9, "DoS attacks"), the entry server can require a valid
+blind-signature rate token per submitted request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.crypto import blind
+from repro.errors import RateLimitError, RoundError
+from repro.mixnet.chain import MixChain, RoundResult
+from repro.pkg.coordinator import PkgCoordinator
+
+
+@dataclass
+class RoundAnnouncement:
+    """Everything a client needs to participate in one round."""
+
+    protocol: str
+    round_number: int
+    mix_public_keys: list[bytes]
+    pkg_public_keys: list
+    mailbox_count: int
+    request_body_length: int
+
+
+@dataclass
+class _OpenRound:
+    announcement: RoundAnnouncement
+    envelopes: list[bytes] = field(default_factory=list)
+    submitted_by: set[str] = field(default_factory=set)
+
+
+class EntryServer:
+    """Coordinates rounds for both protocols and feeds batches to the mixnet."""
+
+    def __init__(
+        self,
+        mix_chain: MixChain,
+        pkg_coordinator: PkgCoordinator | None = None,
+        rate_limit_verifier: blind.TokenVerifier | None = None,
+    ) -> None:
+        self.mix_chain = mix_chain
+        self.pkg_coordinator = pkg_coordinator
+        self.rate_limit_verifier = rate_limit_verifier
+        self._open_rounds: dict[tuple[str, int], _OpenRound] = {}
+        self.batches_processed = 0
+
+    # -- round lifecycle ---------------------------------------------------
+    def announce_round(
+        self,
+        protocol: str,
+        round_number: int,
+        mailbox_count: int,
+        request_body_length: int,
+    ) -> RoundAnnouncement:
+        """Open a round: collect server round keys and publish the parameters."""
+        key = (protocol, round_number)
+        if key in self._open_rounds:
+            return self._open_rounds[key].announcement
+
+        mix_publics = self.mix_chain.open_round(round_number)
+        pkg_publics: list = []
+        if protocol == "add-friend" and self.pkg_coordinator is not None:
+            pkg_publics = list(self.pkg_coordinator.open_round(round_number).public_keys)
+
+        announcement = RoundAnnouncement(
+            protocol=protocol,
+            round_number=round_number,
+            mix_public_keys=mix_publics,
+            pkg_public_keys=pkg_publics,
+            mailbox_count=mailbox_count,
+            request_body_length=request_body_length,
+        )
+        self._open_rounds[key] = _OpenRound(announcement=announcement)
+        return announcement
+
+    def current_announcement(self, protocol: str, round_number: int) -> RoundAnnouncement:
+        key = (protocol, round_number)
+        if key not in self._open_rounds:
+            raise RoundError(f"{protocol} round {round_number} is not open")
+        return self._open_rounds[key].announcement
+
+    # -- request submission ---------------------------------------------------
+    def submit(
+        self,
+        protocol: str,
+        round_number: int,
+        client_id: str,
+        envelope: bytes,
+        rate_token: blind.RateToken | None = None,
+    ) -> None:
+        """Accept one fixed-size envelope from a client for an open round."""
+        key = (protocol, round_number)
+        if key not in self._open_rounds:
+            raise RoundError(f"{protocol} round {round_number} is not open")
+        open_round = self._open_rounds[key]
+        if client_id in open_round.submitted_by:
+            # One request per client per round: duplicates are dropped, which
+            # also defeats naive replay flooding.
+            return
+        if self.rate_limit_verifier is not None:
+            if rate_token is None:
+                raise RateLimitError("round requires a rate token")
+            self.rate_limit_verifier.spend(rate_token)
+        open_round.submitted_by.add(client_id)
+        open_round.envelopes.append(envelope)
+
+    def submissions(self, protocol: str, round_number: int) -> int:
+        key = (protocol, round_number)
+        if key not in self._open_rounds:
+            return 0
+        return len(self._open_rounds[key].envelopes)
+
+    # -- closing a round ----------------------------------------------------------
+    def close_round(self, protocol: str, round_number: int) -> RoundResult:
+        """Hand the batch to the mix chain and return the resulting mailboxes."""
+        key = (protocol, round_number)
+        if key not in self._open_rounds:
+            raise RoundError(f"{protocol} round {round_number} is not open")
+        open_round = self._open_rounds.pop(key)
+        announcement = open_round.announcement
+        result = self.mix_chain.run_round(
+            round_number=round_number,
+            protocol=protocol,
+            envelopes=open_round.envelopes,
+            mailbox_count=announcement.mailbox_count,
+            payload_body_length=announcement.request_body_length,
+        )
+        # Forward secrecy: the mixnet round keys are erased as soon as the
+        # batch has been processed; PKG master secrets are erased by the
+        # deployment once clients have fetched their round keys.
+        self.mix_chain.close_round(round_number)
+        self.batches_processed += 1
+        return result

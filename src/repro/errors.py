@@ -1,0 +1,58 @@
+"""Exception hierarchy for the Alpenhorn reproduction.
+
+All library errors derive from :class:`AlpenhornError` so applications can
+catch everything from this package with one ``except`` clause, while tests
+can assert on precise subclasses.
+"""
+
+
+class AlpenhornError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class CryptoError(AlpenhornError):
+    """A cryptographic operation failed (bad key, bad point, bad length)."""
+
+
+class DecryptionError(CryptoError):
+    """Authenticated decryption failed (wrong key or tampered ciphertext)."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed to verify."""
+
+
+class SerializationError(AlpenhornError):
+    """A wire-format message could not be parsed."""
+
+
+class RegistrationError(AlpenhornError):
+    """PKG registration failed (unconfirmed, locked, or already taken)."""
+
+
+class ExtractionError(AlpenhornError):
+    """IBE private-key extraction was refused by a PKG."""
+
+
+class LockoutError(RegistrationError):
+    """The account is inside its lockout window and cannot be re-registered."""
+
+
+class RoundError(AlpenhornError):
+    """A request referenced a round that is not open (or already closed)."""
+
+
+class MixnetError(AlpenhornError):
+    """The mixnet chain rejected or failed to process a batch."""
+
+
+class ProtocolError(AlpenhornError):
+    """A client-side protocol invariant was violated."""
+
+
+class ConfigurationError(AlpenhornError):
+    """The deployment or client configuration is invalid."""
+
+
+class RateLimitError(AlpenhornError):
+    """The entry server rejected a request for lack of a valid rate token."""

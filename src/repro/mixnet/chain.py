@@ -1,0 +1,153 @@
+"""The full mix chain: drives a batch through every server and builds mailboxes.
+
+The chain is the anytrust core of Alpenhorn's metadata privacy: the batch of
+fixed-size envelopes submitted by the entry server is peeled, padded with
+noise, and shuffled by each server in turn.  After the last server the
+payloads are plaintext ``(mailbox_id, body)`` pairs; the chain groups them
+into mailboxes (dropping cover traffic) and, for the dialing protocol,
+encodes each mailbox as a Bloom filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MixnetError
+from repro.mixnet.mailbox import (
+    COVER_MAILBOX_ID,
+    AddFriendMailbox,
+    DialingMailbox,
+    MailboxSet,
+)
+from repro.mixnet.noise import NoiseConfig
+from repro.mixnet.server import MixServer, decode_inner_payload
+from repro.errors import SerializationError
+
+
+@dataclass
+class RoundResult:
+    """Everything produced by one pass through the chain."""
+
+    round_number: int
+    protocol: str
+    mailboxes: MailboxSet
+    submitted: int
+    delivered_real: int
+    dropped: int
+    noise_added: int
+    cover_dropped: int
+    per_server_noise: list[int] = field(default_factory=list)
+
+
+class MixChain:
+    """An ordered chain of mix servers ending in mailbox construction."""
+
+    def __init__(self, servers: list[MixServer], noise_config: NoiseConfig | None = None) -> None:
+        if not servers:
+            raise MixnetError("mix chain needs at least one server")
+        self.servers = servers
+        self.noise_config = noise_config if noise_config is not None else NoiseConfig()
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    # -- round key management ------------------------------------------------
+    def open_round(self, round_number: int) -> list[bytes]:
+        """Open the round on every server; returns their round public keys."""
+        return [server.open_round(round_number) for server in self.servers]
+
+    def round_public_keys(self, round_number: int) -> list[bytes]:
+        return [server.round_public_key(round_number) for server in self.servers]
+
+    def close_round(self, round_number: int) -> None:
+        for server in self.servers:
+            server.close_round(round_number)
+
+    # -- the round itself -------------------------------------------------------
+    def run_round(
+        self,
+        round_number: int,
+        protocol: str,
+        envelopes: list[bytes],
+        mailbox_count: int,
+        payload_body_length: int,
+        bloom_false_positive_rate: float = 1e-10,
+    ) -> RoundResult:
+        """Push a batch through every server and build the round's mailboxes."""
+        if protocol not in ("add-friend", "dialing"):
+            raise MixnetError(f"unknown protocol {protocol!r}")
+
+        batch = list(envelopes)
+        per_server_noise: list[int] = []
+        dropped = 0
+        for index, server in enumerate(self.servers):
+            downstream = [
+                s.round_public_key(round_number) for s in self.servers[index + 1 :]
+            ]
+            batch = server.process_batch(
+                round_number=round_number,
+                protocol=protocol,
+                envelopes=batch,
+                downstream_publics=downstream,
+                mailbox_count=mailbox_count,
+                noise_config=self.noise_config,
+                noise_body_length=payload_body_length,
+            )
+            per_server_noise.append(server.last_stats.noise_added)
+            dropped += server.last_stats.dropped
+
+        # After the last server the batch holds plaintext inner payloads.
+        mailboxes = MailboxSet(
+            round_number=round_number, protocol=protocol, mailbox_count=mailbox_count
+        )
+        delivered = 0
+        cover_dropped = 0
+        tokens_by_mailbox: dict[int, list[bytes]] = {}
+        for payload in batch:
+            try:
+                mailbox_id, body = decode_inner_payload(payload)
+            except SerializationError:
+                dropped += 1
+                continue
+            if mailbox_id == COVER_MAILBOX_ID:
+                cover_dropped += 1
+                continue
+            if mailbox_id >= mailbox_count:
+                dropped += 1
+                continue
+            delivered += 1
+            if protocol == "add-friend":
+                mailboxes.addfriend.setdefault(
+                    mailbox_id, AddFriendMailbox(mailbox_id=mailbox_id)
+                ).add(body)
+            else:
+                tokens_by_mailbox.setdefault(mailbox_id, []).append(body)
+
+        if protocol == "dialing":
+            for mailbox_id in range(mailbox_count):
+                tokens = tokens_by_mailbox.get(mailbox_id, [])
+                mailboxes.dialing[mailbox_id] = DialingMailbox.build(
+                    mailbox_id, tokens, bloom_false_positive_rate
+                )
+        else:
+            for mailbox_id in range(mailbox_count):
+                mailboxes.addfriend.setdefault(
+                    mailbox_id, AddFriendMailbox(mailbox_id=mailbox_id)
+                )
+
+        # "delivered" counts every payload that landed in a mailbox, noise
+        # included (noise is always addressed to a real mailbox).  The real
+        # request count is what remains after subtracting the noise that
+        # made it through.
+        total_noise = sum(per_server_noise)
+        return RoundResult(
+            round_number=round_number,
+            protocol=protocol,
+            mailboxes=mailboxes,
+            submitted=len(envelopes),
+            delivered_real=max(0, delivered - total_noise),
+            dropped=dropped,
+            noise_added=total_noise,
+            cover_dropped=cover_dropped,
+            per_server_noise=per_server_noise,
+        )

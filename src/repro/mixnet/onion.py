@@ -1,0 +1,86 @@
+"""Onion encryption of client requests (Algorithm 1, step 3).
+
+A client wraps its innermost payload once per mix server, from the last
+server to the first: for server *i* it generates an ephemeral X25519 key
+pair, derives a shared key with the server's per-round public key, and seals
+the previous layer.  Each layer therefore looks like::
+
+    ephemeral_public_key (32 bytes) || AEAD(seal of inner layer)
+
+and a server can only recover the next layer with its own round private
+key.  The per-layer overhead is constant, so all requests in a round have
+identical sizes and are indistinguishable on the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import x25519
+from repro.crypto.aead import AEAD_OVERHEAD, open_sealed, seal
+from repro.crypto.hashing import hkdf
+from repro.errors import DecryptionError, MixnetError
+
+_LAYER_KEY_INFO = b"alpenhorn/mixnet/onion-layer"
+
+LAYER_OVERHEAD = x25519.KEY_SIZE + AEAD_OVERHEAD
+
+
+@dataclass(frozen=True)
+class OnionKeyPair:
+    """A mix server's key pair for one round."""
+
+    private: bytes
+    public: bytes
+
+    @staticmethod
+    def generate() -> "OnionKeyPair":
+        private, public = x25519.generate_keypair()
+        return OnionKeyPair(private=private, public=public)
+
+
+def _layer_key(shared_secret: bytes, ephemeral_public: bytes, server_public: bytes) -> bytes:
+    return hkdf(
+        shared_secret,
+        salt=ephemeral_public + server_public,
+        info=_LAYER_KEY_INFO,
+        length=32,
+    )
+
+
+def onion_overhead(num_servers: int) -> int:
+    """Total bytes added to a payload by onion-wrapping for a chain."""
+    return num_servers * LAYER_OVERHEAD
+
+
+def wrap_onion(payload: bytes, server_publics: list[bytes]) -> bytes:
+    """Wrap ``payload`` for a chain of servers (first server outermost)."""
+    if not server_publics:
+        raise MixnetError("cannot onion-wrap for an empty chain")
+    wrapped = payload
+    for server_public in reversed(server_publics):
+        ephemeral_private, ephemeral_public = x25519.generate_keypair()
+        shared = x25519.shared_secret(ephemeral_private, server_public)
+        key = _layer_key(shared, ephemeral_public, server_public)
+        wrapped = ephemeral_public + seal(key, wrapped, associated_data=ephemeral_public)
+    return wrapped
+
+
+def unwrap_layer(envelope: bytes, server_keypair: OnionKeyPair) -> bytes:
+    """Peel one onion layer with the server's round private key.
+
+    Raises :class:`MixnetError` on malformed or undecryptable envelopes;
+    servers drop such requests rather than aborting the round.
+    """
+    if len(envelope) < LAYER_OVERHEAD:
+        raise MixnetError("onion layer too short")
+    ephemeral_public = envelope[: x25519.KEY_SIZE]
+    sealed = envelope[x25519.KEY_SIZE :]
+    try:
+        shared = x25519.shared_secret(server_keypair.private, ephemeral_public)
+        key = _layer_key(shared, ephemeral_public, server_keypair.public)
+        return open_sealed(key, sealed, associated_data=ephemeral_public)
+    except (DecryptionError, Exception) as exc:
+        if isinstance(exc, MixnetError):
+            raise
+        raise MixnetError(f"failed to unwrap onion layer: {exc}") from exc

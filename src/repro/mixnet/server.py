@@ -1,0 +1,130 @@
+"""A single mix server: peel, add noise, shuffle, forward (§6).
+
+Each server in the chain performs three steps on every batch it receives:
+
+1. decrypt its onion layer from every envelope (dropping malformed ones),
+2. append its own noise envelopes, wrapped for the remaining servers, and
+3. apply a fresh random permutation before handing the batch on.
+
+The per-round statistics (how many requests were dropped, how much noise
+was added) are kept for the latency model and for failure-injection tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mixnet.mailbox import COVER_MAILBOX_ID
+from repro.mixnet.noise import NoiseConfig, noise_counts_per_mailbox
+from repro.mixnet.onion import OnionKeyPair, unwrap_layer, wrap_onion
+from repro.errors import MixnetError, RoundError
+from repro.utils.rng import DeterministicRng, random_bytes
+from repro.utils.serialization import Packer
+
+
+@dataclass
+class MixServerStats:
+    """Per-round accounting for one server."""
+
+    received: int = 0
+    dropped: int = 0
+    noise_added: int = 0
+
+
+def encode_inner_payload(mailbox_id: int, body: bytes) -> bytes:
+    """The innermost plaintext: destination mailbox plus the request body."""
+    return Packer().u32(mailbox_id).bytes(body).pack()
+
+
+def decode_inner_payload(payload: bytes) -> tuple[int, bytes]:
+    from repro.utils.serialization import Unpacker
+
+    unpacker = Unpacker(payload)
+    mailbox_id = unpacker.u32()
+    body = unpacker.bytes()
+    unpacker.done()
+    return mailbox_id, body
+
+
+class MixServer:
+    """One server in the anytrust mix chain."""
+
+    def __init__(self, name: str, rng: DeterministicRng | None = None) -> None:
+        self.name = name
+        self.rng = rng if rng is not None else DeterministicRng(random_bytes(32))
+        self._round_keys: dict[int, OnionKeyPair] = {}
+        self.last_stats: MixServerStats = MixServerStats()
+        # Failure-injection switches used by the test suite.
+        self.drop_all_noise = False
+        self.drop_fraction = 0.0
+
+    # -- round keys --------------------------------------------------------
+    def open_round(self, round_number: int) -> bytes:
+        """Generate the round's onion key pair; returns the public key."""
+        if round_number not in self._round_keys:
+            self._round_keys[round_number] = OnionKeyPair.generate()
+        return self._round_keys[round_number].public
+
+    def round_public_key(self, round_number: int) -> bytes:
+        keypair = self._round_keys.get(round_number)
+        if keypair is None:
+            raise RoundError(f"round {round_number} is not open on {self.name}")
+        return keypair.public
+
+    def close_round(self, round_number: int) -> None:
+        """Erase the round's private key (forward secrecy)."""
+        self._round_keys.pop(round_number, None)
+
+    def has_round_key(self, round_number: int) -> bool:
+        return round_number in self._round_keys
+
+    # -- batch processing ----------------------------------------------------
+    def _make_noise_payload(self, protocol: str, mailbox_id: int, body_length: int) -> bytes:
+        """A noise request: random bytes of the right shape for the protocol."""
+        return encode_inner_payload(mailbox_id, random_bytes(body_length))
+
+    def process_batch(
+        self,
+        round_number: int,
+        protocol: str,
+        envelopes: list[bytes],
+        downstream_publics: list[bytes],
+        mailbox_count: int,
+        noise_config: NoiseConfig,
+        noise_body_length: int,
+    ) -> list[bytes]:
+        """Peel one layer from a batch, add noise, shuffle, and return it."""
+        keypair = self._round_keys.get(round_number)
+        if keypair is None:
+            raise RoundError(f"round {round_number} is not open on {self.name}")
+
+        stats = MixServerStats(received=len(envelopes))
+        peeled: list[bytes] = []
+        for envelope in envelopes:
+            try:
+                peeled.append(unwrap_layer(envelope, keypair))
+            except MixnetError:
+                stats.dropped += 1
+
+        if self.drop_fraction > 0.0:
+            keep = []
+            for item in peeled:
+                if self.rng.uniform() < self.drop_fraction:
+                    stats.dropped += 1
+                else:
+                    keep.append(item)
+            peeled = keep
+
+        if not self.drop_all_noise:
+            counts = noise_counts_per_mailbox(noise_config, protocol, mailbox_count, self.rng)
+            for mailbox_id, count in enumerate(counts):
+                for _ in range(count):
+                    payload = self._make_noise_payload(protocol, mailbox_id, noise_body_length)
+                    if downstream_publics:
+                        payload = wrap_onion(payload, downstream_publics)
+                    peeled.append(payload)
+                    stats.noise_added += 1
+
+        self.rng.shuffle(peeled)
+        self.last_stats = stats
+        return peeled

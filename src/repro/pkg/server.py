@@ -1,0 +1,169 @@
+"""A single PKG server: per-round master keys, extraction, attestations.
+
+Each PKG holds a long-term BLS signing key (whose public half is baked into
+the client configuration, like a CA certificate) and, for every add-friend
+round, a short-lived IBE master key pair.  A client that authenticates with
+its registered long-term Ed25519 key receives:
+
+* its identity private-key *share* for the round (to be summed with the
+  shares from the other PKGs -- Anytrust-IBE), and
+* a BLS signature over ``(email, signing_key, round)`` which, aggregated
+  across PKGs, becomes the ``PKGSigs`` field of friend requests (§4.5).
+
+Forward secrecy (§4.4): when a round closes, the PKG deletes that round's
+master secret, so a later compromise of every PKG cannot recover the
+identity keys used in past rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto import bls, ed25519
+from repro.crypto.ibe.interface import IbeScheme
+from repro.emailsim.provider import EmailNetwork
+from repro.errors import ExtractionError, RoundError
+from repro.pkg.registration import RegistrationManager
+from repro.utils.serialization import Packer
+
+
+def pkg_statement(email: str, signing_key: bytes, round_number: int) -> bytes:
+    """The statement each PKG signs when handing out a round key (§4.5)."""
+    return (
+        Packer()
+        .str("alpenhorn/pkg-attestation")
+        .str(email.lower())
+        .bytes(signing_key)
+        .u64(round_number)
+        .pack()
+    )
+
+
+def extraction_request_statement(email: str, round_number: int) -> bytes:
+    """The statement a user signs to authenticate a key-extraction request."""
+    return (
+        Packer()
+        .str("alpenhorn/extraction-request")
+        .str(email.lower())
+        .u64(round_number)
+        .pack()
+    )
+
+
+@dataclass
+class ExtractionResponse:
+    """What one PKG returns for a key-extraction request."""
+
+    pkg_name: str
+    round_number: int
+    private_key_share: object  # backend-specific identity private key share
+    attestation: object  # BLS signature (G1 point) over pkg_statement(...)
+
+
+class PkgServer:
+    """One private key generator in the anytrust set."""
+
+    def __init__(
+        self,
+        name: str,
+        ibe_backend: IbeScheme,
+        email_network: EmailNetwork,
+        bls_seed: bytes | None = None,
+    ) -> None:
+        self.name = name
+        self.ibe = ibe_backend
+        self.registration = RegistrationManager(pkg_name=name, email_network=email_network)
+        self.signing_keypair = bls.generate_keypair(seed=bls_seed)
+        # round -> master key pair; closed rounds have their secrets deleted.
+        self._round_masters: dict[int, object] = {}
+        self._closed_rounds: set[int] = set()
+        self.extractions_served = 0
+
+    # -- identity ---------------------------------------------------------
+    @property
+    def bls_public_key(self):
+        """Long-term attestation key, distributed with the client software."""
+        return self.signing_keypair.public
+
+    # -- registration (delegates to the registration manager) -------------
+    def begin_registration(self, email: str, signing_key: bytes, now: float) -> None:
+        self.registration.begin_registration(email, signing_key, now)
+
+    def confirm_registration(self, email: str, token: str, now: float) -> None:
+        self.registration.confirm_registration(email, token, now)
+
+    def deregister(self, email: str, signature: bytes, now: float) -> None:
+        """Deregister an account; must be signed with the registered key (§9)."""
+        record = self.registration.lookup(email)
+        if record is None:
+            raise ExtractionError(f"{email} is not registered")
+        statement = Packer().str("alpenhorn/deregister").str(email.lower()).pack()
+        if not ed25519.verify(record.signing_key, statement, signature):
+            raise ExtractionError("deregistration signature invalid")
+        self.registration.deregister(email, now)
+
+    @staticmethod
+    def deregistration_statement(email: str) -> bytes:
+        return Packer().str("alpenhorn/deregister").str(email.lower()).pack()
+
+    # -- round lifecycle ----------------------------------------------------
+    def open_round(self, round_number: int, seed: bytes | None = None):
+        """Generate this round's IBE master key pair; returns the public half."""
+        if round_number in self._closed_rounds:
+            raise RoundError(f"round {round_number} already closed on {self.name}")
+        if round_number not in self._round_masters:
+            self._round_masters[round_number] = self.ibe.generate_master_keypair(seed)
+        return self._round_masters[round_number].public
+
+    def round_public_key(self, round_number: int):
+        master = self._round_masters.get(round_number)
+        if master is None:
+            raise RoundError(f"round {round_number} is not open on {self.name}")
+        return master.public
+
+    def close_round(self, round_number: int) -> None:
+        """Forget the round's master secret (forward secrecy, §4.4)."""
+        self._round_masters.pop(round_number, None)
+        self._closed_rounds.add(round_number)
+
+    def has_master_secret(self, round_number: int) -> bool:
+        """Used by forward-secrecy tests: is the secret still in memory?"""
+        return round_number in self._round_masters
+
+    # -- key extraction -------------------------------------------------------
+    def extract(
+        self,
+        email: str,
+        round_number: int,
+        request_signature: bytes,
+        now: float,
+    ) -> ExtractionResponse:
+        """Hand the user their identity private-key share for one round.
+
+        The request must be signed with the long-term key registered for the
+        email address; this is the automatic second step of authentication
+        described in §4.6.
+        """
+        email = email.lower()
+        record = self.registration.lookup(email)
+        if record is None or record.deregistered_at is not None:
+            raise ExtractionError(f"{email} is not registered with {self.name}")
+        statement = extraction_request_statement(email, round_number)
+        if not ed25519.verify(record.signing_key, statement, request_signature):
+            raise ExtractionError("extraction request signature invalid")
+        master = self._round_masters.get(round_number)
+        if master is None:
+            raise RoundError(f"round {round_number} is not open on {self.name}")
+
+        self.registration.record_extraction(email, now)
+        self.extractions_served += 1
+        share = self.ibe.extract(master.secret, email)
+        attestation = bls.sign(
+            self.signing_keypair.secret, pkg_statement(email, record.signing_key, round_number)
+        )
+        return ExtractionResponse(
+            pkg_name=self.name,
+            round_number=round_number,
+            private_key_share=share,
+            attestation=attestation,
+        )

@@ -1,0 +1,35 @@
+"""Shared pytest fixtures for the Alpenhorn reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.rng import DeterministicRng
+
+
+@pytest.fixture
+def rng() -> DeterministicRng:
+    """A deterministic RNG so tests are reproducible run-to-run."""
+    return DeterministicRng(b"alpenhorn-test-seed")
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow (full-pairing heavy paths)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: slow tests exercising many pairings")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="use --run-slow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -1,0 +1,253 @@
+"""Tests for the BN254 field tower, curve groups, and pairing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.bn254.curve import (
+    G1Point,
+    G2Point,
+    g1_generator,
+    g2_generator,
+    hash_to_g1,
+)
+from repro.crypto.bn254.field import (
+    ATE_LOOP_COUNT,
+    BN_PARAMETER_T,
+    CURVE_ORDER,
+    FIELD_MODULUS,
+    Fq2,
+    Fq6,
+    Fq12,
+    XI,
+    fq_sqrt,
+)
+from repro.crypto.bn254.pairing import multi_pairing, pairing
+from repro.errors import CryptoError
+
+fq2_elements = st.builds(
+    Fq2,
+    st.integers(min_value=0, max_value=FIELD_MODULUS - 1),
+    st.integers(min_value=0, max_value=FIELD_MODULUS - 1),
+)
+
+small_scalars = st.integers(min_value=1, max_value=2**64)
+
+
+class TestParameters:
+    def test_bn_polynomials(self):
+        """p and r must come from the BN parameterisation of t."""
+        t = BN_PARAMETER_T
+        assert FIELD_MODULUS == 36 * t**4 + 36 * t**3 + 24 * t**2 + 6 * t + 1
+        assert CURVE_ORDER == 36 * t**4 + 36 * t**3 + 18 * t**2 + 6 * t + 1
+        assert ATE_LOOP_COUNT == 6 * t + 2
+
+    def test_field_modulus_is_3_mod_4(self):
+        assert FIELD_MODULUS % 4 == 3
+
+    def test_curve_order_divides_cyclotomic(self):
+        assert (FIELD_MODULUS**4 - FIELD_MODULUS**2 + 1) % CURVE_ORDER == 0
+
+    def test_fq_sqrt(self):
+        assert fq_sqrt(4) in (2, FIELD_MODULUS - 2)
+        # A non-residue: -1 is a non-residue when p = 3 (mod 4).
+        assert fq_sqrt(FIELD_MODULUS - 1) is None
+
+
+class TestFq2:
+    @given(fq2_elements, fq2_elements, fq2_elements)
+    @settings(max_examples=30, deadline=None)
+    def test_ring_laws(self, a, b, c):
+        assert (a + b) * c == a * c + b * c
+        assert a * b == b * a
+        assert (a * b) * c == a * (b * c)
+
+    @given(fq2_elements)
+    @settings(max_examples=30, deadline=None)
+    def test_inverse(self, a):
+        if a.is_zero():
+            with pytest.raises(CryptoError):
+                a.inverse()
+        else:
+            assert a * a.inverse() == Fq2.one()
+
+    @given(fq2_elements)
+    @settings(max_examples=30, deadline=None)
+    def test_square_matches_mul(self, a):
+        assert a.square() == a * a
+
+    def test_nonresidue_multiplication(self):
+        a = Fq2(12345, 67890)
+        assert a.mul_by_nonresidue() == a * XI
+
+    @given(fq2_elements)
+    @settings(max_examples=20, deadline=None)
+    def test_sqrt_of_square(self, a):
+        root = a.square().sqrt()
+        assert root is not None
+        assert root.square() == a.square()
+
+    def test_pow_matches_repeated_multiplication(self):
+        a = Fq2(3, 5)
+        assert a.pow(5) == a * a * a * a * a
+
+
+class TestFq6Fq12:
+    def test_fq6_inverse(self):
+        a = Fq6(Fq2(1, 2), Fq2(3, 4), Fq2(5, 6))
+        assert a * a.inverse() == Fq6.one()
+
+    def test_fq6_mul_by_v(self):
+        a = Fq6(Fq2(1, 2), Fq2(3, 4), Fq2(5, 6))
+        v = Fq6(Fq2.zero(), Fq2.one(), Fq2.zero())
+        assert a.mul_by_v() == a * v
+
+    def test_fq12_inverse(self):
+        a = Fq12(
+            Fq6(Fq2(1, 2), Fq2(3, 4), Fq2(5, 6)),
+            Fq6(Fq2(7, 8), Fq2(9, 10), Fq2(11, 12)),
+        )
+        assert a * a.inverse() == Fq12.one()
+
+    def test_fq12_square_matches_mul(self):
+        a = Fq12(
+            Fq6(Fq2(1, 2), Fq2(3, 4), Fq2(5, 6)),
+            Fq6(Fq2(7, 8), Fq2(9, 10), Fq2(11, 12)),
+        )
+        assert a.square() == a * a
+
+    def test_frobenius_is_p_power(self):
+        """x^p computed via Frobenius must equal x.pow(p) (small sanity case)."""
+        a = Fq12.from_w_coefficients([Fq2(3, 1), Fq2(0, 2), Fq2(5, 0), Fq2(1, 1), Fq2(2, 7), Fq2(4, 9)])
+        assert a.frobenius() == a.pow(FIELD_MODULUS)
+
+    def test_frobenius_order_twelve(self):
+        a = Fq12.from_w_coefficients([Fq2(3, 1), Fq2(0, 2), Fq2(5, 0), Fq2(1, 1), Fq2(2, 7), Fq2(4, 9)])
+        assert a.frobenius_power(12) == a
+
+    def test_conjugate_is_frobenius_six(self):
+        a = Fq12.from_w_coefficients([Fq2(3, 1), Fq2(0, 2), Fq2(5, 0), Fq2(1, 1), Fq2(2, 7), Fq2(4, 9)])
+        assert a.conjugate() == a.frobenius_power(6)
+
+    def test_w_coefficient_roundtrip(self):
+        coeffs = [Fq2(i, i + 1) for i in range(6)]
+        assert Fq12.from_w_coefficients(coeffs).w_coefficients() == coeffs
+
+    def test_to_bytes_length(self):
+        assert len(Fq12.one().to_bytes()) == 384
+
+
+class TestG1:
+    def test_generator_on_curve_and_order(self):
+        g = g1_generator()
+        assert g.is_on_curve()
+        assert g.scalar_mul(CURVE_ORDER).is_identity()
+
+    def test_group_laws(self):
+        g = g1_generator()
+        a, b = g.scalar_mul(17), g.scalar_mul(23)
+        assert a + b == b + a
+        assert a + G1Point.identity() == a
+        assert (a - a).is_identity()
+        assert a.double() == a + a
+
+    @given(small_scalars, small_scalars)
+    @settings(max_examples=10, deadline=None)
+    def test_scalar_mul_homomorphism(self, m, n):
+        g = g1_generator()
+        assert g.scalar_mul(m) + g.scalar_mul(n) == g.scalar_mul(m + n)
+
+    def test_serialization_roundtrip(self):
+        point = g1_generator().scalar_mul(987654321)
+        assert G1Point.from_bytes(point.to_bytes()) == point
+        assert G1Point.from_bytes(G1Point.identity().to_bytes()).is_identity()
+
+    def test_invalid_point_rejected(self):
+        with pytest.raises(CryptoError):
+            G1Point.from_bytes(b"\x01" * 64)
+        with pytest.raises(CryptoError):
+            G1Point.from_bytes(b"\x01" * 63)
+
+    def test_hash_to_g1_deterministic_and_on_curve(self):
+        a = hash_to_g1(b"alice@example.org")
+        b = hash_to_g1(b"alice@example.org")
+        c = hash_to_g1(b"bob@example.org")
+        assert a == b
+        assert a != c
+        assert a.is_on_curve()
+        assert a.scalar_mul(CURVE_ORDER).is_identity()
+
+    def test_hash_to_g1_domain_separation(self):
+        assert hash_to_g1(b"x", domain=b"d1") != hash_to_g1(b"x", domain=b"d2")
+
+
+class TestG2:
+    def test_generator_on_curve_and_order(self):
+        g = g2_generator()
+        assert g.is_on_curve()
+        assert g.scalar_mul(CURVE_ORDER).is_identity()
+
+    def test_group_laws(self):
+        g = g2_generator()
+        a, b = g.scalar_mul(5), g.scalar_mul(11)
+        assert a + b == b + a
+        assert a + G2Point.identity() == a
+        assert (a - a).is_identity()
+        assert a.double() == a + a
+
+    @given(small_scalars, small_scalars)
+    @settings(max_examples=6, deadline=None)
+    def test_scalar_mul_homomorphism(self, m, n):
+        g = g2_generator()
+        assert g.scalar_mul(m) + g.scalar_mul(n) == g.scalar_mul(m + n)
+
+    def test_serialization_roundtrip(self):
+        point = g2_generator().scalar_mul(123456789)
+        assert G2Point.from_bytes(point.to_bytes()) == point
+        assert G2Point.from_bytes(G2Point.identity().to_bytes()).is_identity()
+
+    def test_invalid_point_rejected(self):
+        with pytest.raises(CryptoError):
+            G2Point.from_bytes(b"\x02" * 128)
+
+
+class TestPairing:
+    def test_bilinearity(self):
+        g1, g2 = g1_generator(), g2_generator()
+        base = pairing(g1, g2)
+        assert pairing(g1.scalar_mul(2), g2.scalar_mul(3)) == base.pow(6)
+
+    def test_linearity_in_first_argument(self):
+        g1, g2 = g1_generator(), g2_generator()
+        lhs = pairing(g1.scalar_mul(5), g2)
+        rhs = pairing(g1, g2).pow(5)
+        assert lhs == rhs
+
+    def test_linearity_in_second_argument(self):
+        g1, g2 = g1_generator(), g2_generator()
+        assert pairing(g1, g2.scalar_mul(7)) == pairing(g1, g2).pow(7)
+
+    def test_non_degenerate_and_order_r(self):
+        value = pairing(g1_generator(), g2_generator())
+        assert not value.is_one()
+        assert value.pow(CURVE_ORDER).is_one()
+
+    def test_identity_inputs_give_one(self):
+        assert pairing(G1Point.identity(), g2_generator()).is_one()
+        assert pairing(g1_generator(), G2Point.identity()).is_one()
+
+    def test_multi_pairing_product(self):
+        g1, g2 = g1_generator(), g2_generator()
+        product = multi_pairing([(g1, g2), (g1.scalar_mul(2), g2)])
+        assert product == pairing(g1, g2).pow(3)
+
+    def test_multi_pairing_cancellation(self):
+        """e(P, Q) * e(-P, Q) == 1 -- the identity used by BLS verification."""
+        g1, g2 = g1_generator(), g2_generator()
+        assert multi_pairing([(g1, g2), (-g1, g2)]).is_one()
+
+    def test_pairing_rejects_off_curve_points(self):
+        bad = G1Point(1, 1)
+        with pytest.raises(CryptoError):
+            pairing(bad, g2_generator())
