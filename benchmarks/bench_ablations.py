@@ -18,7 +18,7 @@ import time
 import pytest
 
 from repro.analysis.sizes import WireSizes
-from repro.bench.reporting import format_table
+from repro.bench.reporting import emit_table
 from repro.crypto.ibe import AnytrustIbe, BonehFranklinIbe
 from repro.primitives.bloom import bits_per_element
 
@@ -60,13 +60,13 @@ def test_ablation_anytrust_vs_onion_ibe(capsys):
 
         rows.append([pkg_count, len(ciphertext), f"{anytrust_time*1000:.0f}",
                      onion_size, f"{onion_time*1000:.0f}"])
-    with capsys.disabled():
-        print()
-        print(format_table(
-            ["PKGs", "anytrust ctxt B", "anytrust dec ms", "onion ctxt B", "onion dec ms"],
-            rows,
-            title="Ablation §4.2: Anytrust-IBE vs onion-IBE",
-        ))
+    emit_table(
+        capsys,
+        "ablation_anytrust_vs_onion_ibe",
+        headers=["PKGs", "anytrust ctxt B", "anytrust dec ms", "onion ctxt B", "onion dec ms"],
+        rows=rows,
+        title="Ablation §4.2: Anytrust-IBE vs onion-IBE",
+    )
     # Anytrust ciphertext size is independent of the number of PKGs.
     assert len(set(anytrust_sizes)) == 1
     # Onion ciphertext grows with every PKG.
@@ -83,13 +83,13 @@ def test_ablation_bloom_vs_raw_tokens(capsys):
         raw_bytes = tokens * 32
         rows.append([f"{tokens:,}", f"{bloom_bytes/1e6:.2f}", f"{raw_bytes/1e6:.2f}",
                      f"{raw_bytes/bloom_bytes:.1f}x"])
-    with capsys.disabled():
-        print()
-        print(format_table(
-            ["tokens", "bloom MB", "raw MB", "saving"],
-            rows,
-            title="Ablation §5.2: Bloom filter vs raw dial-token list",
-        ))
+    emit_table(
+        capsys,
+        "ablation_bloom_vs_raw_tokens",
+        headers=["tokens", "bloom MB", "raw MB", "saving"],
+        rows=rows,
+        title="Ablation §5.2: Bloom filter vs raw dial-token list",
+    )
     assert bits_per_element(1e-10) < 50
     assert all(float(row[3][:-1]) > 4.5 for row in rows)
 
@@ -111,13 +111,13 @@ def test_ablation_mailbox_count_policy(capsys):
         results.append((mailbox_count, download, total_noise))
         rows.append([mailbox_count, f"{download/1e6:.2f}", f"{total_noise:,}",
                      f"{(real_requests + total_noise) * sizes.addfriend_mailbox_entry / 1e6:.0f}"])
-    with capsys.disabled():
-        print()
-        print(format_table(
-            ["mailboxes", "client DL MB", "total noise msgs", "server batch MB"],
-            rows,
-            title="Ablation §6: mailbox-count policy (1M users, 4,000 noise/server/mailbox)",
-        ))
+    emit_table(
+        capsys,
+        "ablation_mailbox_count_policy",
+        headers=["mailboxes", "client DL MB", "total noise msgs", "server batch MB"],
+        rows=rows,
+        title="Ablation §6: mailbox-count policy (1M users, 4,000 noise/server/mailbox)",
+    )
     # Client download shrinks with more mailboxes; noise volume grows.
     downloads = [d for _, d, _ in results]
     noises = [n for _, _, n in results]

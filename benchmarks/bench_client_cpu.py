@@ -17,6 +17,7 @@ import time
 
 import pytest
 
+from repro.bench.reporting import write_json_report
 from repro.core.keywheel import Keywheel
 from repro.crypto.ibe import AnytrustIbe, BonehFranklinIbe
 from repro.primitives.bloom import BloomFilter
@@ -48,6 +49,11 @@ def test_ibe_decryption_rate_report(ibe_setup, capsys):
         print(f"\n§8.2 IBE decryption: {rate:.1f}/s/core here (paper: 800/s/core with assembly); "
               f"a 24,000-request mailbox scan on 4 cores would take {scan_24k_4cores/60:.1f} min "
               f"(paper: 8 s)")
+    write_json_report("client_cpu_ibe_decryption", {
+        "decryptions_per_second_per_core": rate,
+        "paper_decryptions_per_second_per_core": 800,
+        "mailbox_scan_24k_on_4_cores_seconds": scan_24k_4cores,
+    })
     assert rate > 0.5  # sanity: sub-2s per trial decryption in pure Python
 
 
@@ -77,6 +83,11 @@ def test_dialing_scan_rate_report(capsys):
     with capsys.disabled():
         print(f"\n§8.2 dialing scan: 1,000 friends x 10 intents = {len(expected)} tokens in "
               f"{elapsed*1000:.0f} ms ({rate:,.0f} tokens/s; paper: <1 s / ~1M hashes/s)")
+    write_json_report("client_cpu_dialing_scan", {
+        "tokens": len(expected),
+        "elapsed_seconds": elapsed,
+        "tokens_per_second": rate,
+    })
     assert len(expected) == 10_000
     assert hits == 0
     assert elapsed < 5.0

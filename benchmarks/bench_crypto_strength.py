@@ -21,7 +21,7 @@ import pytest
 from repro.analysis.bandwidth import addfriend_bandwidth
 from repro.analysis.latency import CostModel, LatencyModel
 from repro.analysis.sizes import WireSizes
-from repro.bench.reporting import format_table
+from repro.bench.reporting import emit_table
 from repro.crypto.bn254.curve import g1_generator, g2_generator
 from repro.crypto.bn254.pairing import pairing
 
@@ -59,13 +59,13 @@ def test_crypto_strength_sweep_report(capsys):
             f"{bandwidth.kb_per_second:.2f}",
             f"{latency.total_seconds:.1f}",
         ])
-    with capsys.disabled():
-        print()
-        print(format_table(
-            ["IBE cost/size", "request bytes", "mailbox MB", "client KB/s", "addfriend latency s"],
-            rows,
-            title="§8.6: impact of a costlier IBE construction (1M users, 3 servers)",
-        ))
+    emit_table(
+        capsys,
+        "crypto_strength_sweep",
+        headers=["IBE cost/size", "request bytes", "mailbox MB", "client KB/s", "addfriend latency s"],
+        rows=rows,
+        title="§8.6: impact of a costlier IBE construction (1M users, 3 servers)",
+    )
     # The paper's claim: impact is linear or sub-linear in the IBE multiplier.
     for factor, bandwidth, latency in results:
         assert bandwidth <= baseline_bw * factor * 1.05

@@ -14,7 +14,7 @@ import pytest
 
 from repro.analysis.latency import LatencyModel
 from repro.analysis.sizes import WireSizes
-from repro.bench.reporting import format_table
+from repro.bench.reporting import emit_table
 from repro.bench.workloads import WorkloadGenerator
 from repro.mixnet.mailbox import choose_mailbox_count
 
@@ -30,12 +30,13 @@ def test_figure10_latency_vs_skew_report(capsys):
         low, median, high = model.addfriend_latency_under_skew(1_000_000, s)
         results[s] = (low, median, high)
         rows.append([s, f"{low:.1f}", f"{median:.1f}", f"{high:.1f}"])
-    with capsys.disabled():
-        print()
-        print(format_table(
-            ["zipf s", "min s", "median s", "max s"], rows,
-            title="Figure 10: AddFriend latency vs popularity skew (1M users, 3 servers)",
-        ))
+    emit_table(
+        capsys,
+        "fig10_zipf_skew",
+        headers=["zipf s", "min s", "median s", "max s"],
+        rows=rows,
+        title="Figure 10: AddFriend latency vs popularity skew (1M users, 3 servers)",
+    )
     # Shape: median flat, max grows with skew, min does not grow.
     assert abs(results[2.0][1] - results[0.0][1]) / results[0.0][1] < 0.25
     assert results[2.0][2] > results[0.0][2]

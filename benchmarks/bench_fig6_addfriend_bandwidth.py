@@ -11,7 +11,7 @@ import pytest
 
 from repro.analysis.bandwidth import addfriend_bandwidth, figure6_series
 from repro.analysis.sizes import WireSizes
-from repro.bench.reporting import format_table
+from repro.bench.reporting import emit_table
 
 ROUND_HOURS = [1, 2, 3, 4, 6, 8, 12, 16, 20, 24]
 USER_COUNTS = [100_000, 1_000_000, 10_000_000]
@@ -25,12 +25,13 @@ def test_figure6_series_report(capsys):
         for hours, point in zip(ROUND_HOURS, points):
             rows.append([f"{users:,}", hours, f"{point.mailbox_bytes/1e6:.2f}",
                          f"{point.kb_per_second:.2f}", f"{point.gb_per_month:.2f}"])
-    with capsys.disabled():
-        print()
-        print(format_table(
-            ["users", "round (h)", "mailbox MB", "KB/s", "GB/month"], rows,
-            title="Figure 6: add-friend client bandwidth vs round duration (paper wire sizes)",
-        ))
+    emit_table(
+        capsys,
+        "fig6_addfriend_bandwidth",
+        headers=["users", "round (h)", "mailbox MB", "KB/s", "GB/month"],
+        rows=rows,
+        title="Figure 6: add-friend client bandwidth vs round duration (paper wire sizes)",
+    )
     # Shape checks: bandwidth falls with round duration, mailbox roughly flat in users.
     one_hour = addfriend_bandwidth(10_000_000, 3600)
     day = addfriend_bandwidth(10_000_000, 24 * 3600)

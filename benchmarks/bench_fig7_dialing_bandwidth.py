@@ -10,7 +10,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.bandwidth import dialing_bandwidth, figure7_series
-from repro.bench.reporting import format_table
+from repro.bench.reporting import emit_table
 from repro.mixnet.mailbox import DialingMailbox
 from repro.utils.rng import DeterministicRng
 
@@ -26,12 +26,13 @@ def test_figure7_series_report(capsys):
             rows.append([f"{users:,}", minutes, point.mailbox_count,
                          f"{point.mailbox_bytes/1e6:.2f}", f"{point.kb_per_second:.2f}",
                          f"{point.gb_per_month:.2f}"])
-    with capsys.disabled():
-        print()
-        print(format_table(
-            ["users", "round (min)", "mailboxes", "bloom MB", "KB/s", "GB/month"], rows,
-            title="Figure 7: dialing client bandwidth vs round duration",
-        ))
+    emit_table(
+        capsys,
+        "fig7_dialing_bandwidth",
+        headers=["users", "round (min)", "mailboxes", "bloom MB", "KB/s", "GB/month"],
+        rows=rows,
+        title="Figure 7: dialing client bandwidth vs round duration",
+    )
     headline = dialing_bandwidth(10_000_000, 300)
     assert headline.mailbox_count == 7          # paper: 7 Bloom filters
     assert 2.4 < headline.kb_per_second < 3.7   # paper: ~3 KB/s

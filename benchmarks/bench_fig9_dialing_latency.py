@@ -12,7 +12,7 @@ import time
 import pytest
 
 from repro.analysis.latency import LatencyModel
-from repro.bench.reporting import format_table
+from repro.bench.reporting import emit_table
 
 USER_COUNTS = [10_000, 100_000, 1_000_000, 10_000_000]
 SERVER_COUNTS = [3, 5, 10]
@@ -28,12 +28,13 @@ def test_figure9_model_report(capsys):
             rows.append([servers, f"{users:,}", f"{point.total_seconds:.1f}",
                          f"{point.server_seconds:.1f}", f"{point.transfer_seconds:.1f}",
                          f"{point.client_seconds:.2f}"])
-    with capsys.disabled():
-        print()
-        print(format_table(
-            ["servers", "users", "total s", "server s", "transfer s", "client s"], rows,
-            title="Figure 9: Call latency vs online users (calibrated model; paper: 118 s at 10M/3 srv)",
-        ))
+    emit_table(
+        capsys,
+        "fig9_dialing_latency",
+        headers=["servers", "users", "total s", "server s", "transfer s", "client s"],
+        rows=rows,
+        title="Figure 9: Call latency vs online users (calibrated model; paper: 118 s at 10M/3 srv)",
+    )
     model_curve = [model.dialing_latency(u, 3).total_seconds for u in USER_COUNTS]
     assert model_curve == sorted(model_curve)
     assert 70 < model_curve[-1] < 180

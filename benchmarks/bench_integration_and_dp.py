@@ -22,7 +22,7 @@ import pytest
 from repro.analysis.dp import laplace_scale_for_budget, paper_noise_parameters, privacy_cost
 from repro.apps.pond_panda import bootstrap_panda_from_call
 from repro.apps.vuvuzela import VuvuzelaConversationService, VuvuzelaMessenger
-from repro.bench.reporting import format_table
+from repro.bench.reporting import emit_table
 from repro.core.config import AlpenhornConfig
 from repro.core.coordinator import Deployment
 
@@ -81,13 +81,13 @@ def test_dp_parameter_table(capsys):
             f"{values['derived_b']:.0f}",
             f"{privacy_cost(int(values['protected_actions']), values['paper_b']).epsilon:.3f}",
         ])
-    with capsys.disabled():
-        print()
-        print(format_table(
-            ["protocol", "actions", "paper b", "derived b", "eps at paper b (target ln2=0.693)"],
-            rows,
-            title="§8.1 differential-privacy noise parameters",
-        ))
+    emit_table(
+        capsys,
+        "dp_noise_parameters",
+        headers=["protocol", "actions", "paper b", "derived b", "eps at paper b (target ln2=0.693)"],
+        rows=rows,
+        title="§8.1 differential-privacy noise parameters",
+    )
     assert abs(params["add-friend"]["derived_b"] - 406) / 406 < 0.12
     assert abs(params["dialing"]["derived_b"] - 2_183) / 2_183 < 0.12
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis.sizes import WireSizes
-from repro.bench.reporting import format_table
+from repro.bench.reporting import emit_table
 from repro.mixnet.chain import MixChain
 from repro.mixnet.mailbox import choose_mailbox_count
 from repro.mixnet.noise import NoiseConfig
@@ -36,13 +36,13 @@ def test_mailbox_composition_table(capsys):
             f"{users:,}", mailbox_count, f"{real_per_mailbox:,}", f"{noise_per_mailbox:,}",
             f"{total:,}", f"{sizes.addfriend_mailbox_bytes(total)/1e6:.2f}",
         ])
-    with capsys.disabled():
-        print()
-        print(format_table(
-            ["users", "mailboxes", "real/mailbox", "noise/mailbox", "total", "MB"],
-            rows,
-            title="§8.2: add-friend mailbox composition (paper: ~24,000 requests, 7.4 MB at 1M users)",
-        ))
+    emit_table(
+        capsys,
+        "table_mailbox_sizes",
+        headers=["users", "mailboxes", "real/mailbox", "noise/mailbox", "total", "MB"],
+        rows=rows,
+        title="§8.2: add-friend mailbox composition (paper: ~24,000 requests, 7.4 MB at 1M users)",
+    )
     one_m = rows[1]
     assert one_m[1] == 4
     assert 6.5 < float(one_m[5]) < 8.2

@@ -14,11 +14,15 @@ The top-level package lazily exposes the pieces most users need:
   rounds.
 * :mod:`repro.analysis` -- the bandwidth / latency / differential-privacy
   models used to regenerate the paper's evaluation figures.
+* :mod:`repro.net` -- the transport layer: framed RPCs over either a
+  zero-latency in-process dispatch or a discrete-event simulated network.
+* :mod:`repro.sim` -- the scenario harness driving whole deployments over
+  the simulated network (``python -m repro.sim --list``).
 
 See README.md for a quickstart and DESIGN.md for the full system inventory.
 """
 
-__version__ = "0.1.0"
+__version__ = "0.2.0"
 
 __all__ = ["AlpenhornConfig", "Client", "Deployment", "__version__"]
 

@@ -1,11 +1,19 @@
-"""Plain-text reporting helpers shared by the benchmark harness.
+"""Reporting helpers shared by the benchmark harness and scenario runner.
 
 Every benchmark prints the rows/series the corresponding paper figure or
 table reports, side by side with the paper's headline numbers, so the
-benchmark output can be pasted into EXPERIMENTS.md directly.
+benchmark output can be pasted into EXPERIMENTS.md directly.  The same
+data is also written as machine-readable ``BENCH_<name>.json`` files (see
+:func:`write_json_report`) so the performance trajectory can be tracked
+across PRs by diffing artifacts instead of scraping stdout.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
 
 
 def format_table(headers: list[str], rows: list[list], title: str | None = None) -> str:
@@ -33,3 +41,56 @@ def print_figure_series(title: str, x_label: str, series: dict[str, list[tuple[f
     text = "\n".join(lines)
     print(text)
     return text
+
+
+# --------------------------------------------------------------------------- #
+# Machine-readable results
+# --------------------------------------------------------------------------- #
+def results_dir() -> Path:
+    """Where JSON results land: ``$BENCH_RESULTS_DIR`` or ``benchmarks/results``.
+
+    The default is anchored on the repository root (three levels above this
+    module in the src layout), not the process CWD, so results do not
+    scatter when pytest is invoked from elsewhere.
+    """
+    configured = os.environ.get("BENCH_RESULTS_DIR")
+    if configured:
+        return Path(configured)
+    return Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def write_json_report(name: str, data, directory: Path | str | None = None) -> Path:
+    """Write ``BENCH_<name>.json`` with a stable envelope around ``data``.
+
+    ``data`` is any JSON-serializable value (benchmarks typically pass
+    ``{"headers": [...], "rows": [...]}``; the scenario runner passes a full
+    :meth:`~repro.sim.scenario.ScenarioResult.to_dict`).  Returns the path
+    written so callers can print it.
+    """
+    target_dir = Path(directory) if directory is not None else results_dir()
+    target_dir.mkdir(parents=True, exist_ok=True)
+    path = target_dir / f"BENCH_{name}.json"
+    envelope = {
+        "name": name,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "data": data,
+    }
+    path.write_text(json.dumps(envelope, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return path
+
+
+def table_report(headers: list[str], rows: list[list], title: str | None = None) -> dict:
+    """The JSON counterpart of :func:`format_table`'s output."""
+    report = {"headers": list(headers), "rows": [list(row) for row in rows]}
+    if title:
+        report["title"] = title
+    return report
+
+
+def emit_table(capsys, name: str, headers: list[str], rows: list[list], title: str | None = None) -> Path:
+    """What every benchmark report does: print the paper-style table to the
+    live terminal and write its JSON counterpart as ``BENCH_<name>.json``."""
+    with capsys.disabled():
+        print()
+        print(format_table(headers, rows, title=title))
+    return write_json_report(name, table_report(headers, rows, title))

@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.errors import RoundError
-from repro.mixnet.mailbox import AddFriendMailbox, DialingMailbox, MailboxSet
+from repro.mixnet.mailbox import MailboxSet, decode_mailbox
 
 
 class Cdn:
@@ -48,7 +48,7 @@ class Cdn:
             self._mailbox_counts.pop((protocol, oldest), None)
 
     # -- queries (made by clients) ------------------------------------------
-    def mailbox_count(self, protocol: str, round_number: int) -> int:
+    def mailbox_count(self, protocol: str, round_number: int, client: str = "anonymous") -> int:
         key = (protocol, round_number)
         if key not in self._mailbox_counts:
             raise RoundError(f"no published {protocol} mailboxes for round {round_number}")
@@ -57,22 +57,46 @@ class Cdn:
     def has_round(self, protocol: str, round_number: int) -> bool:
         return (protocol, round_number) in self._store
 
-    def download(self, protocol: str, round_number: int, mailbox_id: int, client: str = "anonymous"):
-        """Fetch one mailbox; returns the deserialized mailbox object."""
+    def download_blob(self, protocol: str, round_number: int, mailbox_id: int, client: str = "anonymous") -> bytes | None:
+        """Fetch one mailbox's serialized bytes; ``None`` if it is empty."""
         key = (protocol, round_number)
         if key not in self._store:
             raise RoundError(f"no published {protocol} mailboxes for round {round_number}")
         blob = self._store[key].get(mailbox_id)
         if blob is None:
-            # An empty mailbox: nothing was addressed there this round.
-            if protocol == "add-friend":
-                return AddFriendMailbox(mailbox_id=mailbox_id)
-            return DialingMailbox.build(mailbox_id, [])
+            return None
         self.bytes_served += len(blob)
         self.downloads_by_client[client] += len(blob)
-        if protocol == "add-friend":
-            return AddFriendMailbox.from_bytes(blob)
-        return DialingMailbox.from_bytes(blob)
+        return blob
+
+    def download(self, protocol: str, round_number: int, mailbox_id: int, client: str = "anonymous"):
+        """Fetch one mailbox; returns the deserialized mailbox object."""
+        blob = self.download_blob(protocol, round_number, mailbox_id, client)
+        return decode_mailbox(protocol, mailbox_id, blob)
+
+    # -- transport dispatch --------------------------------------------------
+    def handle_rpc(self, request):
+        """Serve one framed RPC (see ``repro/net/rpc.py`` for the layouts)."""
+        from repro.errors import NetworkError
+        from repro.net import rpc
+        from repro.net.transport import RpcResult
+        from repro.utils.serialization import Packer
+
+        if request.method == "publish":
+            self.publish(request.obj)
+            return RpcResult()
+        if request.method == "mailbox_count":
+            protocol, round_number = rpc.decode_round_ref(request.payload)
+            return RpcResult(
+                payload=Packer().u32(self.mailbox_count(protocol, round_number, client=request.src)).pack()
+            )
+        if request.method == "download":
+            protocol, round_number, mailbox_id, client = rpc.decode_download_request(request.payload)
+            blob = self.download_blob(protocol, round_number, mailbox_id, client)
+            if blob is None:
+                return RpcResult(payload=Packer().u8(0).pack())
+            return RpcResult(payload=Packer().u8(1).bytes(blob).pack())
+        raise NetworkError(f"CDN has no RPC method {request.method!r}")
 
     def round_total_bytes(self, protocol: str, round_number: int) -> int:
         key = (protocol, round_number)

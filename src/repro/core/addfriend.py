@@ -112,6 +112,9 @@ class AddFriendEngine:
         self.queue: list[QueuedFriendRequest] = []
         self._round_keys: dict[int, RoundKeyMaterial] = {}
         self._prepared_replies: dict[str, PreparedReply] = {}
+        # What the most recent build_request_payload consumed, so a failed
+        # network submission can put it back (see requeue_last).
+        self._last_sent: tuple[QueuedFriendRequest, PreparedReply | None] | None = None
 
     # -- queueing (driven by the public API) ------------------------------
     def enqueue(self, request: QueuedFriendRequest) -> None:
@@ -167,11 +170,13 @@ class AddFriendEngine:
             raise ProtocolError(f"round {round_number} keys were not acquired")
 
         if not self.queue:
+            self._last_sent = None
             body = b"\x00" * self.body_length()
             return encode_inner_payload(COVER_MAILBOX_ID, body), None
 
         queued = self.queue.pop(0)
         prepared = self._prepared_replies.pop(queued.email.lower(), None)
+        self._last_sent = (queued, prepared)
         if prepared is not None:
             dialing_private = prepared.dialing_private
             dialing_public = prepared.dialing_public
@@ -220,6 +225,33 @@ class AddFriendEngine:
 
     def wrap_for_mixnet(self, inner_payload: bytes, mix_public_keys: list[bytes]) -> bytes:
         return wrap_onion(inner_payload, mix_public_keys)
+
+    def confirm_sent(self) -> None:
+        """The last built request reached the entry server; nothing to undo.
+
+        Must be called after a successful submission so that a *later*
+        failure (e.g. next round's extraction) cannot re-enqueue a request
+        that was already delivered.
+        """
+        self._last_sent = None
+
+    def requeue_last(self) -> None:
+        """Undo the queue consumption of the last built request.
+
+        Called when the network lost the envelope before the entry server
+        accepted it: the request goes back to the front of the queue (and a
+        confirming reply's prepared key pair is restored, since the wheel is
+        already anchored with it), so the next round re-sends it.  The
+        pending-outgoing record an initial request created is left in place;
+        re-sending overwrites it with the fresh ephemeral key it generates.
+        """
+        if self._last_sent is None:
+            return
+        queued, prepared = self._last_sent
+        self._last_sent = None
+        self.queue.insert(0, queued)
+        if prepared is not None:
+            self._prepared_replies[queued.email.lower()] = prepared
 
     # -- step 3: scan the mailbox ------------------------------------------------
     def scan_mailbox(

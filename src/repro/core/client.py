@@ -89,9 +89,11 @@ class Client:
         """``MySigningKey()``: the long-term public key to share out-of-band."""
         return self.identity.signing_public
 
-    def register(self, pkgs: list[PkgServer], email_network, now: float = 0.0) -> None:
+    def register(self, pkgs: list, email_network, now: float = 0.0) -> None:
         """``Register()``: prove ownership of the email address to every PKG.
 
+        ``pkgs`` are :class:`~repro.pkg.server.PkgServer` objects or the
+        transport stubs a deployment hands out (same surface either way).
         The client reads the confirmation token each PKG emailed to its
         address and echoes it back, after which the address is locked to the
         client's long-term signing key (§4.6).
@@ -173,7 +175,7 @@ class Client:
     def participate_addfriend_round(
         self,
         announcement,
-        pkgs: list[PkgServer],
+        pkgs: list,
         next_dialing_round: int,
         now: float,
     ) -> bytes:
@@ -206,7 +208,7 @@ class Client:
         (distributed with the client software, like CA certificates); their
         aggregate verifies the ``PKGSigs`` field of incoming requests.
         """
-        mailbox_count = cdn.mailbox_count("add-friend", round_number)
+        mailbox_count = cdn.mailbox_count("add-friend", round_number, client=self.email)
         mailbox_id = mailbox_for_identity(self.email, mailbox_count)
         mailbox = cdn.download("add-friend", round_number, mailbox_id, client=self.email)
         self.stats.mailbox_bytes_downloaded += mailbox.size_bytes()
@@ -236,7 +238,7 @@ class Client:
 
     def process_dialing_mailbox(self, round_number: int, cdn) -> list[IncomingCall]:
         """Download the Bloom filter, detect incoming calls, advance wheels."""
-        mailbox_count = cdn.mailbox_count("dialing", round_number)
+        mailbox_count = cdn.mailbox_count("dialing", round_number, client=self.email)
         mailbox_id = mailbox_for_identity(self.email, mailbox_count)
         mailbox = cdn.download("dialing", round_number, mailbox_id, client=self.email)
         self.stats.bloom_bytes_downloaded += mailbox.size_bytes()

@@ -3,9 +3,18 @@
 A :class:`Deployment` instantiates everything §3.1 of the paper describes --
 the PKG servers, the mixnet chain, the entry server, the CDN, and the email
 substrate -- wires clients to them, and advances the two protocols in
-explicit rounds.  It replaces the paper's EC2 testbed: transport is direct
-method calls, time is a logical clock, and all protocol messages are the
-real wire-format bytes the library produces.
+explicit rounds.  It replaces the paper's EC2 testbed.
+
+All inter-component communication goes through a
+:class:`~repro.net.transport.Transport`: servers register named endpoints,
+clients and the round driver talk to stubs, and every protocol message is
+the real wire-format bytes the library produces.  With the default
+:class:`~repro.net.transport.DirectTransport` dispatch is immediate and the
+clock is logical (it only advances between rounds), matching the seed's
+behavior exactly.  Handing in a :class:`~repro.net.simulated.SimulatedNetwork`
+instead makes the same deployment run on modelled links: the clock then
+advances from scheduler events, so each :class:`RoundSummary` reports a
+meaningful end-to-end ``latency_s``.
 """
 
 from __future__ import annotations
@@ -21,10 +30,12 @@ from repro.crypto.ibe.boneh_franklin import BonehFranklinIbe
 from repro.crypto.ibe.simulated import SimulatedIbe, SimulatedPkgOracle
 from repro.emailsim.provider import EmailNetwork
 from repro.entry.server import EntryServer
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, NetworkError
 from repro.mixnet.chain import MixChain, RoundResult
 from repro.mixnet.mailbox import choose_mailbox_count
 from repro.mixnet.server import MixServer
+from repro.net.rpc import CdnStub, EntryStub, PkgStub
+from repro.net.transport import DirectTransport, Transport
 from repro.pkg.coordinator import PkgCoordinator
 from repro.pkg.server import PkgServer
 from repro.utils.rng import DeterministicRng
@@ -40,15 +51,25 @@ class RoundSummary:
     submissions: int
     mix_result: RoundResult
     events_by_client: dict[str, list] = field(default_factory=dict)
+    # Transport-level measurements for the round (simulated time and bytes).
+    latency_s: float = 0.0
+    bytes_sent: int = 0
+    failures: int = 0
+    participants: int = 0
 
 
 class Deployment:
     """An entire Alpenhorn system running in one process."""
 
-    def __init__(self, config: AlpenhornConfig | None = None, seed: str = "deployment") -> None:
+    def __init__(
+        self,
+        config: AlpenhornConfig | None = None,
+        seed: str = "deployment",
+        transport: Transport | None = None,
+    ) -> None:
         self.config = config if config is not None else AlpenhornConfig()
         self.seed = seed
-        self.clock: float = 0.0
+        self.transport = transport if transport is not None else DirectTransport()
 
         # Crypto backend shared by PKGs and clients.
         if self.config.crypto_backend == "bn254":
@@ -59,7 +80,8 @@ class Deployment:
             raise ConfigurationError(f"unknown backend {self.config.crypto_backend!r}")
         self.ibe = AnytrustIbe(self._ibe_backend)
 
-        # Substrates.
+        # Substrates.  The email network is out-of-band (registration
+        # confirmations), so it is not routed over the Alpenhorn transport.
         self.email_network = EmailNetwork()
         self.pkgs = [
             PkgServer(
@@ -70,14 +92,35 @@ class Deployment:
             )
             for i in range(self.config.num_pkg_servers)
         ]
-        self.pkg_coordinator = PkgCoordinator(self.pkgs)
         self.mix_servers = [
             MixServer(f"mix{i}", rng=DeterministicRng(f"{seed}/mix/{i}"))
             for i in range(self.config.num_mix_servers)
         ]
-        self.mix_chain = MixChain(self.mix_servers, noise_config=self.config.noise)
-        self.entry = EntryServer(self.mix_chain, self.pkg_coordinator)
         self.cdn = Cdn()
+
+        # Bind every server to its transport endpoint, then build the
+        # stubs everything else uses to reach them.
+        for pkg in self.pkgs:
+            self.transport.register(pkg.name, pkg.handle_rpc)
+        for mix in self.mix_servers:
+            self.transport.register(mix.name, mix.handle_rpc)
+        self.transport.register("cdn", self.cdn.handle_rpc)
+
+        self.pkg_stubs = [
+            PkgStub(self.transport, pkg.name, self._ibe_backend, pkg.bls_public_key)
+            for pkg in self.pkgs
+        ]
+        self.pkg_coordinator = PkgCoordinator(self.pkg_stubs)
+        self.mix_chain = MixChain(
+            self.mix_servers,
+            noise_config=self.config.noise,
+            transport=self.transport,
+            server_names=[mix.name for mix in self.mix_servers],
+        )
+        self.entry = EntryServer(self.mix_chain, self.pkg_coordinator)
+        self.transport.register("entry", self.entry.handle_rpc)
+        self.entry_stub = EntryStub(self.transport)
+        self.cdn_stub = CdnStub(self.transport)
 
         # Clients and round counters.
         self.clients: dict[str, Client] = {}
@@ -108,18 +151,45 @@ class Deployment:
             incoming_call=incoming_call,
         )
         if register:
-            client.register(self.pkgs, self.email_network, now=self.clock)
+            client.register(self.pkg_stubs, self.email_network, now=self.clock)
         self.clients[email] = client
         return client
 
     def client(self, email: str) -> Client:
         return self.clients[email.lower()]
 
+    def _resolve_participants(self, participants) -> list[Client]:
+        """Normalize a participant list (emails or clients) to clients.
+
+        ``None`` means everyone is online this round; scenarios restrict the
+        set to model churn and offline users.
+        """
+        if participants is None:
+            return list(self.clients.values())
+        resolved = []
+        for participant in participants:
+            if isinstance(participant, Client):
+                resolved.append(participant)
+            else:
+                resolved.append(self.clients[participant.lower()])
+        return resolved
+
     # ------------------------------------------------------------------ #
     # Time
     # ------------------------------------------------------------------ #
+    @property
+    def clock(self) -> float:
+        """Deployment time, owned by the transport.
+
+        Under :class:`DirectTransport` this is the seed's logical clock
+        (moved only by :meth:`advance_clock`); under a simulated network it
+        is the discrete-event scheduler's clock, which also advances with
+        every message delivery.
+        """
+        return self.transport.now()
+
     def advance_clock(self, seconds: float) -> None:
-        self.clock += seconds
+        self.transport.advance(seconds)
 
     # ------------------------------------------------------------------ #
     # Add-friend rounds
@@ -128,8 +198,9 @@ class Deployment:
         queued = sum(c.addfriend.pending_in_queue() for c in self.clients.values())
         return choose_mailbox_count(queued, self.config.addfriend_target_per_mailbox)
 
-    def run_addfriend_round(self) -> RoundSummary:
-        """Drive one complete add-friend round across every client."""
+    def run_addfriend_round(self, participants=None) -> RoundSummary:
+        """Drive one complete add-friend round across the online clients."""
+        clients = self._resolve_participants(participants)
         self.addfriend_round += 1
         round_number = self.addfriend_round
         mailbox_count = self._addfriend_mailbox_count()
@@ -140,38 +211,75 @@ class Deployment:
             if sample_client is not None
             else self.config.addfriend_request_size + 158
         )
-        announcement = self.entry.announce_round(
-            "add-friend", round_number, mailbox_count, body_length
-        )
 
-        # Every client participates every round (cover traffic included).
-        for client in self.clients.values():
-            envelope = client.participate_addfriend_round(
-                announcement,
-                pkgs=self.pkgs,
-                next_dialing_round=self.dialing_round + 2,
-                now=self.clock,
+        round_started = self.clock
+        bytes_before = self.transport.stats.bytes_sent
+        try:
+            announcement = self.entry_stub.announce_round(
+                "add-friend", round_number, mailbox_count, body_length
             )
-            self.entry.submit("add-friend", round_number, client.email, envelope)
+        except NetworkError:
+            # The announce may have reached the entry server even though its
+            # reply was lost; abort locally so no round secrets outlive the
+            # failure (idempotent if the round never opened).
+            self.entry.abort_round("add-friend", round_number)
+            raise
 
-        submissions = self.entry.submissions("add-friend", round_number)
-        result = self.entry.close_round("add-friend", round_number)
-        self.cdn.publish(result.mailboxes)
+        # Every online client participates every round (cover traffic
+        # included); clients act concurrently, so the phase's duration is the
+        # slowest participant's, not the sum.
+        failures = 0
+        participated: list[Client] = []
+        pkg_bls_publics = [stub.bls_public_key for stub in self.pkg_stubs]
+        with self.transport.phase() as phase:
+            for client in clients:
+                try:
+                    phase.run(lambda c=client: self._submit_addfriend(c, announcement))
+                    participated.append(client)
+                except NetworkError:
+                    failures += 1
+                    # The envelope never reached the entry server: put any
+                    # consumed friend request back for the next round, and
+                    # drop round keys the client will never use.
+                    client.addfriend.requeue_last()
+                    client.addfriend.erase_round_keys(round_number)
+
+        try:
+            submissions = self.entry_stub.submissions("add-friend", round_number)
+            result = self.entry_stub.close_round("add-friend", round_number)
+            self.cdn_stub.publish(result.mailboxes)
+        except NetworkError:
+            # The round's control plane failed (entry or CDN unreachable).
+            # The operator runs in the entry server's process: tear the
+            # round down locally so envelopes and round secrets are erased,
+            # then let the failure surface.  This round's requests are lost,
+            # like any mixnet round that dies mid-flight.
+            self.entry.abort_round("add-friend", round_number)
+            for client in participated:
+                client.addfriend.erase_round_keys(round_number)
+            raise
 
         # Clients fetch and scan their mailboxes, then the PKGs erase the
         # round's master secrets (clients already hold their round keys).
         events_by_client: dict[str, list] = {}
-        for client in self.clients.values():
-            events = client.process_addfriend_mailbox(
-                round_number,
-                self.cdn,
-                pkg_bls_public_keys=[pkg.bls_public_key for pkg in self.pkgs],
-                current_dialing_round=self.dialing_round,
-            )
-            if events:
-                events_by_client[client.email] = events
+        with self.transport.phase() as phase:
+            for client in participated:
+                try:
+                    events = phase.run(
+                        lambda c=client: c.process_addfriend_mailbox(
+                            round_number,
+                            self.cdn_stub,
+                            pkg_bls_public_keys=pkg_bls_publics,
+                            current_dialing_round=self.dialing_round,
+                        )
+                    )
+                except NetworkError:
+                    failures += 1
+                    client.addfriend.erase_round_keys(round_number)
+                    continue
+                if events:
+                    events_by_client[client.email] = events
         self.pkg_coordinator.close_round(round_number)
-        self.advance_clock(self.config.addfriend_round_duration)
 
         summary = RoundSummary(
             protocol="add-friend",
@@ -180,9 +288,34 @@ class Deployment:
             submissions=submissions,
             mix_result=result,
             events_by_client=events_by_client,
+            latency_s=self.clock - round_started,
+            bytes_sent=self.transport.stats.bytes_sent - bytes_before,
+            failures=failures,
+            participants=len(clients),
         )
         self.round_summaries.append(summary)
+        self.advance_clock(self.config.addfriend_round_duration)
         return summary
+
+    def _submit_addfriend(self, client: Client, announcement) -> None:
+        envelope = client.participate_addfriend_round(
+            announcement,
+            pkgs=self.pkg_stubs,
+            next_dialing_round=self.dialing_round + 2,
+            now=self.clock,
+        )
+        try:
+            self.entry_stub.submit(
+                "add-friend", announcement.round_number, client.email, envelope
+            )
+        except NetworkError as exc:
+            if not getattr(exc, "request_delivered", False):
+                raise
+            # Only the acknowledgement was lost: the entry server holds the
+            # envelope, so the submission stands and must NOT be re-sent (a
+            # re-send would carry a fresh ephemeral key and desync the
+            # keywheel if the recipient answers the first copy).
+        client.addfriend.confirm_sent()
 
     # ------------------------------------------------------------------ #
     # Dialing rounds
@@ -191,29 +324,62 @@ class Deployment:
         queued = sum(c.dialing.pending_in_queue() for c in self.clients.values())
         return choose_mailbox_count(queued, self.config.dialing_target_per_mailbox)
 
-    def run_dialing_round(self) -> RoundSummary:
-        """Drive one complete dialing round across every client."""
+    def run_dialing_round(self, participants=None) -> RoundSummary:
+        """Drive one complete dialing round across the online clients."""
+        clients = self._resolve_participants(participants)
         self.dialing_round += 1
         round_number = self.dialing_round
         mailbox_count = self._dialing_mailbox_count()
-        announcement = self.entry.announce_round(
-            "dialing", round_number, mailbox_count, DIAL_TOKEN_SIZE
-        )
 
-        for client in self.clients.values():
-            envelope = client.participate_dialing_round(announcement)
-            self.entry.submit("dialing", round_number, client.email, envelope)
+        round_started = self.clock
+        bytes_before = self.transport.stats.bytes_sent
+        try:
+            announcement = self.entry_stub.announce_round(
+                "dialing", round_number, mailbox_count, DIAL_TOKEN_SIZE
+            )
+        except NetworkError:
+            self.entry.abort_round("dialing", round_number)
+            raise
 
-        submissions = self.entry.submissions("dialing", round_number)
-        result = self.entry.close_round("dialing", round_number)
-        self.cdn.publish(result.mailboxes)
+        failures = 0
+        participated: list[Client] = []
+        with self.transport.phase() as phase:
+            for client in clients:
+                try:
+                    phase.run(lambda c=client: self._submit_dialing(c, announcement))
+                    participated.append(client)
+                except NetworkError:
+                    failures += 1
+                    # The token never reached the entry server: withdraw the
+                    # speculative placed-call record and retry next round.
+                    client.dialing.requeue_last()
+
+        try:
+            submissions = self.entry_stub.submissions("dialing", round_number)
+            result = self.entry_stub.close_round("dialing", round_number)
+            self.cdn_stub.publish(result.mailboxes)
+        except NetworkError:
+            self.entry.abort_round("dialing", round_number)
+            for client in participated:
+                client.dialing.finish_round(round_number)
+            raise
 
         events_by_client: dict[str, list] = {}
-        for client in self.clients.values():
-            calls = client.process_dialing_mailbox(round_number, self.cdn)
-            if calls:
-                events_by_client[client.email] = calls
-        self.advance_clock(self.config.dialing_round_duration)
+        with self.transport.phase() as phase:
+            for client in participated:
+                try:
+                    calls = phase.run(
+                        lambda c=client: c.process_dialing_mailbox(round_number, self.cdn_stub)
+                    )
+                except NetworkError:
+                    failures += 1
+                    # The round's mailbox is unrecoverable for this client;
+                    # advance its wheels and prune the round's sent-token set
+                    # exactly as a successful scan would have.
+                    client.dialing.finish_round(round_number)
+                    continue
+                if calls:
+                    events_by_client[client.email] = calls
 
         summary = RoundSummary(
             protocol="dialing",
@@ -222,9 +388,26 @@ class Deployment:
             submissions=submissions,
             mix_result=result,
             events_by_client=events_by_client,
+            latency_s=self.clock - round_started,
+            bytes_sent=self.transport.stats.bytes_sent - bytes_before,
+            failures=failures,
+            participants=len(clients),
         )
         self.round_summaries.append(summary)
+        self.advance_clock(self.config.dialing_round_duration)
         return summary
+
+    def _submit_dialing(self, client: Client, announcement) -> None:
+        envelope = client.participate_dialing_round(announcement)
+        try:
+            self.entry_stub.submit(
+                "dialing", announcement.round_number, client.email, envelope
+            )
+        except NetworkError as exc:
+            if not getattr(exc, "request_delivered", False):
+                raise
+            # Ack lost but the token was accepted; the dial stands.
+        client.dialing.confirm_sent()
 
     # ------------------------------------------------------------------ #
     # Convenience flows used by examples and integration tests

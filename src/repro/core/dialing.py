@@ -39,6 +39,8 @@ class DialingEngine:
     # Tokens we sent this round, so we do not mistake them for incoming calls
     # when our own mailbox happens to coincide with the callee's.
     _sent_tokens: dict[int, set[bytes]] = field(default_factory=dict)
+    # (call, token) consumed by the last build, restorable on network failure.
+    _last_sent: tuple[OutgoingCall, PlacedCall, bytes] | None = None
 
     # -- queueing ---------------------------------------------------------
     def enqueue(self, call: OutgoingCall) -> None:
@@ -66,6 +68,7 @@ class DialingEngine:
                 ready = self.queue.pop(index)
                 break
         if ready is None:
+            self._last_sent = None
             body = b"\x00" * DIAL_TOKEN_SIZE
             return encode_inner_payload(COVER_MAILBOX_ID, body), None
 
@@ -79,11 +82,29 @@ class DialingEngine:
         )
         self.placed_calls.append(placed)
         self._sent_tokens.setdefault(round_number, set()).add(token)
+        self._last_sent = (ready, placed, token)
         mailbox_id = mailbox_for_identity(ready.friend, mailbox_count)
         return encode_inner_payload(mailbox_id, token), placed
 
     def wrap_for_mixnet(self, inner_payload: bytes, mix_public_keys: list[bytes]) -> bytes:
         return wrap_onion(inner_payload, mix_public_keys)
+
+    def confirm_sent(self) -> None:
+        """The last built token reached the entry server; nothing to undo."""
+        self._last_sent = None
+
+    def requeue_last(self) -> None:
+        """Undo the last build after the network lost the envelope: the call
+        returns to the front of the queue and the speculative placed-call
+        record and sent-token marker are withdrawn."""
+        if self._last_sent is None:
+            return
+        call, placed, token = self._last_sent
+        self._last_sent = None
+        self.queue.insert(0, call)
+        if placed in self.placed_calls:
+            self.placed_calls.remove(placed)
+        self._sent_tokens.get(placed.round_number, set()).discard(token)
 
     # -- step 2: scan the Bloom filter -----------------------------------------
     def scan_mailbox(self, round_number: int, mailbox: DialingMailbox) -> list[IncomingCall]:

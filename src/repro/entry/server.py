@@ -18,9 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.crypto import blind
-from repro.errors import RateLimitError, RoundError
+from repro.errors import NetworkError, RateLimitError, RoundError
 from repro.mixnet.chain import MixChain, RoundResult
+from repro.net import rpc
+from repro.net.transport import RpcRequest, RpcResult
 from repro.pkg.coordinator import PkgCoordinator
+from repro.utils.serialization import Packer
 
 
 @dataclass
@@ -70,10 +73,20 @@ class EntryServer:
         if key in self._open_rounds:
             return self._open_rounds[key].announcement
 
-        mix_publics = self.mix_chain.open_round(round_number)
         pkg_publics: list = []
-        if protocol == "add-friend" and self.pkg_coordinator is not None:
-            pkg_publics = list(self.pkg_coordinator.open_round(round_number).public_keys)
+        try:
+            mix_publics = self.mix_chain.open_round(round_number)
+            if protocol == "add-friend" and self.pkg_coordinator is not None:
+                pkg_publics = list(self.pkg_coordinator.open_round(round_number).public_keys)
+        except Exception:
+            # The round cannot open (e.g. a server is unreachable during
+            # key setup).  Erase whatever round secrets were already
+            # generated -- leaving them live would defeat the forward
+            # secrecy the close path exists to provide.  abort_round guards
+            # on protocol, so a failed *dialing* announce cannot poison the
+            # same-numbered add-friend round's PKG keys.
+            self.abort_round(protocol, round_number)
+            raise
 
         announcement = RoundAnnouncement(
             protocol=protocol,
@@ -144,3 +157,48 @@ class EntryServer:
         self.mix_chain.close_round(round_number)
         self.batches_processed += 1
         return result
+
+    def abort_round(self, protocol: str, round_number: int) -> None:
+        """Tear down a round that cannot complete: drop its batch and erase
+        every server-side round secret.  Idempotent; used by the deployment
+        operator when the round's control plane fails mid-flight, so a stuck
+        round can never retain envelopes or keys indefinitely."""
+        self._open_rounds.pop((protocol, round_number), None)
+        self.mix_chain.close_round(round_number)
+        if protocol == "add-friend" and self.pkg_coordinator is not None:
+            self.pkg_coordinator.close_round(round_number)
+
+    # -- transport dispatch --------------------------------------------------
+    def handle_rpc(self, request: RpcRequest) -> RpcResult:
+        """Serve one framed RPC (see ``repro/net/rpc.py`` for the layouts)."""
+        if request.method == "announce_round":
+            protocol, round_number, mailbox_count, body_length = rpc.decode_announce_request(
+                request.payload
+            )
+            announcement = self.announce_round(protocol, round_number, mailbox_count, body_length)
+            return RpcResult(
+                payload=rpc.encode_announce_response(
+                    announcement.mix_public_keys,
+                    announcement.mailbox_count,
+                    announcement.request_body_length,
+                ),
+                obj=announcement.pkg_public_keys,
+                size_hint=rpc.MASTER_PUBLIC_SIZE_HINT * len(announcement.pkg_public_keys),
+            )
+        if request.method == "submit":
+            protocol, round_number, client_id, envelope, token_bytes = rpc.decode_submit_request(
+                request.payload
+            )
+            token = blind.RateToken.from_bytes(token_bytes) if token_bytes is not None else None
+            self.submit(protocol, round_number, client_id, envelope, rate_token=token)
+            return RpcResult()
+        if request.method == "submissions":
+            protocol, round_number = rpc.decode_round_ref(request.payload)
+            return RpcResult(payload=Packer().u32(self.submissions(protocol, round_number)).pack())
+        if request.method == "close_round":
+            protocol, round_number = rpc.decode_round_ref(request.payload)
+            result = self.close_round(protocol, round_number)
+            # The response to the coordinator carries only round statistics;
+            # the mailboxes themselves are charged on the entry -> CDN publish.
+            return RpcResult(obj=result, size_hint=64)
+        raise NetworkError(f"entry server has no RPC method {request.method!r}")

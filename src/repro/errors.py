@@ -56,3 +56,11 @@ class ConfigurationError(AlpenhornError):
 
 class RateLimitError(AlpenhornError):
     """The entry server rejected a request for lack of a valid rate token."""
+
+
+class NetworkError(AlpenhornError):
+    """A transport-level failure: unknown endpoint, lost message, dead link."""
+
+
+class PartitionError(NetworkError):
+    """The link between two endpoints is partitioned; the message cannot flow."""

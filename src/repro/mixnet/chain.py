@@ -6,6 +6,13 @@ noise, and shuffled by each server in turn.  After the last server the
 payloads are plaintext ``(mailbox_id, body)`` pairs; the chain groups them
 into mailboxes (dropping cover traffic) and, for the dialing protocol,
 encodes each mailbox as a Bloom filter.
+
+The chain driver (run by the entry server) reaches the mix servers through
+*handles*: either in-process wrappers around :class:`MixServer` objects, or
+:class:`~repro.net.rpc.MixStub` proxies that frame every hop of the pipeline
+over a :class:`~repro.net.transport.Transport`.  Deployments always use the
+transport path; constructing a chain from bare servers keeps standalone unit
+tests and one-off experiments simple.
 """
 
 from __future__ import annotations
@@ -20,8 +27,29 @@ from repro.mixnet.mailbox import (
     MailboxSet,
 )
 from repro.mixnet.noise import NoiseConfig
-from repro.mixnet.server import MixServer, decode_inner_payload
+from repro.mixnet.server import MixServer, MixServerStats, decode_inner_payload
 from repro.errors import SerializationError
+
+
+class _LocalMixHandle:
+    """Direct in-process access to one mix server (no transport)."""
+
+    def __init__(self, server: MixServer) -> None:
+        self.server = server
+        self.name = server.name
+
+    def open_round(self, round_number: int) -> bytes:
+        return self.server.open_round(round_number)
+
+    def round_public_key(self, round_number: int) -> bytes:
+        return self.server.round_public_key(round_number)
+
+    def close_round(self, round_number: int) -> None:
+        self.server.close_round(round_number)
+
+    def process_batch(self, **kwargs) -> tuple[list[bytes], MixServerStats]:
+        batch = self.server.process_batch(**kwargs)
+        return batch, self.server.last_stats
 
 
 @dataclass
@@ -42,26 +70,55 @@ class RoundResult:
 class MixChain:
     """An ordered chain of mix servers ending in mailbox construction."""
 
-    def __init__(self, servers: list[MixServer], noise_config: NoiseConfig | None = None) -> None:
-        if not servers:
-            raise MixnetError("mix chain needs at least one server")
-        self.servers = servers
+    def __init__(
+        self,
+        servers: list[MixServer] | None = None,
+        noise_config: NoiseConfig | None = None,
+        transport=None,
+        server_names: list[str] | None = None,
+    ) -> None:
+        self.servers = list(servers) if servers is not None else []
         self.noise_config = noise_config if noise_config is not None else NoiseConfig()
+        if transport is not None:
+            from repro.net.rpc import MixStub
+
+            names = server_names if server_names is not None else [s.name for s in self.servers]
+            if not names:
+                raise MixnetError("mix chain needs at least one server")
+            self._handles = [MixStub(transport, name) for name in names]
+        else:
+            if not self.servers:
+                raise MixnetError("mix chain needs at least one server")
+            self._handles = [_LocalMixHandle(server) for server in self.servers]
+        self.last_round_stats: list[MixServerStats] = []
+        # Round public keys collected at open_round, so run_round does not
+        # re-fetch every downstream key on every hop (O(m^2) RPCs otherwise).
+        self._round_publics: dict[int, list[bytes]] = {}
 
     def __len__(self) -> int:
-        return len(self.servers)
+        return len(self._handles)
 
     # -- round key management ------------------------------------------------
     def open_round(self, round_number: int) -> list[bytes]:
         """Open the round on every server; returns their round public keys."""
-        return [server.open_round(round_number) for server in self.servers]
+        publics = [handle.open_round(round_number) for handle in self._handles]
+        self._round_publics[round_number] = publics
+        return publics
 
     def round_public_keys(self, round_number: int) -> list[bytes]:
-        return [server.round_public_key(round_number) for server in self.servers]
+        return [handle.round_public_key(round_number) for handle in self._handles]
 
     def close_round(self, round_number: int) -> None:
-        for server in self.servers:
-            server.close_round(round_number)
+        """Erase the round's keys on every reachable server (best-effort:
+        an unreachable server keeps its key until it heals)."""
+        from repro.errors import NetworkError
+
+        self._round_publics.pop(round_number, None)
+        for handle in self._handles:
+            try:
+                handle.close_round(round_number)
+            except NetworkError:
+                continue
 
     # -- the round itself -------------------------------------------------------
     def run_round(
@@ -78,13 +135,15 @@ class MixChain:
             raise MixnetError(f"unknown protocol {protocol!r}")
 
         batch = list(envelopes)
+        publics = self._round_publics.get(round_number)
+        if publics is None:
+            publics = self.round_public_keys(round_number)
         per_server_noise: list[int] = []
+        round_stats: list[MixServerStats] = []
         dropped = 0
-        for index, server in enumerate(self.servers):
-            downstream = [
-                s.round_public_key(round_number) for s in self.servers[index + 1 :]
-            ]
-            batch = server.process_batch(
+        for index, handle in enumerate(self._handles):
+            downstream = publics[index + 1 :]
+            batch, stats = handle.process_batch(
                 round_number=round_number,
                 protocol=protocol,
                 envelopes=batch,
@@ -93,8 +152,10 @@ class MixChain:
                 noise_config=self.noise_config,
                 noise_body_length=payload_body_length,
             )
-            per_server_noise.append(server.last_stats.noise_added)
-            dropped += server.last_stats.dropped
+            round_stats.append(stats)
+            per_server_noise.append(stats.noise_added)
+            dropped += stats.dropped
+        self.last_round_stats = round_stats
 
         # After the last server the batch holds plaintext inner payloads.
         mailboxes = MailboxSet(

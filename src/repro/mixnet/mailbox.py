@@ -111,6 +111,21 @@ class DialingMailbox:
         return DialingMailbox(mailbox_id=mailbox_id, bloom=bloom, token_count=token_count)
 
 
+def decode_mailbox(protocol: str, mailbox_id: int, blob: bytes | None):
+    """Deserialize a downloaded mailbox; ``None`` means it was empty.
+
+    Shared by the CDN server and its transport stub so the two decode paths
+    cannot drift.
+    """
+    if blob is None:
+        if protocol == "add-friend":
+            return AddFriendMailbox(mailbox_id=mailbox_id)
+        return DialingMailbox.build(mailbox_id, [])
+    if protocol == "add-friend":
+        return AddFriendMailbox.from_bytes(blob)
+    return DialingMailbox.from_bytes(blob)
+
+
 @dataclass
 class MailboxSet:
     """All mailboxes produced by one protocol round."""

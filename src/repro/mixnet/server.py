@@ -128,3 +128,42 @@ class MixServer:
         self.rng.shuffle(peeled)
         self.last_stats = stats
         return peeled
+
+    # -- transport dispatch --------------------------------------------------
+    def handle_rpc(self, request):
+        """Serve one framed RPC (see ``repro/net/rpc.py`` for the layouts)."""
+        from repro.errors import NetworkError
+        from repro.net import rpc
+        from repro.net.transport import RpcResult
+        from repro.utils.serialization import Unpacker
+
+        if request.method == "process_batch":
+            (
+                round_number,
+                protocol,
+                envelopes,
+                downstream_publics,
+                mailbox_count,
+                noise_config,
+                noise_body_length,
+            ) = rpc.decode_process_batch_request(request.payload)
+            batch = self.process_batch(
+                round_number=round_number,
+                protocol=protocol,
+                envelopes=envelopes,
+                downstream_publics=downstream_publics,
+                mailbox_count=mailbox_count,
+                noise_config=noise_config,
+                noise_body_length=noise_body_length,
+            )
+            return RpcResult(payload=rpc.encode_process_batch_response(batch, self.last_stats))
+
+        round_number = Unpacker(request.payload).u64()
+        if request.method == "open_round":
+            return RpcResult(payload=Packer().bytes(self.open_round(round_number)).pack())
+        if request.method == "round_public_key":
+            return RpcResult(payload=Packer().bytes(self.round_public_key(round_number)).pack())
+        if request.method == "close_round":
+            self.close_round(round_number)
+            return RpcResult()
+        raise NetworkError(f"mix server {self.name} has no RPC method {request.method!r}")

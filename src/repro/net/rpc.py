@@ -1,0 +1,428 @@
+"""Client-side RPC stubs and the payload codecs both sides share.
+
+Each stub presents the same Python surface as the server object it fronts
+(:class:`~repro.entry.server.EntryServer`, :class:`~repro.pkg.server.PkgServer`,
+:class:`~repro.mixnet.server.MixServer`, :class:`~repro.cdn.cdn.Cdn`), so the
+deployment can hand a stub anywhere a direct reference used to go.  The stub
+encodes arguments into a framed payload, issues one :meth:`Transport.call`,
+and decodes the response; the server's ``handle_rpc`` does the inverse.
+
+Payload layouts live in the ``encode_*`` / ``decode_*`` helpers below so the
+two directions cannot drift apart.  Backend-specific values that have no
+byte encoding (pairing points, extraction responses, mailbox sets) ride the
+response's attached object with an explicit size hint; see
+``repro/net/frames.py`` for the rationale.
+"""
+
+from __future__ import annotations
+
+from repro.mixnet.noise import NoiseConfig
+from repro.mixnet.server import MixServerStats
+from repro.net.frames import pack_bytes_list, unpack_bytes_list
+from repro.net.transport import Transport
+from repro.utils.serialization import Packer, Unpacker
+
+# Nominal wire sizes for values that travel as attached objects: a G2 master
+# public key (128 bytes uncompressed), and an extraction response (a G1 key
+# share + a G1 BLS attestation, 64 bytes each, plus framing).
+MASTER_PUBLIC_SIZE_HINT = 128
+EXTRACTION_RESPONSE_SIZE_HINT = 2 * 64 + 16
+
+
+# --------------------------------------------------------------------------- #
+# Payload codecs (request direction unless suffixed _response)
+# --------------------------------------------------------------------------- #
+def encode_round_ref(protocol: str, round_number: int) -> bytes:
+    return Packer().str(protocol).u64(round_number).pack()
+
+
+def decode_round_ref(payload: bytes) -> tuple[str, int]:
+    unpacker = Unpacker(payload)
+    protocol, round_number = unpacker.str(), unpacker.u64()
+    unpacker.done()
+    return protocol, round_number
+
+
+def encode_announce_request(
+    protocol: str, round_number: int, mailbox_count: int, request_body_length: int
+) -> bytes:
+    return (
+        Packer()
+        .str(protocol)
+        .u64(round_number)
+        .u32(mailbox_count)
+        .u32(request_body_length)
+        .pack()
+    )
+
+
+def decode_announce_request(payload: bytes) -> tuple[str, int, int, int]:
+    unpacker = Unpacker(payload)
+    out = (unpacker.str(), unpacker.u64(), unpacker.u32(), unpacker.u32())
+    unpacker.done()
+    return out
+
+
+def encode_announce_response(
+    mix_public_keys: list[bytes], mailbox_count: int, request_body_length: int
+) -> bytes:
+    packer = Packer().u32(mailbox_count).u32(request_body_length)
+    return pack_bytes_list(packer, mix_public_keys).pack()
+
+
+def decode_announce_response(payload: bytes) -> tuple[list[bytes], int, int]:
+    unpacker = Unpacker(payload)
+    mailbox_count = unpacker.u32()
+    request_body_length = unpacker.u32()
+    mix_publics = unpack_bytes_list(unpacker)
+    unpacker.done()
+    return mix_publics, mailbox_count, request_body_length
+
+
+def encode_submit_request(
+    protocol: str,
+    round_number: int,
+    client_id: str,
+    envelope: bytes,
+    rate_token_bytes: bytes | None,
+) -> bytes:
+    packer = Packer().str(protocol).u64(round_number).str(client_id).bytes(envelope)
+    if rate_token_bytes is None:
+        packer.u8(0)
+    else:
+        packer.u8(1).bytes(rate_token_bytes)
+    return packer.pack()
+
+
+def decode_submit_request(payload: bytes) -> tuple[str, int, str, bytes, bytes | None]:
+    unpacker = Unpacker(payload)
+    protocol = unpacker.str()
+    round_number = unpacker.u64()
+    client_id = unpacker.str()
+    envelope = unpacker.bytes()
+    token = unpacker.bytes() if unpacker.u8() else None
+    unpacker.done()
+    return protocol, round_number, client_id, envelope, token
+
+
+def encode_process_batch_request(
+    round_number: int,
+    protocol: str,
+    envelopes: list[bytes],
+    downstream_publics: list[bytes],
+    mailbox_count: int,
+    noise_config: NoiseConfig,
+    noise_body_length: int,
+) -> bytes:
+    packer = (
+        Packer()
+        .u64(round_number)
+        .str(protocol)
+        .u32(mailbox_count)
+        .u32(noise_body_length)
+        .f64(noise_config.addfriend_mu)
+        .f64(noise_config.addfriend_b)
+        .f64(noise_config.dialing_mu)
+        .f64(noise_config.dialing_b)
+    )
+    pack_bytes_list(packer, downstream_publics)
+    pack_bytes_list(packer, envelopes)
+    return packer.pack()
+
+
+def decode_process_batch_request(
+    payload: bytes,
+) -> tuple[int, str, list[bytes], list[bytes], int, NoiseConfig, int]:
+    unpacker = Unpacker(payload)
+    round_number = unpacker.u64()
+    protocol = unpacker.str()
+    mailbox_count = unpacker.u32()
+    noise_body_length = unpacker.u32()
+    noise_config = NoiseConfig(
+        addfriend_mu=unpacker.f64(),
+        addfriend_b=unpacker.f64(),
+        dialing_mu=unpacker.f64(),
+        dialing_b=unpacker.f64(),
+    )
+    downstream_publics = unpack_bytes_list(unpacker)
+    envelopes = unpack_bytes_list(unpacker)
+    unpacker.done()
+    return (
+        round_number,
+        protocol,
+        envelopes,
+        downstream_publics,
+        mailbox_count,
+        noise_config,
+        noise_body_length,
+    )
+
+
+def encode_process_batch_response(batch: list[bytes], stats: MixServerStats) -> bytes:
+    packer = Packer().u32(stats.received).u32(stats.dropped).u32(stats.noise_added)
+    return pack_bytes_list(packer, batch).pack()
+
+
+def decode_process_batch_response(payload: bytes) -> tuple[list[bytes], MixServerStats]:
+    unpacker = Unpacker(payload)
+    stats = MixServerStats(
+        received=unpacker.u32(), dropped=unpacker.u32(), noise_added=unpacker.u32()
+    )
+    batch = unpack_bytes_list(unpacker)
+    unpacker.done()
+    return batch, stats
+
+
+def encode_registration_request(email: str, blob: bytes) -> bytes:
+    return Packer().str(email).bytes(blob).pack()
+
+
+def decode_registration_request(payload: bytes) -> tuple[str, bytes]:
+    unpacker = Unpacker(payload)
+    out = (unpacker.str(), unpacker.bytes())
+    unpacker.done()
+    return out
+
+
+def encode_extract_request(email: str, round_number: int, signature: bytes) -> bytes:
+    return Packer().str(email).u64(round_number).bytes(signature).pack()
+
+
+def decode_extract_request(payload: bytes) -> tuple[str, int, bytes]:
+    unpacker = Unpacker(payload)
+    out = (unpacker.str(), unpacker.u64(), unpacker.bytes())
+    unpacker.done()
+    return out
+
+
+def encode_download_request(protocol: str, round_number: int, mailbox_id: int, client: str) -> bytes:
+    return Packer().str(protocol).u64(round_number).u32(mailbox_id).str(client).pack()
+
+
+def decode_download_request(payload: bytes) -> tuple[str, int, int, str]:
+    unpacker = Unpacker(payload)
+    out = (unpacker.str(), unpacker.u64(), unpacker.u32(), unpacker.str())
+    unpacker.done()
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Stubs
+# --------------------------------------------------------------------------- #
+class EntryStub:
+    """Fronts the entry server for the round coordinator and for clients."""
+
+    def __init__(self, transport: Transport, endpoint: str = "entry", src: str = "coordinator") -> None:
+        self.transport = transport
+        self.endpoint = endpoint
+        self.src = src
+
+    def announce_round(
+        self,
+        protocol: str,
+        round_number: int,
+        mailbox_count: int,
+        request_body_length: int,
+    ):
+        from repro.entry.server import RoundAnnouncement
+
+        result = self.transport.call(
+            self.src,
+            self.endpoint,
+            "announce_round",
+            encode_announce_request(protocol, round_number, mailbox_count, request_body_length),
+        )
+        mix_publics, final_mailbox_count, body_length = decode_announce_response(result.payload)
+        return RoundAnnouncement(
+            protocol=protocol,
+            round_number=round_number,
+            mix_public_keys=mix_publics,
+            pkg_public_keys=list(result.obj) if result.obj is not None else [],
+            mailbox_count=final_mailbox_count,
+            request_body_length=body_length,
+        )
+
+    def submit(
+        self,
+        protocol: str,
+        round_number: int,
+        client_id: str,
+        envelope: bytes,
+        rate_token=None,
+    ) -> None:
+        token_bytes = rate_token.to_bytes() if rate_token is not None else None
+        self.transport.call(
+            client_id,
+            self.endpoint,
+            "submit",
+            encode_submit_request(protocol, round_number, client_id, envelope, token_bytes),
+        )
+
+    def submissions(self, protocol: str, round_number: int) -> int:
+        result = self.transport.call(
+            self.src, self.endpoint, "submissions", encode_round_ref(protocol, round_number)
+        )
+        return Unpacker(result.payload).u32()
+
+    def close_round(self, protocol: str, round_number: int):
+        result = self.transport.call(
+            self.src, self.endpoint, "close_round", encode_round_ref(protocol, round_number)
+        )
+        return result.obj
+
+
+class MixStub:
+    """Fronts one mix server for the chain driver (the entry server)."""
+
+    def __init__(self, transport: Transport, name: str, src: str = "entry") -> None:
+        self.transport = transport
+        self.name = name
+        self.src = src
+
+    def _round_call(self, method: str, round_number: int) -> bytes:
+        return self.transport.call(
+            self.src, self.name, method, Packer().u64(round_number).pack()
+        ).payload
+
+    def open_round(self, round_number: int) -> bytes:
+        return Unpacker(self._round_call("open_round", round_number)).bytes()
+
+    def round_public_key(self, round_number: int) -> bytes:
+        return Unpacker(self._round_call("round_public_key", round_number)).bytes()
+
+    def close_round(self, round_number: int) -> None:
+        self._round_call("close_round", round_number)
+
+    def process_batch(
+        self,
+        round_number: int,
+        protocol: str,
+        envelopes: list[bytes],
+        downstream_publics: list[bytes],
+        mailbox_count: int,
+        noise_config: NoiseConfig,
+        noise_body_length: int,
+    ) -> tuple[list[bytes], MixServerStats]:
+        result = self.transport.call(
+            self.src,
+            self.name,
+            "process_batch",
+            encode_process_batch_request(
+                round_number,
+                protocol,
+                envelopes,
+                downstream_publics,
+                mailbox_count,
+                noise_config,
+                noise_body_length,
+            ),
+        )
+        return decode_process_batch_response(result.payload)
+
+
+class PkgStub:
+    """Fronts one PKG server for clients and for the PKG coordinator.
+
+    Registration and extraction calls originate from the client whose email
+    appears in the request; round-lifecycle calls originate from the entry
+    server (which runs the commit-reveal coordinator).  The ``ibe`` backend
+    reference and the long-term ``bls_public_key`` mirror what a real client
+    ships with in its configuration.
+    """
+
+    def __init__(self, transport: Transport, name: str, ibe, bls_public_key) -> None:
+        self.transport = transport
+        self.name = name
+        self.ibe = ibe
+        self._bls_public_key = bls_public_key
+
+    @property
+    def bls_public_key(self):
+        return self._bls_public_key
+
+    # -- registration (src = the registering client) -----------------------
+    def begin_registration(self, email: str, signing_key: bytes, now: float) -> None:
+        self.transport.call(
+            email, self.name, "begin_registration", encode_registration_request(email, signing_key)
+        )
+
+    def confirm_registration(self, email: str, token: str, now: float) -> None:
+        self.transport.call(
+            email,
+            self.name,
+            "confirm_registration",
+            encode_registration_request(email, token.encode("utf-8")),
+        )
+
+    def deregister(self, email: str, signature: bytes, now: float) -> None:
+        self.transport.call(
+            email, self.name, "deregister", encode_registration_request(email, signature)
+        )
+
+    # -- extraction (src = the extracting client) --------------------------
+    def extract(self, email: str, round_number: int, request_signature: bytes, now: float):
+        result = self.transport.call(
+            email,
+            self.name,
+            "extract",
+            encode_extract_request(email, round_number, request_signature),
+        )
+        return result.obj
+
+    # -- round lifecycle (src = the entry/coordinator) ---------------------
+    def open_round(self, round_number: int):
+        result = self.transport.call(
+            "entry", self.name, "open_round", Packer().u64(round_number).pack()
+        )
+        return result.obj
+
+    def round_public_key(self, round_number: int):
+        result = self.transport.call(
+            "entry", self.name, "round_public_key", Packer().u64(round_number).pack()
+        )
+        return result.obj
+
+    def close_round(self, round_number: int) -> None:
+        self.transport.call("entry", self.name, "close_round", Packer().u64(round_number).pack())
+
+    def has_master_secret(self, round_number: int) -> bool:
+        result = self.transport.call(
+            "entry", self.name, "has_master_secret", Packer().u64(round_number).pack()
+        )
+        return bool(Unpacker(result.payload).u8())
+
+
+class CdnStub:
+    """Fronts the CDN for clients (downloads) and the entry server (publish)."""
+
+    def __init__(self, transport: Transport, endpoint: str = "cdn") -> None:
+        self.transport = transport
+        self.endpoint = endpoint
+
+    def publish(self, mailboxes, src: str = "entry") -> None:
+        self.transport.call(
+            src,
+            self.endpoint,
+            "publish",
+            obj=mailboxes,
+            size_hint=mailboxes.total_size_bytes(),
+        )
+
+    def mailbox_count(self, protocol: str, round_number: int, client: str = "anonymous") -> int:
+        result = self.transport.call(
+            client, self.endpoint, "mailbox_count", encode_round_ref(protocol, round_number)
+        )
+        return Unpacker(result.payload).u32()
+
+    def download(self, protocol: str, round_number: int, mailbox_id: int, client: str = "anonymous"):
+        from repro.mixnet.mailbox import decode_mailbox
+
+        result = self.transport.call(
+            client,
+            self.endpoint,
+            "download",
+            encode_download_request(protocol, round_number, mailbox_id, client),
+        )
+        unpacker = Unpacker(result.payload)
+        blob = unpacker.bytes() if unpacker.u8() else None
+        return decode_mailbox(protocol, mailbox_id, blob)

@@ -1,0 +1,93 @@
+"""A discrete-event scheduler: the clock of the simulated network.
+
+Time is a float (seconds).  Events are (time, sequence, callback) triples in
+a heap; running the scheduler pops events in time order, advances ``now`` to
+each event's time, and invokes the callback.  Callbacks may schedule further
+events (a delivered request whose handler issues nested RPCs does exactly
+that), so :meth:`run_until` is re-entrant: an event callback that needs to
+wait for a later event simply runs the loop again from inside itself.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class Event:
+    """One scheduled callback; ordered by (time, seq) for deterministic ties."""
+
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventScheduler:
+    """Minimal discrete-event loop driving :class:`SimulatedNetwork`."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now: float = start
+        self._heap: list[Event] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        event = Event(time=self.now + delay, seq=self._seq, callback=callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pending(self) -> int:
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the heap is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            # Events scheduled in the past (by a re-entrant caller that already
+            # advanced the clock) run "now": simulated time never moves backward.
+            self.now = max(self.now, event.time)
+            self.events_processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run_until(self, predicate: Callable[[], bool]) -> None:
+        """Process events in time order until ``predicate()`` holds."""
+        while not predicate():
+            if not self.step():
+                raise RuntimeError(
+                    "event heap drained before the awaited event fired"
+                )
+
+    def run_until_idle(self) -> None:
+        while self.step():
+            pass
+
+    def advance(self, seconds: float) -> None:
+        """Jump the clock forward, draining any events due in between."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        deadline = self.now + seconds
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                # Discard here rather than via step(): step() would run the
+                # *next* live event even if it is due after the deadline.
+                heapq.heappop(self._heap)
+                continue
+            if head.time > deadline:
+                break
+            self.step()
+        self.now = deadline

@@ -1,0 +1,186 @@
+"""A simulated network: the Transport over a discrete-event scheduler.
+
+Every :meth:`call` becomes two scheduled message deliveries -- request out,
+response back -- whose delays come from the :class:`~repro.net.links`
+topology (base latency + jitter + size/bandwidth).  The caller blocks, in
+simulated time, until its response event fires; handlers that issue nested
+RPCs (the entry server driving the mix chain) re-enter the scheduler, so a
+round's critical path adds up exactly like a real pipelined deployment.
+
+Loss is modelled as per-attempt drops with retransmission after a timeout;
+a message that exhausts its retries raises :class:`NetworkError`.  A
+partitioned link refuses immediately with :class:`PartitionError` (the
+retry budget would change nothing deterministically).
+
+Concurrency: clients in a round act simultaneously, not in sequence.  A
+:meth:`phase` rewinds the clock to the phase start for each task and ends
+the phase at the latest finisher, which models N independent machines while
+keeping handler execution single-threaded and deterministic.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import NetworkError, PartitionError
+from repro.net.frames import Frame, frame_overhead
+from repro.net.links import LinkSpec, NetworkTopology
+from repro.net.scheduler import EventScheduler
+from repro.net.transport import (
+    Phase,
+    RpcRequest,
+    RpcResult,
+    Transport,
+    normalize_response,
+)
+from repro.utils.rng import DeterministicRng
+
+DEFAULT_RETRY_TIMEOUT_S = 1.0
+DEFAULT_MAX_ATTEMPTS = 5
+
+#: Nominal payload of an error reply (frames.KIND_ERROR): a short message.
+ERROR_REPLY_BODY_SIZE = 64
+
+
+class _SimulatedPhase(Phase):
+    """Concurrent-task grouping: each task restarts at the phase's t0."""
+
+    def __init__(self, scheduler: EventScheduler) -> None:
+        self._scheduler = scheduler
+        self._start = scheduler.now
+        self._latest = scheduler.now
+
+    def run(self, task: Callable[[], object]) -> object:
+        self._scheduler.now = self._start
+        try:
+            return task()
+        finally:
+            self._latest = max(self._latest, self._scheduler.now)
+
+    def __exit__(self, *exc) -> bool:
+        self._scheduler.now = self._latest
+        return False
+
+
+class SimulatedNetwork(Transport):
+    """Discrete-event message passing with per-link performance models."""
+
+    def __init__(
+        self,
+        topology: NetworkTopology | None = None,
+        seed: str = "simulated-network",
+        retry_timeout_s: float = DEFAULT_RETRY_TIMEOUT_S,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> None:
+        super().__init__()
+        self.topology = topology if topology is not None else NetworkTopology()
+        self.scheduler = EventScheduler()
+        self.rng = DeterministicRng(seed)
+        self.retry_timeout_s = retry_timeout_s
+        self.max_attempts = max_attempts
+
+    # -- delay model --------------------------------------------------------
+    def _delivery_delay(self, link: LinkSpec, num_bytes: int) -> tuple[float, bool]:
+        """(delay, delivered): time elapsed and whether the message landed.
+
+        A lost message still costs its retry timeouts -- the caller waited
+        through every retransmission before giving up.
+        """
+        total = 0.0
+        for _ in range(self.max_attempts):
+            if link.dropped(self.rng):
+                self.stats.messages_dropped += 1
+                total += self.retry_timeout_s
+                continue
+            return total + link.transfer_delay(num_bytes, self.rng), True
+        return total, False
+
+    def _wait(self, delay: float) -> None:
+        done: list[bool] = []
+        self.scheduler.schedule(delay, lambda: done.append(True))
+        self.scheduler.run_until(lambda: bool(done))
+
+    def _transmit(self, src: str, dst: str, method: str, num_bytes: int) -> None:
+        """Move the clock past one message delivery, via a scheduler event."""
+        link = self.topology.link(src, dst)
+        if self.topology.is_partitioned(src, dst):
+            raise PartitionError(f"link {src} <-> {dst} is partitioned")
+        delay, delivered = self._delivery_delay(link, num_bytes)
+        self._wait(delay)
+        if not delivered:
+            raise NetworkError(
+                f"message {src} -> {dst} lost after {self.max_attempts} attempts"
+            )
+        self.stats.record(src, dst, method, num_bytes)
+
+    # -- the Transport surface ----------------------------------------------
+    def call(
+        self,
+        src: str,
+        dst: str,
+        method: str,
+        payload: bytes = b"",
+        obj: object = None,
+        size_hint: int = 0,
+    ) -> RpcResult:
+        handler = self._handler_for(dst)
+        start = self.scheduler.now
+
+        frame = Frame.from_bytes(self._frame(src, dst, method, payload).to_bytes())
+        try:
+            self._transmit(src, dst, method, len(payload) + size_hint + frame_overhead(src, dst, method))
+        except NetworkError as exc:
+            # The server never saw this request; callers may safely retry
+            # with fresh state (see Deployment's requeue-on-failure).
+            exc.request_delivered = False
+            raise
+
+        # The handler runs at delivery time; nested calls it makes advance
+        # the scheduler further before the response starts its trip back.
+        request = RpcRequest(
+            src=frame.src,
+            dst=frame.dst,
+            method=frame.method,
+            payload=frame.payload,
+            obj=obj,
+            time=self.scheduler.now,
+        )
+        try:
+            response = normalize_response(handler(request))
+        except Exception as exc:
+            # A server-side failure (protocol rejection, or a nested call
+            # that died) is reported in an error reply that rides the wire
+            # like any response: it pays return latency and can itself be
+            # lost -- in which case the caller sees only the network failure.
+            try:
+                self._transmit(dst, src, method, frame_overhead(dst, src, method) + ERROR_REPLY_BODY_SIZE)
+            except NetworkError as transport_exc:
+                # Deliberately NOT tagged request_delivered: the request was
+                # delivered but *rejected*, so callers that treat a lost ack
+                # as success (safe only for accepted requests) must not.
+                raise transport_exc from exc
+            raise
+
+        try:
+            self._transmit(
+                dst, src, method, len(response.payload) + response.size_hint + frame_overhead(dst, src, method)
+            )
+        except NetworkError as exc:
+            # Only the acknowledgement was lost: the server already acted on
+            # the request, so a blind retry would double-apply it.
+            exc.request_delivered = True
+            raise
+        return RpcResult(
+            payload=response.payload,
+            obj=response.obj,
+            latency_s=self.scheduler.now - start,
+        )
+
+    def now(self) -> float:
+        return self.scheduler.now
+
+    def advance(self, seconds: float) -> None:
+        self.scheduler.advance(seconds)
+
+    def phase(self) -> Phase:
+        return _SimulatedPhase(self.scheduler)

@@ -1,0 +1,228 @@
+"""The abstract transport every Alpenhorn component talks through.
+
+A transport connects *endpoints* (entry server, mix servers, PKGs, CDN) to
+callers (clients, the round coordinator, other servers).  Components never
+hold references to each other across a trust boundary; they hold an endpoint
+name and issue framed RPCs:
+
+* :meth:`Transport.register` binds a server object's ``handle_rpc`` to a name,
+* :meth:`Transport.call` sends one request frame and returns the response,
+* :meth:`Transport.phase` groups calls made on behalf of *different* origins
+  into one concurrent phase (all clients of a round submit simultaneously;
+  wall-clock is the slowest participant, not the sum).
+
+Two implementations exist: :class:`DirectTransport` here (zero latency,
+preserves the seed deployment's timing exactly -- the logical clock only
+moves when :meth:`advance` is called) and
+:class:`~repro.net.simulated.SimulatedNetwork` (discrete-event simulation
+with per-link latency/bandwidth/jitter/loss models).
+
+Responses may attach a Python object next to the payload bytes.  This stands
+in for the byte encoding of backend-specific values (pairing points, mailbox
+sets); such calls declare a ``size_hint`` so bandwidth accounting still sees
+realistic message sizes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import NetworkError
+from repro.net.frames import Frame, KIND_REQUEST, frame_overhead
+
+
+@dataclass
+class RpcRequest:
+    """What a registered handler receives for one incoming call."""
+
+    src: str
+    dst: str
+    method: str
+    payload: bytes
+    obj: object = None
+    time: float = 0.0  # server-side delivery time (the transport's clock)
+
+
+@dataclass
+class RpcResult:
+    """What :meth:`Transport.call` returns to the caller."""
+
+    payload: bytes = b""
+    obj: object = None
+    size_hint: int = 0
+    latency_s: float = 0.0
+
+
+#: A handler returns ``bytes``, ``None``, or a full :class:`RpcResult`.
+RpcHandler = Callable[[RpcRequest], "RpcResult | bytes | None"]
+
+
+def normalize_response(raw: "RpcResult | bytes | None") -> RpcResult:
+    if raw is None:
+        return RpcResult()
+    if isinstance(raw, (bytes, bytearray)):
+        return RpcResult(payload=bytes(raw))
+    if isinstance(raw, RpcResult):
+        return raw
+    raise NetworkError(f"handler returned unsupported type {type(raw).__name__}")
+
+
+@dataclass
+class TransportStats:
+    """Cumulative traffic accounting, used by scenarios and benchmarks."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_dropped: int = 0
+    bytes_by_endpoint: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    calls_by_method: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    def record(self, src: str, dst: str, method: str, num_bytes: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += num_bytes
+        self.bytes_by_endpoint[src] += num_bytes
+        self.bytes_by_endpoint[dst] += num_bytes
+        self.calls_by_method[method] += 1
+
+
+class Phase:
+    """A group of logically concurrent tasks (see :meth:`Transport.phase`).
+
+    Used as a context manager::
+
+        with transport.phase() as ph:
+            for client in clients:
+                ph.run(lambda: client.participate(...))
+    """
+
+    def run(self, task: Callable[[], object]) -> object:
+        return task()
+
+    def __enter__(self) -> "Phase":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+class Transport(ABC):
+    """Abstract message-passing layer between Alpenhorn components."""
+
+    def __init__(self) -> None:
+        self._handlers: dict[str, RpcHandler] = {}
+        self.stats = TransportStats()
+        self._next_msg_id = 0
+
+    # -- endpoint management -----------------------------------------------
+    def register(self, name: str, handler: RpcHandler) -> None:
+        if name in self._handlers:
+            raise NetworkError(f"endpoint {name!r} is already registered")
+        self._handlers[name] = handler
+
+    def endpoints(self) -> list[str]:
+        return sorted(self._handlers)
+
+    def _handler_for(self, dst: str) -> RpcHandler:
+        handler = self._handlers.get(dst)
+        if handler is None:
+            raise NetworkError(f"no endpoint registered as {dst!r}")
+        return handler
+
+    def _frame(self, src: str, dst: str, method: str, payload: bytes) -> Frame:
+        frame = Frame(
+            kind=KIND_REQUEST,
+            msg_id=self._next_msg_id,
+            src=src,
+            dst=dst,
+            method=method,
+            payload=payload,
+        )
+        self._next_msg_id += 1
+        return frame
+
+    # -- the RPC surface ----------------------------------------------------
+    @abstractmethod
+    def call(
+        self,
+        src: str,
+        dst: str,
+        method: str,
+        payload: bytes = b"",
+        obj: object = None,
+        size_hint: int = 0,
+    ) -> RpcResult:
+        """Send one request and block until the response arrives."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """The transport's clock, in seconds."""
+
+    @abstractmethod
+    def advance(self, seconds: float) -> None:
+        """Move the clock forward (e.g. the gap between scheduled rounds)."""
+
+    def phase(self) -> Phase:
+        """A context for logically concurrent calls from distinct origins.
+
+        The base implementation runs tasks sequentially with no time
+        semantics; :class:`~repro.net.simulated.SimulatedNetwork` overrides
+        this so every task starts at the same simulated instant and the
+        phase ends at the latest finisher.
+        """
+        return Phase()
+
+
+class DirectTransport(Transport):
+    """Zero-latency transport: frames are encoded, decoded, and dispatched
+    in-process.  This preserves the seed deployment's behavior bit-for-bit
+    (no randomness is consumed, no time passes) while still exercising the
+    wire format and producing bandwidth statistics on every run."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._clock = 0.0
+
+    def call(
+        self,
+        src: str,
+        dst: str,
+        method: str,
+        payload: bytes = b"",
+        obj: object = None,
+        size_hint: int = 0,
+    ) -> RpcResult:
+        handler = self._handler_for(dst)
+        # Round-trip the request through the frame codec so that malformed
+        # payloads fail here, identically to how they would on a real link.
+        frame = Frame.from_bytes(self._frame(src, dst, method, payload).to_bytes())
+        self.stats.record(src, dst, method, len(payload) + size_hint + frame_overhead(src, dst, method))
+        request = RpcRequest(
+            src=frame.src,
+            dst=frame.dst,
+            method=frame.method,
+            payload=frame.payload,
+            obj=obj,
+            time=self._clock,
+        )
+        response = normalize_response(handler(request))
+        self.stats.record(
+            dst, src, method, len(response.payload) + response.size_hint + frame_overhead(dst, src, method)
+        )
+        return RpcResult(payload=response.payload, obj=response.obj, latency_s=0.0)
+
+    def now(self) -> float:
+        return self._clock
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        self._clock += seconds
+
+    def __enter__(self):  # pragma: no cover - context use is optional sugar
+        return self
+
+    def __exit__(self, *exc):  # pragma: no cover
+        return False

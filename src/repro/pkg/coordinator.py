@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.crypto.hashing import hmac_sha256, sha256
-from repro.errors import ProtocolError, RoundError
+from repro.errors import NetworkError, ProtocolError, RoundError
 from repro.pkg.server import PkgServer
 from repro.utils.rng import random_bytes
 
@@ -88,7 +88,15 @@ class PkgCoordinator:
         return self._rounds[round_number]
 
     def close_round(self, round_number: int) -> None:
-        """Ask every PKG to erase the round's master secret."""
+        """Ask every PKG to erase the round's master secret.
+
+        Best-effort over the network: a PKG that cannot be reached (the very
+        partition that may have aborted the round) keeps its secret until it
+        heals; the reachable PKGs still erase theirs.
+        """
         for pkg in self.pkgs:
-            pkg.close_round(round_number)
+            try:
+                pkg.close_round(round_number)
+            except NetworkError:
+                continue
         self._rounds.pop(round_number, None)

@@ -22,9 +22,11 @@ from dataclasses import dataclass
 from repro.crypto import bls, ed25519
 from repro.crypto.ibe.interface import IbeScheme
 from repro.emailsim.provider import EmailNetwork
-from repro.errors import ExtractionError, RoundError
+from repro.errors import ExtractionError, NetworkError, RoundError
+from repro.net import rpc
+from repro.net.transport import RpcRequest, RpcResult
 from repro.pkg.registration import RegistrationManager
-from repro.utils.serialization import Packer
+from repro.utils.serialization import Packer, Unpacker
 
 
 def pkg_statement(email: str, signing_key: bytes, round_number: int) -> bytes:
@@ -167,3 +169,41 @@ class PkgServer:
             private_key_share=share,
             attestation=attestation,
         )
+
+    # -- transport dispatch --------------------------------------------------
+    def handle_rpc(self, request: RpcRequest) -> RpcResult:
+        """Serve one framed RPC (see ``repro/net/rpc.py`` for the layouts).
+
+        Timestamps come from the transport's delivery time (``request.time``):
+        a networked PKG trusts its own clock, not one claimed by the client.
+        """
+        if request.method == "begin_registration":
+            email, signing_key = rpc.decode_registration_request(request.payload)
+            self.begin_registration(email, signing_key, now=request.time)
+            return RpcResult()
+        if request.method == "confirm_registration":
+            email, token = rpc.decode_registration_request(request.payload)
+            self.confirm_registration(email, token.decode("utf-8"), now=request.time)
+            return RpcResult()
+        if request.method == "deregister":
+            email, signature = rpc.decode_registration_request(request.payload)
+            self.deregister(email, signature, now=request.time)
+            return RpcResult()
+        if request.method == "extract":
+            email, round_number, signature = rpc.decode_extract_request(request.payload)
+            response = self.extract(email, round_number, signature, now=request.time)
+            return RpcResult(obj=response, size_hint=rpc.EXTRACTION_RESPONSE_SIZE_HINT)
+
+        round_number = Unpacker(request.payload).u64()
+        if request.method == "open_round":
+            public = self.open_round(round_number)
+            return RpcResult(obj=public, size_hint=rpc.MASTER_PUBLIC_SIZE_HINT)
+        if request.method == "round_public_key":
+            public = self.round_public_key(round_number)
+            return RpcResult(obj=public, size_hint=rpc.MASTER_PUBLIC_SIZE_HINT)
+        if request.method == "close_round":
+            self.close_round(round_number)
+            return RpcResult()
+        if request.method == "has_master_secret":
+            return RpcResult(payload=Packer().u8(1 if self.has_master_secret(round_number) else 0).pack())
+        raise NetworkError(f"PKG {self.name} has no RPC method {request.method!r}")

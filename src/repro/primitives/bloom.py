@@ -43,8 +43,9 @@ def bits_per_element(false_positive_rate: float = DEFAULT_FALSE_POSITIVE_RATE) -
 class BloomFilter:
     """A fixed-size Bloom filter over byte-string elements.
 
-    Element indexes are derived by double hashing two SHA-256 halves, which
-    gives the k index functions without k independent hashes.
+    The k element indexes are independent 64-bit draws from a SHAKE-256
+    stream over the element (see ``_indexes`` for why double hashing is
+    insufficient at this code's small per-mailbox table sizes).
     """
 
     def __init__(self, num_bits: int, num_hashes: int) -> None:
@@ -64,11 +65,17 @@ class BloomFilter:
 
     # -- index derivation ----------------------------------------------
     def _indexes(self, element: bytes):
-        digest = hashlib.sha256(element).digest()
-        h1 = int.from_bytes(digest[:16], "big")
-        h2 = int.from_bytes(digest[16:], "big") | 1  # odd, so strides cover the table
+        # k independent 64-bit indexes from one extendable-output hash.
+        # Double hashing ((h1 + i*h2) mod m) is NOT enough here: the pair
+        # (h1, h2) carries only ~2*log2(m) bits of entropy, so for the
+        # small per-mailbox tables this code builds, any query colliding
+        # with an inserted element's probe pattern is an automatic false
+        # positive -- a floor of ~1/m^2, many orders of magnitude above the
+        # 1e-10 target (and a composite m degrades it further by collapsing
+        # stride cycles).
+        stream = hashlib.shake_256(element).digest(8 * self.num_hashes)
         for i in range(self.num_hashes):
-            yield (h1 + i * h2) % self.num_bits
+            yield int.from_bytes(stream[8 * i : 8 * (i + 1)], "big") % self.num_bits
 
     # -- set operations -------------------------------------------------
     def add(self, element: bytes) -> None:

@@ -1,0 +1,95 @@
+"""CLI for the scenario harness: ``python -m repro.sim``.
+
+Examples::
+
+    python -m repro.sim --list
+    python -m repro.sim --scenario baseline --clients 500
+    python -m repro.sim --scenario straggler_mix --clients 100 --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.reporting import format_table
+from repro.sim.scenarios import SCENARIOS, run_scenario, scenario_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sim",
+        description="Run an Alpenhorn deployment scenario on the simulated network.",
+    )
+    parser.add_argument("--scenario", default="baseline", help="scenario name (see --list)")
+    parser.add_argument("--list", action="store_true", help="list scenarios and exit")
+    parser.add_argument("--clients", type=int, default=None, help="number of simulated clients")
+    parser.add_argument("--addfriend-rounds", type=int, default=None)
+    parser.add_argument("--dialing-rounds", type=int, default=None)
+    parser.add_argument("--friend-pairs", type=int, default=None)
+    parser.add_argument("--mix-servers", type=int, default=None)
+    parser.add_argument("--pkg-servers", type=int, default=None)
+    parser.add_argument("--seed", default=None, help="deterministic scenario seed")
+    parser.add_argument("--json", default=None, metavar="PATH", help="also write the result as JSON")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.list:
+        for name in scenario_names():
+            _, spec = SCENARIOS[name]
+            print(f"{name:16s} {spec.description}")
+        return 0
+
+    overrides = {}
+    if args.clients is not None:
+        overrides["num_clients"] = args.clients
+    if args.addfriend_rounds is not None:
+        overrides["addfriend_rounds"] = args.addfriend_rounds
+    if args.dialing_rounds is not None:
+        overrides["dialing_rounds"] = args.dialing_rounds
+    if args.friend_pairs is not None:
+        overrides["friend_pairs"] = args.friend_pairs
+    if args.mix_servers is not None:
+        overrides["num_mix_servers"] = args.mix_servers
+    if args.pkg_servers is not None:
+        overrides["num_pkg_servers"] = args.pkg_servers
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+
+    try:
+        result = run_scenario(args.scenario, **overrides)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    headers, rows = result.table()
+    print(
+        format_table(
+            headers,
+            rows,
+            title=(
+                f"scenario {result.name}: {result.spec.num_clients} clients, "
+                f"{result.spec.num_mix_servers} mix / {result.spec.num_pkg_servers} pkg servers"
+            ),
+        )
+    )
+    print(
+        f"friendships={result.friendships_confirmed} calls={result.calls_delivered} "
+        f"traffic={result.total_bytes_sent / 2**20:.2f} MiB in {result.total_messages_sent} msgs "
+        f"(wall {result.wall_seconds:.1f}s)"
+    )
+
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

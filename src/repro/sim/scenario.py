@@ -1,0 +1,333 @@
+"""The scenario harness: whole deployments on a simulated network.
+
+A :class:`Scenario` owns one experiment: it builds a
+:class:`~repro.net.simulated.SimulatedNetwork` with a topology derived from
+its :class:`ScenarioSpec`, stands up a :class:`~repro.core.coordinator.Deployment`
+on it, populates clients and friendships, drives N add-friend and dialing
+rounds, and collects per-round latency/bandwidth/failure statistics into a
+:class:`ScenarioResult`.
+
+Subclasses customize behavior through four hooks:
+
+* :meth:`Scenario.configure` -- one-time topology/deployment mutation,
+* :meth:`Scenario.participants` -- which clients are online for a round,
+* :meth:`Scenario.before_round` / :meth:`Scenario.after_round` -- per-round
+  fault injection (partitions, load spikes) and measurements.
+
+Scenarios always use the ``simulated`` crypto backend: they measure the
+*system* (round structure, batching, links), not the pairing arithmetic,
+exactly like the paper separates protocol-scale from crypto microbenchmarks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.core.config import AlpenhornConfig
+from repro.core.coordinator import Deployment, RoundSummary
+from repro.errors import NetworkError
+from repro.mixnet.noise import NoiseConfig
+from repro.net.links import LinkSpec, NetworkTopology
+from repro.net.simulated import SimulatedNetwork
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything that parameterizes one scenario run."""
+
+    name: str = "baseline"
+    description: str = ""
+    num_clients: int = 100
+    addfriend_rounds: int = 2
+    dialing_rounds: int = 3
+    #: How many disjoint client pairs queue a friendship before round 1.
+    friend_pairs: int | None = None  # default: num_clients // 8
+    num_mix_servers: int = 2
+    num_pkg_servers: int = 2
+    #: Default link for client <-> server paths.
+    client_link: LinkSpec = field(default_factory=lambda: LinkSpec.of(latency_ms=40, bandwidth_mbps=50, jitter_ms=10))
+    #: Link between any two servers (entry, mixes, PKGs, CDN).
+    server_link: LinkSpec = field(default_factory=lambda: LinkSpec.of(latency_ms=2, bandwidth_mbps=1000))
+    #: Per-server, per-mailbox noise (mu, b) -- kept small so simulations
+    #: at hundreds of clients stay CI-feasible.
+    noise_mu: float = 4.0
+    noise_b: float = 1.0
+    addfriend_target_per_mailbox: int = 16
+    dialing_target_per_mailbox: int = 16
+    seed: str = "scenario"
+
+    def resolved_friend_pairs(self) -> int:
+        if self.friend_pairs is not None:
+            return self.friend_pairs
+        return max(1, self.num_clients // 8)
+
+
+@dataclass
+class RoundStats:
+    """One row of a scenario's output: one protocol round."""
+
+    protocol: str
+    round_number: int
+    participants: int
+    submissions: int
+    failures: int
+    mailbox_count: int
+    delivered_real: int
+    noise_added: int
+    latency_s: float
+    bytes_sent: int
+    aborted: bool = False
+
+    @staticmethod
+    def from_summary(summary: RoundSummary) -> "RoundStats":
+        return RoundStats(
+            protocol=summary.protocol,
+            round_number=summary.round_number,
+            participants=summary.participants,
+            submissions=summary.submissions,
+            failures=summary.failures,
+            mailbox_count=summary.mailbox_count,
+            delivered_real=summary.mix_result.delivered_real,
+            noise_added=summary.mix_result.noise_added,
+            latency_s=summary.latency_s,
+            bytes_sent=summary.bytes_sent,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "protocol": self.protocol,
+            "round": self.round_number,
+            "participants": self.participants,
+            "submissions": self.submissions,
+            "failures": self.failures,
+            "mailboxes": self.mailbox_count,
+            "delivered_real": self.delivered_real,
+            "noise_added": self.noise_added,
+            "latency_s": round(self.latency_s, 6),
+            "bytes_sent": self.bytes_sent,
+            "aborted": self.aborted,
+        }
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    name: str
+    spec: ScenarioSpec
+    rounds: list[RoundStats] = field(default_factory=list)
+    friendships_confirmed: int = 0
+    calls_delivered: int = 0
+    total_bytes_sent: int = 0
+    total_messages_sent: int = 0
+    wall_seconds: float = 0.0
+
+    def rounds_for(self, protocol: str) -> list[RoundStats]:
+        return [r for r in self.rounds if r.protocol == protocol]
+
+    def round_latencies(self, protocol: str | None = None) -> list[float]:
+        return [
+            r.latency_s
+            for r in self.rounds
+            if not r.aborted and (protocol is None or r.protocol == protocol)
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "scenario": self.name,
+            "description": self.spec.description,
+            "num_clients": self.spec.num_clients,
+            "mix_servers": self.spec.num_mix_servers,
+            "pkg_servers": self.spec.num_pkg_servers,
+            "rounds": [r.to_dict() for r in self.rounds],
+            "friendships_confirmed": self.friendships_confirmed,
+            "calls_delivered": self.calls_delivered,
+            "total_bytes_sent": self.total_bytes_sent,
+            "total_messages_sent": self.total_messages_sent,
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+    def table(self) -> tuple[list[str], list[list]]:
+        """(headers, rows) for :func:`repro.bench.reporting.format_table`."""
+        headers = [
+            "protocol", "round", "online", "submitted", "failed",
+            "mailboxes", "real", "noise", "latency s", "MiB",
+        ]
+        rows = [
+            [
+                r.protocol,
+                r.round_number,
+                r.participants,
+                r.submissions,
+                r.failures,
+                r.mailbox_count,
+                r.delivered_real,
+                r.noise_added,
+                "aborted" if r.aborted else f"{r.latency_s:.3f}",
+                f"{r.bytes_sent / 2**20:.2f}",
+            ]
+            for r in self.rounds
+        ]
+        return headers, rows
+
+
+class Scenario:
+    """Base scenario: N clients, some friendships, then dialing."""
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        self.spec = spec
+
+    # -- hooks -------------------------------------------------------------
+    def configure(self, deployment: Deployment, net: SimulatedNetwork) -> None:
+        """One-time setup after the deployment is built (topology tweaks)."""
+
+    def participants(self, deployment: Deployment, protocol: str, round_index: int):
+        """Which clients take part this round; ``None`` means everyone."""
+        return None
+
+    def before_round(self, deployment: Deployment, net: SimulatedNetwork, protocol: str, round_index: int) -> None:
+        """Fault injection / load changes just before a round starts."""
+
+    def after_round(self, deployment: Deployment, net: SimulatedNetwork, summary: RoundSummary) -> None:
+        """Measurements / healing just after a round completes."""
+
+    # -- construction ------------------------------------------------------
+    def server_endpoints(self) -> list[str]:
+        # "coordinator" is the round driver, which runs in the entry
+        # server's process: its control RPCs ride the server mesh, not a
+        # client WAN link (otherwise every round's measured latency would
+        # carry phantom announce/close round-trips).
+        return (
+            ["entry", "cdn", "coordinator"]
+            + [f"mix{i}" for i in range(self.spec.num_mix_servers)]
+            + [f"pkg{i}" for i in range(self.spec.num_pkg_servers)]
+        )
+
+    def build_topology(self) -> NetworkTopology:
+        topology = NetworkTopology(default=self.spec.client_link)
+        servers = self.server_endpoints()
+        for i, a in enumerate(servers):
+            for b in servers[i + 1 :]:
+                topology.set_link(a, b, self.spec.server_link)
+        return topology
+
+    def build(self) -> tuple[Deployment, SimulatedNetwork]:
+        spec = self.spec
+        net = SimulatedNetwork(topology=self.build_topology(), seed=f"{spec.seed}/{spec.name}/net")
+        config = AlpenhornConfig(
+            num_mix_servers=spec.num_mix_servers,
+            num_pkg_servers=spec.num_pkg_servers,
+            crypto_backend="simulated",
+            noise=NoiseConfig(spec.noise_mu, spec.noise_b, spec.noise_mu, spec.noise_b),
+            addfriend_target_per_mailbox=spec.addfriend_target_per_mailbox,
+            dialing_target_per_mailbox=spec.dialing_target_per_mailbox,
+            bloom_false_positive_rate=1e-6,
+            num_intents=3,
+        )
+        deployment = Deployment(config, seed=f"{spec.seed}/{spec.name}", transport=net)
+        return deployment, net
+
+    # -- population --------------------------------------------------------
+    def client_email(self, index: int) -> str:
+        return f"user{index}@sim.example.org"
+
+    def populate(self, deployment: Deployment) -> None:
+        for i in range(self.spec.num_clients):
+            deployment.create_client(self.client_email(i))
+        self.queue_friendships(deployment)
+
+    def queue_friendships(self, deployment: Deployment) -> None:
+        """Disjoint pairs (2i, 2i+1) queue a friend request from the even side."""
+        for pair in range(self.spec.resolved_friend_pairs()):
+            a, b = self.client_email(2 * pair), self.client_email(2 * pair + 1)
+            if a in deployment.clients and b in deployment.clients:
+                deployment.client(a).add_friend(b)
+
+    def queue_calls(self, deployment: Deployment) -> None:
+        """One direction per friendship dials (the lexicographically smaller
+        email).  Dialing tokens are derived from the *shared* keywheel, so a
+        simultaneous mutual dial with the same intent would produce the same
+        token on both sides and each would discard it as its own."""
+        for client in deployment.clients.values():
+            friends = [f for f in client.friends() if client.email < f]
+            if friends and not client.placed_calls():
+                client.call(friends[0])
+
+    # -- the run loop ------------------------------------------------------
+    def run(self) -> ScenarioResult:
+        started = time.perf_counter()
+        deployment, net = self.build()
+        self.configure(deployment, net)
+        self.populate(deployment)
+
+        result = ScenarioResult(name=self.spec.name, spec=self.spec)
+        for index in range(self.spec.addfriend_rounds):
+            self._drive_round(deployment, net, "add-friend", index, result)
+        self.queue_calls(deployment)
+        for index in range(self.spec.dialing_rounds):
+            self._drive_round(deployment, net, "dialing", index, result)
+
+        result.friendships_confirmed = sum(
+            len(c.friends()) for c in deployment.clients.values()
+        ) // 2
+        result.calls_delivered = sum(
+            len(c.received_calls()) for c in deployment.clients.values()
+        )
+        result.total_bytes_sent = net.stats.bytes_sent
+        result.total_messages_sent = net.stats.messages_sent
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    def _drive_round(
+        self,
+        deployment: Deployment,
+        net: SimulatedNetwork,
+        protocol: str,
+        round_index: int,
+        result: ScenarioResult,
+    ) -> None:
+        self.before_round(deployment, net, protocol, round_index)
+        participants = self.participants(deployment, protocol, round_index)
+        online = len(participants) if participants is not None else len(deployment.clients)
+        try:
+            if protocol == "add-friend":
+                summary = deployment.run_addfriend_round(participants)
+            else:
+                summary = deployment.run_dialing_round(participants)
+        except NetworkError:
+            # The round could not even be announced (e.g. a PKG is down
+            # during commit-reveal): the entry server skips the round and
+            # the deployment waits out the round duration.
+            round_number = (
+                deployment.addfriend_round if protocol == "add-friend" else deployment.dialing_round
+            )
+            duration = (
+                deployment.config.addfriend_round_duration
+                if protocol == "add-friend"
+                else deployment.config.dialing_round_duration
+            )
+            deployment.advance_clock(duration)
+            result.rounds.append(
+                RoundStats(
+                    protocol=protocol,
+                    round_number=round_number,
+                    participants=online,
+                    submissions=0,
+                    failures=online,
+                    mailbox_count=0,
+                    delivered_real=0,
+                    noise_added=0,
+                    latency_s=0.0,
+                    bytes_sent=0,
+                    aborted=True,
+                )
+            )
+            return
+        result.rounds.append(RoundStats.from_summary(summary))
+        self.after_round(deployment, net, summary)
+
+
+def with_overrides(spec: ScenarioSpec, **overrides) -> ScenarioSpec:
+    """A spec with the given fields replaced (unknown names raise)."""
+    return replace(spec, **overrides)

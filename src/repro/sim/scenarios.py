@@ -1,0 +1,208 @@
+"""The named scenarios the harness ships with.
+
+Each scenario stresses one deployment-scale question the paper's testbed
+answered with EC2 machines:
+
+* ``baseline`` -- steady state: every client online, uniform links.
+* ``client_churn`` -- a fraction of clients drops offline each round and
+  late joiners register mid-run.  A sender's queued work survives its own
+  missed rounds; a request *delivered* while the recipient is offline is
+  lost with the round's mailbox (the recipient never held that round's IBE
+  key -- forward secrecy), so churn measurably suppresses friendship
+  formation until senders retry.
+* ``straggler_mix`` -- one mix server sits behind a slow link, dragging the
+  whole chain (the pipeline is only as fast as its slowest hop).
+* ``pkg_failure`` -- a PKG partitions away for one add-friend round (an
+  anytrust deployment cannot open the round without it) and then recovers.
+* ``flash_crowd`` -- a burst of friend requests lands in one round, forcing
+  mailbox re-sizing and a bandwidth spike.
+* ``geo_distributed`` -- clients spread across regions with realistic
+  inter-region latencies; servers are hosted in one region.
+
+``run_scenario("name", num_clients=500)`` is the programmatic entry point;
+``python -m repro.sim`` is the CLI.
+"""
+
+from __future__ import annotations
+
+from repro.core.coordinator import Deployment
+from repro.net.links import LinkSpec
+from repro.net.simulated import SimulatedNetwork
+from repro.sim.scenario import Scenario, ScenarioResult, ScenarioSpec, with_overrides
+from repro.utils.rng import DeterministicRng
+
+
+class BaselineScenario(Scenario):
+    """Steady state: everyone online, uniform links."""
+
+
+class ClientChurnScenario(Scenario):
+    """A deterministic fraction of clients is offline each round; new
+    clients join between add-friend rounds."""
+
+    offline_fraction = 0.25
+    joins_per_round = 2
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        super().__init__(spec)
+        self._rng = DeterministicRng(f"{spec.seed}/{spec.name}/churn")
+        self._joined = 0
+
+    def participants(self, deployment: Deployment, protocol: str, round_index: int):
+        online = [
+            client
+            for client in deployment.clients.values()
+            if self._rng.uniform() >= self.offline_fraction
+        ]
+        # A round with zero online clients tells us nothing; keep one.
+        return online or [next(iter(deployment.clients.values()))]
+
+    def before_round(self, deployment, net, protocol, round_index) -> None:
+        if protocol != "add-friend" or round_index == 0:
+            return
+        for _ in range(self.joins_per_round):
+            email = f"late{self._joined}@sim.example.org"
+            self._joined += 1
+            joiner = deployment.create_client(email)
+            # Late joiners immediately want in: befriend an anchor user.
+            joiner.add_friend(self.client_email(0))
+
+
+class StragglerMixScenario(Scenario):
+    """One mix server behind a slow, thin link stalls every batch hop."""
+
+    straggler = "mix1"
+    straggler_link = LinkSpec.of(latency_ms=400, bandwidth_mbps=5)
+
+    def configure(self, deployment: Deployment, net: SimulatedNetwork) -> None:
+        # Explicit pair links outrank endpoint overrides, so replace the
+        # server-mesh links touching the straggler as well as its default.
+        for other in self.server_endpoints():
+            if other != self.straggler:
+                net.topology.set_link(self.straggler, other, self.straggler_link)
+        net.topology.set_endpoint(self.straggler, self.straggler_link)
+
+
+class PkgFailureScenario(Scenario):
+    """A PKG partitions away for one add-friend round, then heals.
+
+    While the PKG is gone the commit-reveal round cannot open (anytrust
+    needs every PKG), so the harness records an aborted round; after the
+    partition heals the following rounds complete and the friendships that
+    were queued before the failure still establish.
+    """
+
+    failed_pkg = "pkg1"
+    fail_at_round = 1  # 0-based add-friend round index
+
+    def before_round(self, deployment, net, protocol, round_index) -> None:
+        if protocol == "add-friend" and round_index == self.fail_at_round:
+            net.topology.partition_endpoint(self.failed_pkg)
+
+    def _drive_round(self, deployment, net, protocol, round_index, result) -> None:
+        super()._drive_round(deployment, net, protocol, round_index, result)
+        # Heal here rather than in after_round: aborted rounds skip the
+        # hooks, and recovery must be observable on the next round.
+        net.topology.heal_endpoint(self.failed_pkg)
+
+
+class FlashCrowdScenario(Scenario):
+    """A burst of add-friend requests all queued into one round."""
+
+    flash_at_round = 1  # 0-based add-friend round index
+    flash_fraction = 0.8
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        super().__init__(spec)
+        self._rng = DeterministicRng(f"{spec.seed}/{spec.name}/flash")
+
+    def before_round(self, deployment, net, protocol, round_index) -> None:
+        if protocol != "add-friend" or round_index != self.flash_at_round:
+            return
+        lonely = [
+            client
+            for client in deployment.clients.values()
+            if not client.friends() and not client.addfriend.pending_in_queue()
+        ]
+        self._rng.shuffle(lonely)
+        count = int(len(lonely) * self.flash_fraction) & ~1  # even
+        for i in range(0, count, 2):
+            try:
+                lonely[i].add_friend(lonely[i + 1].email)
+            except Exception:  # already queued/friended via an earlier pair
+                continue
+
+
+class GeoDistributedScenario(Scenario):
+    """Clients in three regions; all servers hosted in ``us-east``."""
+
+    regions = ("us-east", "eu-west", "ap-south")
+    region_links = {
+        ("us-east", "us-east"): LinkSpec.of(latency_ms=15, bandwidth_mbps=100, jitter_ms=5),
+        ("eu-west", "eu-west"): LinkSpec.of(latency_ms=15, bandwidth_mbps=100, jitter_ms=5),
+        ("ap-south", "ap-south"): LinkSpec.of(latency_ms=15, bandwidth_mbps=100, jitter_ms=5),
+        ("us-east", "eu-west"): LinkSpec.of(latency_ms=80, bandwidth_mbps=50, jitter_ms=15),
+        ("us-east", "ap-south"): LinkSpec.of(latency_ms=180, bandwidth_mbps=30, jitter_ms=25),
+        ("eu-west", "ap-south"): LinkSpec.of(latency_ms=140, bandwidth_mbps=30, jitter_ms=20),
+    }
+
+    def configure(self, deployment: Deployment, net: SimulatedNetwork) -> None:
+        for server in self.server_endpoints():
+            net.topology.assign_region(server, "us-east")
+        for (a, b), link in self.region_links.items():
+            net.topology.set_region_link(a, b, link)
+        for index in range(self.spec.num_clients):
+            region = self.regions[index % len(self.regions)]
+            net.topology.assign_region(self.client_email(index), region)
+
+
+SCENARIOS: dict[str, tuple[type[Scenario], ScenarioSpec]] = {
+    "baseline": (
+        BaselineScenario,
+        ScenarioSpec(name="baseline", description="steady state, uniform links"),
+    ),
+    "client_churn": (
+        ClientChurnScenario,
+        ScenarioSpec(name="client_churn", description="25% offline per round, late joiners"),
+    ),
+    "straggler_mix": (
+        StragglerMixScenario,
+        ScenarioSpec(name="straggler_mix", description="one mix server on a slow link"),
+    ),
+    "pkg_failure": (
+        PkgFailureScenario,
+        ScenarioSpec(
+            name="pkg_failure",
+            description="a PKG partitions for one round, then recovers",
+            addfriend_rounds=4,
+        ),
+    ),
+    "flash_crowd": (
+        FlashCrowdScenario,
+        ScenarioSpec(
+            name="flash_crowd",
+            description="burst of friend requests in one round",
+            addfriend_rounds=3,
+        ),
+    ),
+    "geo_distributed": (
+        GeoDistributedScenario,
+        ScenarioSpec(name="geo_distributed", description="clients across three regions"),
+    ),
+}
+
+
+def scenario_names() -> list[str]:
+    return sorted(SCENARIOS)
+
+
+def make_scenario(name: str, **overrides) -> Scenario:
+    if name not in SCENARIOS:
+        raise KeyError(f"unknown scenario {name!r}; choose from {scenario_names()}")
+    cls, spec = SCENARIOS[name]
+    return cls(with_overrides(spec, **overrides))
+
+
+def run_scenario(name: str, **overrides) -> ScenarioResult:
+    """Build and run a named scenario; overrides are ScenarioSpec fields."""
+    return make_scenario(name, **overrides).run()

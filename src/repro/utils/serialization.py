@@ -6,6 +6,8 @@ The :class:`Packer` / :class:`Unpacker` pair implements a simple canonical
 encoding so that signatures are computed over unambiguous byte strings:
 
 * ``u8``/``u32``/``u64`` -- fixed-width big-endian unsigned integers.
+* ``f64`` -- an IEEE-754 double, big-endian (used by RPC frames that carry
+  model parameters; protocol messages themselves never contain floats).
 * ``bytes`` -- a 4-byte big-endian length prefix followed by the raw bytes.
 * ``str`` -- UTF-8 encoded, then written as ``bytes``.
 
@@ -14,6 +16,8 @@ every message type in the protocol has a fixed field order.
 """
 
 from __future__ import annotations
+
+import struct
 
 from repro.errors import SerializationError
 
@@ -40,6 +44,13 @@ class Packer:
         if not 0 <= value < 2**64:
             raise SerializationError(f"u64 out of range: {value}")
         self._parts.append(value.to_bytes(8, "big"))
+        return self
+
+    def f64(self, value: float) -> "Packer":
+        try:
+            self._parts.append(struct.pack(">d", value))
+        except (struct.error, TypeError) as exc:
+            raise SerializationError(f"f64 not packable: {value!r}") from exc
         return self
 
     def bytes(self, value: bytes) -> "Packer":
@@ -88,6 +99,9 @@ class Unpacker:
 
     def u64(self) -> int:
         return int.from_bytes(self._take(8), "big")
+
+    def f64(self) -> float:
+        return struct.unpack(">d", self._take(8))[0]
 
     def bytes(self) -> bytes:
         length = self.u32()

@@ -1,0 +1,412 @@
+"""The transport subsystem: frames, scheduler, links, and both transports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import AlpenhornConfig
+from repro.core.coordinator import Deployment
+from repro.errors import NetworkError, PartitionError, SerializationError
+from repro.net import (
+    DirectTransport,
+    EventScheduler,
+    Frame,
+    LinkSpec,
+    NetworkTopology,
+    SimulatedNetwork,
+)
+from repro.net.frames import decode_envelope_batch, encode_envelope_batch
+from repro.net.transport import RpcResult
+from repro.utils.rng import DeterministicRng
+from repro.utils.serialization import Packer, Unpacker
+
+
+class TestFrames:
+    def test_roundtrip(self):
+        frame = Frame(kind=0, msg_id=7, src="alice@x", dst="entry", method="submit", payload=b"\x01\x02")
+        decoded = Frame.from_bytes(frame.to_bytes())
+        assert decoded == frame
+
+    def test_bad_magic_rejected(self):
+        blob = Frame(0, 1, "a", "b", "m", b"").to_bytes()
+        with pytest.raises(SerializationError):
+            Frame.from_bytes(b"XXXX" + blob[4:])
+
+    def test_trailing_bytes_rejected(self):
+        blob = Frame(0, 1, "a", "b", "m", b"").to_bytes()
+        with pytest.raises(SerializationError):
+            Frame.from_bytes(blob + b"\x00")
+
+    def test_frame_overhead_matches_codec(self):
+        from repro.net.frames import frame_overhead
+
+        for src, dst, method in [("a", "b", "m"), ("alice@example.org", "entry", "submit")]:
+            packed = len(Frame(0, 0, src, dst, method, b"").to_bytes())
+            assert frame_overhead(src, dst, method) == packed
+
+    def test_envelope_batch_roundtrip(self):
+        batch = [b"a" * 10, b"", b"c" * 3]
+        assert decode_envelope_batch(encode_envelope_batch(batch)) == batch
+
+    def test_f64_wire_roundtrip(self):
+        for value in (0.0, 1.5, -2.25, 4000.0, 1e-10):
+            assert Unpacker(Packer().f64(value).pack()).f64() == value
+
+
+class TestEventScheduler:
+    def test_events_fire_in_time_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(2.0, lambda: fired.append("late"))
+        sched.schedule(1.0, lambda: fired.append("early"))
+        sched.run_until_idle()
+        assert fired == ["early", "late"]
+        assert sched.now == 2.0
+
+    def test_ties_break_by_schedule_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, lambda: fired.append(1))
+        sched.schedule(1.0, lambda: fired.append(2))
+        sched.run_until_idle()
+        assert fired == [1, 2]
+
+    def test_advance_drains_due_events(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, lambda: fired.append("due"))
+        sched.schedule(5.0, lambda: fired.append("future"))
+        sched.advance(2.0)
+        assert fired == ["due"]
+        assert sched.now == 2.0
+        assert sched.pending() == 1
+
+    def test_cancelled_event_does_not_fire(self):
+        sched = EventScheduler()
+        fired = []
+        event = sched.schedule(1.0, lambda: fired.append("no"))
+        event.cancel()
+        sched.run_until_idle()
+        assert fired == []
+
+    def test_advance_skips_cancelled_head_without_running_future_events(self):
+        sched = EventScheduler()
+        fired = []
+        due_but_cancelled = sched.schedule(1.0, lambda: fired.append("cancelled"))
+        due_but_cancelled.cancel()
+        sched.schedule(10.0, lambda: fired.append("future"))
+        sched.advance(2.0)
+        assert fired == []          # the t=10 event must not fire early
+        assert sched.now == 2.0     # and time must not jump past the deadline
+        assert sched.pending() == 1
+
+
+class TestLinkModels:
+    def test_bandwidth_term(self):
+        link = LinkSpec(latency_s=0.1, bandwidth_bps=8_000)  # 1000 bytes/s
+        rng = DeterministicRng("links")
+        assert link.transfer_delay(1000, rng) == pytest.approx(0.1 + 1.0)
+
+    def test_jitter_bounded(self):
+        link = LinkSpec(latency_s=0.1, jitter_s=0.05)
+        rng = DeterministicRng("jitter")
+        for _ in range(50):
+            delay = link.transfer_delay(100, rng)
+            assert 0.1 <= delay < 0.15
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            LinkSpec(latency_s=-1.0)
+        with pytest.raises(ValueError):
+            LinkSpec(drop_rate=1.0)
+
+    def test_topology_resolution_order(self):
+        topo = NetworkTopology(default=LinkSpec(latency_s=1.0))
+        topo.set_endpoint("slow", LinkSpec(latency_s=5.0))
+        topo.set_link("a", "slow", LinkSpec(latency_s=9.0))
+        assert topo.link("a", "b").latency_s == 1.0          # default
+        assert topo.link("b", "slow").latency_s == 5.0       # endpoint
+        assert topo.link("slow", "a").latency_s == 9.0       # pair beats endpoint
+
+    def test_competing_endpoint_overrides_compose_worst_of_each(self):
+        topo = NetworkTopology()
+        topo.set_endpoint("a", LinkSpec(latency_s=0.1, drop_rate=0.5))
+        topo.set_endpoint("b", LinkSpec(latency_s=0.001, bandwidth_bps=1e6, drop_rate=0.5))
+        combined = topo.link("a", "b")
+        assert combined.latency_s == 0.1            # a's worse latency
+        assert combined.bandwidth_bps == 1e6        # b's bottleneck
+        assert combined.drop_rate == pytest.approx(0.75)  # losses compound
+
+    def test_region_links(self):
+        topo = NetworkTopology(default=LinkSpec(latency_s=1.0))
+        topo.assign_region("alice", "eu")
+        topo.assign_region("entry", "us")
+        topo.set_region_link("eu", "us", LinkSpec(latency_s=0.08))
+        assert topo.link("alice", "entry").latency_s == 0.08
+        assert topo.link("alice", "unassigned").latency_s == 1.0
+
+    def test_partition_and_heal(self):
+        topo = NetworkTopology()
+        topo.partition("a", "b")
+        assert topo.is_partitioned("b", "a")
+        topo.heal("a", "b")
+        assert not topo.is_partitioned("a", "b")
+        topo.partition_endpoint("pkg1")
+        assert topo.is_partitioned("anyone", "pkg1")
+        topo.heal_endpoint("pkg1")
+        assert not topo.is_partitioned("anyone", "pkg1")
+
+
+class TestDirectTransport:
+    def test_call_dispatches_and_counts_bytes(self):
+        transport = DirectTransport()
+        seen = []
+
+        def handler(request):
+            seen.append((request.src, request.method, request.payload))
+            return b"pong"
+
+        transport.register("server", handler)
+        result = transport.call("client", "server", "ping", b"abc")
+        assert result.payload == b"pong"
+        assert result.latency_s == 0.0
+        assert seen == [("client", "ping", b"abc")]
+        assert transport.stats.messages_sent == 2
+        assert transport.stats.bytes_sent > 0
+
+    def test_unknown_endpoint_raises(self):
+        transport = DirectTransport()
+        with pytest.raises(NetworkError):
+            transport.call("client", "ghost", "ping")
+
+    def test_duplicate_registration_rejected(self):
+        transport = DirectTransport()
+        transport.register("server", lambda request: None)
+        with pytest.raises(NetworkError):
+            transport.register("server", lambda request: None)
+
+    def test_clock_only_moves_on_advance(self):
+        transport = DirectTransport()
+        transport.register("server", lambda request: None)
+        transport.call("client", "server", "ping")
+        assert transport.now() == 0.0
+        transport.advance(60.0)
+        assert transport.now() == 60.0
+
+    def test_phase_is_transparent(self):
+        transport = DirectTransport()
+        with transport.phase() as phase:
+            assert phase.run(lambda: 41) == 41
+
+
+class TestSimulatedNetwork:
+    def make_net(self, **link_kwargs) -> SimulatedNetwork:
+        topo = NetworkTopology(default=LinkSpec(**link_kwargs))
+        net = SimulatedNetwork(topology=topo, seed="test-net")
+        net.register("server", lambda request: RpcResult(payload=b"ok"))
+        return net
+
+    def test_call_pays_round_trip_latency(self):
+        net = self.make_net(latency_s=0.25)
+        result = net.call("client", "server", "ping", b"hello")
+        assert result.payload == b"ok"
+        assert result.latency_s == pytest.approx(0.5)
+        assert net.now() == pytest.approx(0.5)
+
+    def test_bandwidth_scales_with_message_size(self):
+        net = self.make_net(latency_s=0.0, bandwidth_bps=8_000)
+        small = net.call("client", "server", "ping", b"x" * 10).latency_s
+        large = net.call("client", "server", "ping", b"x" * 1000).latency_s
+        assert large > small
+
+    def test_phase_takes_slowest_participant(self):
+        net = self.make_net(latency_s=0.1)
+        with net.phase() as phase:
+            phase.run(lambda: net.call("a", "server", "ping"))
+            phase.run(lambda: net.call("b", "server", "ping"))
+            phase.run(lambda: [net.call("c", "server", "ping") for _ in range(3)])
+        # Three sequential calls from "c" dominate: 3 x 0.2s, not 5 x 0.2s.
+        assert net.now() == pytest.approx(0.6)
+
+    def test_partition_raises(self):
+        net = self.make_net(latency_s=0.1)
+        net.topology.partition_endpoint("server")
+        with pytest.raises(PartitionError):
+            net.call("client", "server", "ping")
+        net.topology.heal_endpoint("server")
+        assert net.call("client", "server", "ping").payload == b"ok"
+
+    def test_drops_cost_retry_timeouts(self):
+        net = self.make_net(latency_s=0.1, drop_rate=0.2)
+        latencies = [net.call("client", "server", "ping").latency_s for _ in range(30)]
+        assert any(lat > 1.0 for lat in latencies)  # at least one retry happened
+        assert net.stats.messages_dropped > 0
+
+    def test_fully_lossy_link_raises_network_error(self):
+        net = self.make_net(latency_s=0.1, drop_rate=0.99)
+        with pytest.raises(NetworkError):
+            for _ in range(200):
+                net.call("client", "server", "ping")
+
+    def test_exhausted_retries_still_cost_simulated_time(self):
+        net = self.make_net(latency_s=0.1, drop_rate=0.999)
+        before = net.now()
+        with pytest.raises(NetworkError) as excinfo:
+            net.call("client", "server", "ping")
+        # The caller sat through every retransmission timeout before giving up.
+        assert net.now() - before >= net.max_attempts * net.retry_timeout_s
+        assert excinfo.value.request_delivered is False
+
+    def test_nested_calls_accumulate_on_the_critical_path(self):
+        topo = NetworkTopology(default=LinkSpec(latency_s=0.1))
+        net = SimulatedNetwork(topology=topo, seed="nested")
+        net.register("backend", lambda request: b"data")
+        net.register(
+            "frontend",
+            lambda request: net.call("frontend", "backend", "fetch").payload,
+        )
+        result = net.call("client", "frontend", "get")
+        assert result.payload == b"data"
+        assert result.latency_s == pytest.approx(0.4)  # two nested round trips
+
+
+class TestDeploymentOverSimulatedNetwork:
+    def make_deployment(self, latency_ms: float, seed: str = "sim-deploy") -> Deployment:
+        topo = NetworkTopology(default=LinkSpec.of(latency_ms=latency_ms, bandwidth_mbps=100))
+        net = SimulatedNetwork(topology=topo, seed=f"{seed}/net")
+        return Deployment(
+            AlpenhornConfig.for_tests(backend="simulated"), seed=seed, transport=net
+        )
+
+    def test_round_reports_nonzero_latency_and_bytes(self):
+        deployment = self.make_deployment(latency_ms=30)
+        deployment.create_client("alice@example.org")
+        deployment.create_client("bob@example.org")
+        deployment.client("alice@example.org").add_friend("bob@example.org")
+        summary = deployment.run_addfriend_round()
+        assert summary.latency_s > 0.0
+        assert summary.bytes_sent > 0
+        assert summary.failures == 0
+        assert summary.submissions == 2
+
+    def test_link_latency_drives_round_latency(self):
+        latencies = {}
+        for latency_ms in (20, 100):
+            deployment = self.make_deployment(latency_ms=latency_ms)
+            deployment.create_client("alice@example.org")
+            deployment.create_client("bob@example.org")
+            deployment.client("alice@example.org").add_friend("bob@example.org")
+            latencies[latency_ms] = deployment.run_addfriend_round().latency_s
+        assert latencies[100] > latencies[20] * 2
+
+    def test_full_flow_matches_direct_transport_semantics(self):
+        deployment = self.make_deployment(latency_ms=10)
+        alice = deployment.create_client("alice@example.org")
+        bob = deployment.create_client("bob@example.org")
+        deployment.befriend("alice@example.org", "bob@example.org")
+        assert alice.friends() == ["bob@example.org"]
+        placed = deployment.place_call("alice@example.org", "bob@example.org")
+        assert placed is not None
+        assert bob.received_calls()[-1].session_key == placed.session_key
+
+    def test_partitioned_pkg_fails_participants_not_deployment(self):
+        deployment = self.make_deployment(latency_ms=10, seed="partition")
+        deployment.create_client("alice@example.org")
+        deployment.create_client("bob@example.org")
+        # Open round 1 normally, then cut one PKG before round 2's extractions.
+        deployment.run_addfriend_round()
+        deployment.transport.topology.partition_endpoint("pkg1")
+        with pytest.raises(NetworkError):
+            deployment.run_addfriend_round()
+        deployment.transport.topology.heal_endpoint("pkg1")
+        summary = deployment.run_addfriend_round()
+        assert summary.failures == 0
+
+    def test_control_plane_failure_aborts_round_and_erases_secrets(self):
+        """If the entry/CDN control RPCs fail after submissions, the round is
+        torn down: no retained envelopes, no live round keys anywhere."""
+        deployment = self.make_deployment(latency_ms=10, seed="ctl-abort")
+        alice = deployment.create_client("alice@example.org")
+        deployment.create_client("bob@example.org")
+        alice.add_friend("bob@example.org")
+
+        # Announcement and submissions succeed; the post-submission control
+        # RPC is what the network loses.
+        def lost_control(*args, **kwargs):
+            raise NetworkError("control plane down")
+
+        deployment.entry_stub.close_round = lost_control
+        with pytest.raises(NetworkError):
+            deployment.run_addfriend_round()
+        aborted = deployment.addfriend_round
+        assert deployment.entry.submissions("add-friend", aborted) == 0  # batch dropped
+        assert all(not mix.has_round_key(aborted) for mix in deployment.mix_servers)
+        assert all(not pkg.has_master_secret(aborted) for pkg in deployment.pkgs)
+        assert not alice.addfriend.has_round_keys(aborted)
+        # The deployment recovers once the control path works again.
+        del deployment.entry_stub.close_round
+        deployment.run_addfriend_round()
+        deployment.run_addfriend_round()
+
+    def test_aborted_round_erases_partially_opened_keys(self):
+        """If announce fails partway (a PKG is partitioned during
+        commit-reveal), the servers that already opened the round must erase
+        its secrets -- forward secrecy holds even for rounds that never ran."""
+        deployment = self.make_deployment(latency_ms=10, seed="abort-fs")
+        deployment.create_client("alice@example.org")
+        deployment.transport.topology.partition_endpoint("pkg1")
+        with pytest.raises(NetworkError):
+            deployment.run_addfriend_round()
+        aborted = deployment.addfriend_round
+        assert all(not mix.has_round_key(aborted) for mix in deployment.mix_servers)
+        assert not deployment.pkgs[0].has_master_secret(aborted)
+
+    def test_chain_does_not_refetch_round_keys_per_hop(self):
+        deployment = self.make_deployment(latency_ms=10, seed="keycache")
+        deployment.create_client("alice@example.org")
+        deployment.run_addfriend_round()
+        # Downstream onion keys come from open_round; the pipeline must not
+        # issue per-hop round_public_key RPCs (O(servers^2) otherwise).
+        assert deployment.transport.stats.calls_by_method.get("round_public_key", 0) == 0
+
+    def test_failed_submission_requeues_the_friend_request(self):
+        deployment = self.make_deployment(latency_ms=10, seed="requeue")
+        alice = deployment.create_client("alice@example.org")
+        bob = deployment.create_client("bob@example.org")
+        alice.add_friend("bob@example.org")
+        # Alice can reach the PKGs but not the entry server this round.
+        deployment.transport.topology.partition("alice@example.org", "entry")
+        summary = deployment.run_addfriend_round()
+        assert summary.failures == 1
+        assert alice.addfriend.pending_in_queue() == 1  # request survived
+        deployment.transport.topology.heal("alice@example.org", "entry")
+        deployment.run_addfriend_round()  # request goes out
+        deployment.run_addfriend_round()  # confirmation comes back
+        assert alice.friends() == ["bob@example.org"]
+        assert bob.friends() == ["alice@example.org"]
+
+    def test_failed_dial_submission_withdraws_placed_call(self):
+        deployment = self.make_deployment(latency_ms=10, seed="requeue-dial")
+        alice = deployment.create_client("alice@example.org")
+        bob = deployment.create_client("bob@example.org")
+        deployment.befriend("alice@example.org", "bob@example.org")
+        alice.call("bob@example.org")
+        deployment.transport.topology.partition("alice@example.org", "entry")
+        # Dial rounds until the wheel is live and the failed send happens.
+        for _ in range(3):
+            deployment.run_dialing_round()
+        assert alice.placed_calls() == []              # withdrawn, not phantom
+        assert alice.dialing.pending_in_queue() == 1   # call still queued
+        deployment.transport.topology.heal("alice@example.org", "entry")
+        deployment.run_dialing_round()
+        assert alice.placed_calls()
+        assert bob.received_calls()[-1].session_key == alice.placed_calls()[-1].session_key
+
+    def test_offline_participants_skip_round(self):
+        deployment = self.make_deployment(latency_ms=10, seed="offline")
+        deployment.create_client("alice@example.org")
+        deployment.create_client("bob@example.org")
+        deployment.create_client("carol@example.org")
+        summary = deployment.run_addfriend_round(participants=["alice@example.org", "bob@example.org"])
+        assert summary.participants == 2
+        assert summary.submissions == 2

@@ -1,0 +1,142 @@
+"""The scenario harness: every named scenario at small scale.
+
+Scenarios run at a few dozen clients here so the whole file stays fast;
+the CI smoke and the acceptance run exercise the same code at 60-500
+clients via ``python -m repro.sim``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.net.links import LinkSpec
+from repro.sim import SCENARIOS, ScenarioSpec, make_scenario, run_scenario, scenario_names
+from repro.sim.scenarios import StragglerMixScenario
+
+
+class TestHarnessBasics:
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            run_scenario("no_such_scenario")
+
+    def test_unknown_spec_override_rejected(self):
+        with pytest.raises(TypeError):
+            run_scenario("baseline", not_a_field=3)
+
+    def test_registry_lists_all_scenarios(self):
+        assert scenario_names() == sorted(SCENARIOS)
+        assert {"baseline", "client_churn", "straggler_mix", "pkg_failure",
+                "flash_crowd", "geo_distributed"} <= set(scenario_names())
+
+    def test_result_is_json_serializable(self):
+        result = run_scenario("baseline", num_clients=8, addfriend_rounds=1,
+                              dialing_rounds=1, friend_pairs=2)
+        blob = json.dumps(result.to_dict())
+        parsed = json.loads(blob)
+        assert parsed["scenario"] == "baseline"
+        assert len(parsed["rounds"]) == 2
+
+    def test_deterministic_given_a_seed(self):
+        a = run_scenario("baseline", num_clients=8, addfriend_rounds=1,
+                         dialing_rounds=1, friend_pairs=2, seed="det")
+        b = run_scenario("baseline", num_clients=8, addfriend_rounds=1,
+                         dialing_rounds=1, friend_pairs=2, seed="det")
+        assert [r.latency_s for r in a.rounds] == [r.latency_s for r in b.rounds]
+        assert a.total_bytes_sent == b.total_bytes_sent
+
+
+class TestBaseline:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_scenario("baseline", num_clients=12, addfriend_rounds=2,
+                            dialing_rounds=3, friend_pairs=4, seed="t-base")
+
+    def test_rounds_recorded(self, result):
+        assert len(result.rounds_for("add-friend")) == 2
+        assert len(result.rounds_for("dialing")) == 3
+
+    def test_nonzero_simulated_latencies(self, result):
+        assert all(lat > 0.0 for lat in result.round_latencies())
+
+    def test_friendships_and_calls_complete(self, result):
+        assert result.friendships_confirmed == 4
+        assert result.calls_delivered == 4
+
+    def test_everyone_participates_every_round(self, result):
+        assert all(r.submissions == r.participants for r in result.rounds)
+
+    def test_traffic_accounted(self, result):
+        assert result.total_bytes_sent > 0
+        assert sum(r.bytes_sent for r in result.rounds) <= result.total_bytes_sent
+
+    def test_link_latency_changes_round_latency(self, result):
+        slow = run_scenario(
+            "baseline", num_clients=12, addfriend_rounds=2, dialing_rounds=3,
+            friend_pairs=4, seed="t-base",
+            client_link=LinkSpec.of(latency_ms=400, bandwidth_mbps=50, jitter_ms=10),
+        )
+        fast_af = result.round_latencies("add-friend")
+        slow_af = slow.round_latencies("add-friend")
+        assert all(s > f * 2 for f, s in zip(fast_af, slow_af))
+
+
+class TestFaultScenarios:
+    def test_client_churn_varies_participation(self):
+        result = run_scenario("client_churn", num_clients=12, addfriend_rounds=3,
+                              dialing_rounds=2, friend_pairs=4, seed="t-churn")
+        online = [r.participants for r in result.rounds]
+        assert any(o < 12 for o in online)          # someone was offline
+        assert max(online) > min(online)            # participation varied
+        # Late joiners registered mid-run.
+        assert any(r.participants > 12 for r in result.rounds_for("add-friend")) or \
+            result.rounds_for("dialing")[0].participants >= 12
+
+    def test_straggler_mix_inflates_latency(self):
+        base = run_scenario("baseline", num_clients=10, addfriend_rounds=1,
+                            dialing_rounds=1, friend_pairs=2, seed="t-strag")
+        slow = run_scenario("straggler_mix", num_clients=10, addfriend_rounds=1,
+                            dialing_rounds=1, friend_pairs=2, seed="t-strag")
+        assert slow.round_latencies("add-friend")[0] > base.round_latencies("add-friend")[0] * 2
+
+    def test_straggler_link_resolution(self):
+        scenario = make_scenario("straggler_mix", num_clients=4)
+        deployment, net = scenario.build()
+        scenario.configure(deployment, net)
+        resolved = net.topology.link("entry", StragglerMixScenario.straggler)
+        assert resolved.latency_s == StragglerMixScenario.straggler_link.latency_s
+
+    def test_pkg_failure_aborts_one_round_and_recovers(self):
+        result = run_scenario("pkg_failure", num_clients=10, dialing_rounds=2,
+                              friend_pairs=3, seed="t-pkgfail")
+        addfriend = result.rounds_for("add-friend")
+        aborted = [r for r in addfriend if r.aborted]
+        assert len(aborted) == 1
+        assert aborted[0].failures == aborted[0].participants
+        # Rounds after the heal complete, and queued friendships still form.
+        after = [r for r in addfriend if r.round_number > aborted[0].round_number]
+        assert after and all(not r.aborted and r.failures == 0 for r in after)
+        assert result.friendships_confirmed == 3
+
+    def test_flash_crowd_spikes_real_traffic(self):
+        result = run_scenario("flash_crowd", num_clients=14, dialing_rounds=1,
+                              friend_pairs=2, seed="t-flash")
+        addfriend = result.rounds_for("add-friend")
+        flash_round = addfriend[1]  # the scenario floods round index 1
+        assert flash_round.delivered_real > addfriend[0].delivered_real
+        assert result.friendships_confirmed > 2
+
+    def test_geo_distribution_slows_rounds(self):
+        base = run_scenario("baseline", num_clients=9, addfriend_rounds=1,
+                            dialing_rounds=1, friend_pairs=2, seed="t-geo")
+        geo = run_scenario("geo_distributed", num_clients=9, addfriend_rounds=1,
+                           dialing_rounds=1, friend_pairs=2, seed="t-geo")
+        assert geo.round_latencies("add-friend")[0] > base.round_latencies("add-friend")[0]
+
+
+class TestSpecDefaults:
+    def test_friend_pairs_default_scales_with_population(self):
+        assert ScenarioSpec(num_clients=64).resolved_friend_pairs() == 8
+        assert ScenarioSpec(num_clients=4).resolved_friend_pairs() == 1
+        assert ScenarioSpec(num_clients=64, friend_pairs=3).resolved_friend_pairs() == 3
