@@ -58,7 +58,7 @@ def test_real_mixnet_round_mailbox_balance(capsys):
     servers = [MixServer(f"m{i}", rng=DeterministicRng(f"table-{i}")) for i in range(3)]
     chain = MixChain(servers, noise_config=noise)
     mailbox_count = choose_mailbox_count(real_requests, 12)
-    publics = chain.open_round(1)
+    publics = chain.open_round("add-friend", 1)
     rng = DeterministicRng("table-workload")
     envelopes = []
     body_len = 308

@@ -45,6 +45,16 @@ _IBE_HEADER_SIZE = 128
 _IBE_FRAMING = 2
 
 
+def addfriend_body_length(plaintext_size: int) -> int:
+    """The fixed on-the-wire body size of one add-friend request.
+
+    Derived purely from wire-format constants, so a round can be announced
+    with the correct envelope size before any client exists (the deployment
+    must not sample an arbitrary client to learn it).
+    """
+    return _IBE_FRAMING + _IBE_HEADER_SIZE + AEAD_OVERHEAD + plaintext_size
+
+
 @dataclass(frozen=True)
 class QueuedFriendRequest:
     """An ``AddFriend`` call made by the application, awaiting the next round."""
@@ -151,7 +161,7 @@ class AddFriendEngine:
     # -- step 2: build this round's request ------------------------------------
     def body_length(self) -> int:
         """The fixed length of every add-friend request body this client sends."""
-        return _IBE_FRAMING + _IBE_HEADER_SIZE + AEAD_OVERHEAD + self.plaintext_size
+        return addfriend_body_length(self.plaintext_size)
 
     def build_request_payload(
         self,

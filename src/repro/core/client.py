@@ -201,14 +201,19 @@ class Client:
         cdn,
         pkg_bls_public_keys: list,
         current_dialing_round: int,
+        mailbox_count: int | None = None,
     ) -> list[dict]:
         """Steps 4-5 of Algorithm 1: download, scan, verify, update state.
 
         ``pkg_bls_public_keys`` are the PKGs' *long-term* attestation keys
         (distributed with the client software, like CA certificates); their
         aggregate verifies the ``PKGSigs`` field of incoming requests.
+        ``mailbox_count`` skips the CDN metadata round trip when the client
+        already knows the count from the round's announcement; a client
+        catching up on a round it did not participate in passes ``None``.
         """
-        mailbox_count = cdn.mailbox_count("add-friend", round_number, client=self.email)
+        if mailbox_count is None:
+            mailbox_count = cdn.mailbox_count("add-friend", round_number, client=self.email)
         mailbox_id = mailbox_for_identity(self.email, mailbox_count)
         mailbox = cdn.download("add-friend", round_number, mailbox_id, client=self.email)
         self.stats.mailbox_bytes_downloaded += mailbox.size_bytes()
@@ -236,9 +241,12 @@ class Client:
         self.stats.dialing_rounds += 1
         return self.dialing.wrap_for_mixnet(inner, announcement.mix_public_keys)
 
-    def process_dialing_mailbox(self, round_number: int, cdn) -> list[IncomingCall]:
+    def process_dialing_mailbox(
+        self, round_number: int, cdn, mailbox_count: int | None = None
+    ) -> list[IncomingCall]:
         """Download the Bloom filter, detect incoming calls, advance wheels."""
-        mailbox_count = cdn.mailbox_count("dialing", round_number, client=self.email)
+        if mailbox_count is None:
+            mailbox_count = cdn.mailbox_count("dialing", round_number, client=self.email)
         mailbox_id = mailbox_for_identity(self.email, mailbox_count)
         mailbox = cdn.download("dialing", round_number, mailbox_id, client=self.email)
         self.stats.bloom_bytes_downloaded += mailbox.size_bytes()

@@ -19,20 +19,23 @@ meaningful end-to-end ``latency_s``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from repro.cdn.cdn import Cdn
 from repro.core.client import Client
 from repro.core.config import AlpenhornConfig
-from repro.core.dialtoken import DIAL_TOKEN_SIZE
+from repro.core.roundengine import (
+    AddFriendDriver,
+    DialingDriver,
+    PendingRound,
+    RoundEngine,
+    RoundSummary,
+)
 from repro.crypto.ibe.anytrust import AnytrustIbe
 from repro.crypto.ibe.boneh_franklin import BonehFranklinIbe
 from repro.crypto.ibe.simulated import SimulatedIbe, SimulatedPkgOracle
 from repro.emailsim.provider import EmailNetwork
 from repro.entry.server import EntryServer
 from repro.errors import ConfigurationError, NetworkError
-from repro.mixnet.chain import MixChain, RoundResult
-from repro.mixnet.mailbox import choose_mailbox_count
+from repro.mixnet.chain import MixChain
 from repro.mixnet.server import MixServer
 from repro.net.rpc import CdnStub, EntryStub, PkgStub
 from repro.net.transport import DirectTransport, Transport
@@ -40,22 +43,7 @@ from repro.pkg.coordinator import PkgCoordinator
 from repro.pkg.server import PkgServer
 from repro.utils.rng import DeterministicRng
 
-
-@dataclass
-class RoundSummary:
-    """What the deployment reports after driving one full round."""
-
-    protocol: str
-    round_number: int
-    mailbox_count: int
-    submissions: int
-    mix_result: RoundResult
-    events_by_client: dict[str, list] = field(default_factory=dict)
-    # Transport-level measurements for the round (simulated time and bytes).
-    latency_s: float = 0.0
-    bytes_sent: int = 0
-    failures: int = 0
-    participants: int = 0
+__all__ = ["Deployment", "RoundSummary"]
 
 
 class Deployment:
@@ -128,6 +116,13 @@ class Deployment:
         self.dialing_round = 0
         self.round_summaries: list[RoundSummary] = []
 
+        # One engine per protocol; both share the generic round structure
+        # and differ only in the per-protocol driver hooks.
+        self._engines: dict[str, RoundEngine] = {
+            "add-friend": RoundEngine(self, AddFriendDriver(self)),
+            "dialing": RoundEngine(self, DialingDriver(self)),
+        }
+
     # ------------------------------------------------------------------ #
     # Client management
     # ------------------------------------------------------------------ #
@@ -192,222 +187,93 @@ class Deployment:
         self.transport.advance(seconds)
 
     # ------------------------------------------------------------------ #
-    # Add-friend rounds
+    # Rounds (one RoundEngine per protocol; see repro/core/roundengine.py)
     # ------------------------------------------------------------------ #
-    def _addfriend_mailbox_count(self) -> int:
-        queued = sum(c.addfriend.pending_in_queue() for c in self.clients.values())
-        return choose_mailbox_count(queued, self.config.addfriend_target_per_mailbox)
+    def round_engine(self, protocol: str) -> RoundEngine:
+        if protocol not in self._engines:
+            raise ConfigurationError(f"unknown protocol {protocol!r}")
+        return self._engines[protocol]
 
     def run_addfriend_round(self, participants=None) -> RoundSummary:
         """Drive one complete add-friend round across the online clients."""
-        clients = self._resolve_participants(participants)
-        self.addfriend_round += 1
-        round_number = self.addfriend_round
-        mailbox_count = self._addfriend_mailbox_count()
-
-        sample_client = next(iter(self.clients.values()), None)
-        body_length = (
-            sample_client.addfriend.body_length()
-            if sample_client is not None
-            else self.config.addfriend_request_size + 158
-        )
-
-        round_started = self.clock
-        bytes_before = self.transport.stats.bytes_sent
-        try:
-            announcement = self.entry_stub.announce_round(
-                "add-friend", round_number, mailbox_count, body_length
-            )
-        except NetworkError:
-            # The announce may have reached the entry server even though its
-            # reply was lost; abort locally so no round secrets outlive the
-            # failure (idempotent if the round never opened).
-            self.entry.abort_round("add-friend", round_number)
-            raise
-
-        # Every online client participates every round (cover traffic
-        # included); clients act concurrently, so the phase's duration is the
-        # slowest participant's, not the sum.
-        failures = 0
-        participated: list[Client] = []
-        pkg_bls_publics = [stub.bls_public_key for stub in self.pkg_stubs]
-        with self.transport.phase() as phase:
-            for client in clients:
-                try:
-                    phase.run(lambda c=client: self._submit_addfriend(c, announcement))
-                    participated.append(client)
-                except NetworkError:
-                    failures += 1
-                    # The envelope never reached the entry server: put any
-                    # consumed friend request back for the next round, and
-                    # drop round keys the client will never use.
-                    client.addfriend.requeue_last()
-                    client.addfriend.erase_round_keys(round_number)
-
-        try:
-            submissions = self.entry_stub.submissions("add-friend", round_number)
-            result = self.entry_stub.close_round("add-friend", round_number)
-            self.cdn_stub.publish(result.mailboxes)
-        except NetworkError:
-            # The round's control plane failed (entry or CDN unreachable).
-            # The operator runs in the entry server's process: tear the
-            # round down locally so envelopes and round secrets are erased,
-            # then let the failure surface.  This round's requests are lost,
-            # like any mixnet round that dies mid-flight.
-            self.entry.abort_round("add-friend", round_number)
-            for client in participated:
-                client.addfriend.erase_round_keys(round_number)
-            raise
-
-        # Clients fetch and scan their mailboxes, then the PKGs erase the
-        # round's master secrets (clients already hold their round keys).
-        events_by_client: dict[str, list] = {}
-        with self.transport.phase() as phase:
-            for client in participated:
-                try:
-                    events = phase.run(
-                        lambda c=client: c.process_addfriend_mailbox(
-                            round_number,
-                            self.cdn_stub,
-                            pkg_bls_public_keys=pkg_bls_publics,
-                            current_dialing_round=self.dialing_round,
-                        )
-                    )
-                except NetworkError:
-                    failures += 1
-                    client.addfriend.erase_round_keys(round_number)
-                    continue
-                if events:
-                    events_by_client[client.email] = events
-        self.pkg_coordinator.close_round(round_number)
-
-        summary = RoundSummary(
-            protocol="add-friend",
-            round_number=round_number,
-            mailbox_count=mailbox_count,
-            submissions=submissions,
-            mix_result=result,
-            events_by_client=events_by_client,
-            latency_s=self.clock - round_started,
-            bytes_sent=self.transport.stats.bytes_sent - bytes_before,
-            failures=failures,
-            participants=len(clients),
-        )
-        self.round_summaries.append(summary)
-        self.advance_clock(self.config.addfriend_round_duration)
-        return summary
-
-    def _submit_addfriend(self, client: Client, announcement) -> None:
-        envelope = client.participate_addfriend_round(
-            announcement,
-            pkgs=self.pkg_stubs,
-            next_dialing_round=self.dialing_round + 2,
-            now=self.clock,
-        )
-        try:
-            self.entry_stub.submit(
-                "add-friend", announcement.round_number, client.email, envelope
-            )
-        except NetworkError as exc:
-            if not getattr(exc, "request_delivered", False):
-                raise
-            # Only the acknowledgement was lost: the entry server holds the
-            # envelope, so the submission stands and must NOT be re-sent (a
-            # re-send would carry a fresh ephemeral key and desync the
-            # keywheel if the recipient answers the first copy).
-        client.addfriend.confirm_sent()
-
-    # ------------------------------------------------------------------ #
-    # Dialing rounds
-    # ------------------------------------------------------------------ #
-    def _dialing_mailbox_count(self) -> int:
-        queued = sum(c.dialing.pending_in_queue() for c in self.clients.values())
-        return choose_mailbox_count(queued, self.config.dialing_target_per_mailbox)
+        return self._engines["add-friend"].run_round(participants)
 
     def run_dialing_round(self, participants=None) -> RoundSummary:
         """Drive one complete dialing round across the online clients."""
-        clients = self._resolve_participants(participants)
-        self.dialing_round += 1
-        round_number = self.dialing_round
-        mailbox_count = self._dialing_mailbox_count()
+        return self._engines["dialing"].run_round(participants)
 
-        round_started = self.clock
-        bytes_before = self.transport.stats.bytes_sent
-        try:
-            announcement = self.entry_stub.announce_round(
-                "dialing", round_number, mailbox_count, DIAL_TOKEN_SIZE
-            )
-        except NetworkError:
-            self.entry.abort_round("dialing", round_number)
-            raise
+    def run_rounds(
+        self,
+        protocol: str,
+        count: int,
+        participants_for=None,
+        pipelined: bool = False,
+        on_summary=None,
+    ) -> list[RoundSummary]:
+        """Drive ``count`` back-to-back rounds of one protocol.
 
-        failures = 0
-        participated: list[Client] = []
-        with self.transport.phase() as phase:
-            for client in clients:
+        With ``pipelined=True`` round N+1's announce+submit stage runs in
+        the same transport phase as round N's close+scan stage, the overlap
+        the paper's deployment uses: a new round starts while the previous
+        one is still mixing.  On a simulated network the two stages then
+        occupy the same simulated interval, so steady-state throughput is
+        ``1 / max(stage)`` instead of ``1 / sum(stages)``.  Note the
+        ordering contract this implies on *any* transport: round N+1's
+        submissions are built before round N's scan results land, so a
+        response queued while scanning round N (e.g. an add-friend
+        confirmation) rides round N+2 -- one round later than under the
+        sequential driver.
+
+        Unlike the single-round drivers, no inter-round gap is inserted --
+        rounds are driven as fast as the network allows, which is what a
+        throughput measurement wants.  A round whose announce or control
+        plane fails is recorded as an aborted summary rather than raised, so
+        one bad round does not tear down the rest of the schedule.
+
+        ``participants_for(round_index)`` supplies each round's online set
+        (``None`` means every client).  ``on_summary(summary)`` fires as
+        each round's summary is produced -- under pipelining the next round
+        is already in flight at that point, so effects the callback applies
+        (healing, load changes) reach the round after the in-flight one.
+        """
+        engine = self.round_engine(protocol)
+        summaries: list[RoundSummary] = []
+
+        def record(summary: RoundSummary) -> None:
+            summaries.append(summary)
+            if on_summary is not None:
+                on_summary(summary)
+
+        pending: PendingRound | None = None
+        started = 0
+        while started < count or pending is not None:
+            previous = pending
+            next_pending: PendingRound | None = None
+            finished: RoundSummary | None = None
+            with self.transport.phase() as phase:
+                if started < count:
+                    participants = participants_for(started) if participants_for else None
+                    started += 1
+                    next_pending = phase.run(lambda p=participants: engine.start_round(p))
+                if previous is not None:
+                    try:
+                        finished = phase.run(lambda: engine.finish_round(previous))
+                    except NetworkError:
+                        finished = engine.aborted_summary(previous)
+            if finished is not None:
+                record(finished)
+            if next_pending is not None and next_pending.failure is not None:
+                record(engine.aborted_summary(next_pending))
+                next_pending = None
+            if not pipelined and next_pending is not None:
+                # Depth-1 pipeline: drain each round before starting the next.
                 try:
-                    phase.run(lambda c=client: self._submit_dialing(c, announcement))
-                    participated.append(client)
+                    record(engine.finish_round(next_pending))
                 except NetworkError:
-                    failures += 1
-                    # The token never reached the entry server: withdraw the
-                    # speculative placed-call record and retry next round.
-                    client.dialing.requeue_last()
-
-        try:
-            submissions = self.entry_stub.submissions("dialing", round_number)
-            result = self.entry_stub.close_round("dialing", round_number)
-            self.cdn_stub.publish(result.mailboxes)
-        except NetworkError:
-            self.entry.abort_round("dialing", round_number)
-            for client in participated:
-                client.dialing.finish_round(round_number)
-            raise
-
-        events_by_client: dict[str, list] = {}
-        with self.transport.phase() as phase:
-            for client in participated:
-                try:
-                    calls = phase.run(
-                        lambda c=client: c.process_dialing_mailbox(round_number, self.cdn_stub)
-                    )
-                except NetworkError:
-                    failures += 1
-                    # The round's mailbox is unrecoverable for this client;
-                    # advance its wheels and prune the round's sent-token set
-                    # exactly as a successful scan would have.
-                    client.dialing.finish_round(round_number)
-                    continue
-                if calls:
-                    events_by_client[client.email] = calls
-
-        summary = RoundSummary(
-            protocol="dialing",
-            round_number=round_number,
-            mailbox_count=mailbox_count,
-            submissions=submissions,
-            mix_result=result,
-            events_by_client=events_by_client,
-            latency_s=self.clock - round_started,
-            bytes_sent=self.transport.stats.bytes_sent - bytes_before,
-            failures=failures,
-            participants=len(clients),
-        )
-        self.round_summaries.append(summary)
-        self.advance_clock(self.config.dialing_round_duration)
-        return summary
-
-    def _submit_dialing(self, client: Client, announcement) -> None:
-        envelope = client.participate_dialing_round(announcement)
-        try:
-            self.entry_stub.submit(
-                "dialing", announcement.round_number, client.email, envelope
-            )
-        except NetworkError as exc:
-            if not getattr(exc, "request_delivered", False):
-                raise
-            # Ack lost but the token was accepted; the dial stands.
-        client.dialing.confirm_sent()
+                    record(engine.aborted_summary(next_pending))
+                next_pending = None
+            pending = next_pending
+        return summaries
 
     # ------------------------------------------------------------------ #
     # Convenience flows used by examples and integration tests
@@ -419,11 +285,21 @@ class Deployment:
         self.run_addfriend_round()  # Bob's confirmation reaches Alice
 
     def place_call(self, caller_email: str, callee_email: str, intent: int = 0):
-        """Queue a call and run dialing rounds until it goes out and lands."""
+        """Queue a call and run dialing rounds until it goes out and lands.
+
+        Returns the :class:`~repro.core.dialtoken.PlacedCall` for *this*
+        dial, or ``None`` when it never left the queue (e.g. every round
+        failed) -- never a stale record of some earlier call.
+        """
         caller = self.client(caller_email)
-        caller.call(callee_email, intent)
+        callee = callee_email.lower()
+        already_placed = len(caller.placed_calls())
+        caller.call(callee, intent)
         for _ in range(self.config.max_mailbox_lag_rounds):
             self.run_dialing_round()
             if caller.dialing.pending_in_queue() == 0:
                 break
-        return caller.placed_calls()[-1] if caller.placed_calls() else None
+        for placed in caller.placed_calls()[already_placed:]:
+            if placed.friend == callee and placed.intent == intent:
+                return placed
+        return None

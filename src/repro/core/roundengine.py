@@ -1,0 +1,389 @@
+"""The unified round driver: one engine, two protocols, optional pipelining.
+
+Historically the deployment carried two copy-pasted ~200-line drivers
+(``run_addfriend_round`` / ``run_dialing_round``) whose only real differences
+were per-protocol details: how to size mailboxes, what a client submits, how
+it scans its mailbox, and what to undo on each failure path.  This module
+extracts the shared structure:
+
+* :class:`ProtocolDriver` is the per-protocol hook set (add-friend and
+  dialing implementations live here, next to the engine that calls them);
+* :class:`RoundEngine` drives one round through its three stages --
+  **start** (announce + concurrent client submissions), **close** (hand the
+  batch to the mix chain, publish mailboxes to the CDN), and **scan**
+  (concurrent client mailbox fetches + post-round key erasure) -- with the
+  same failure/abort/requeue semantics both legacy drivers implemented;
+* :meth:`RoundEngine.start_round` / :meth:`RoundEngine.finish_round` split a
+  round at the stage boundary the paper's deployment overlaps: a new round's
+  announce+submit can run while the previous round is still mixing and being
+  scanned.  ``Deployment.run_rounds(..., pipelined=True)`` exploits exactly
+  that split by running ``start(N+1)`` and ``finish(N)`` inside one transport
+  phase, so on a :class:`~repro.net.simulated.SimulatedNetwork` the two
+  stages occupy the same simulated interval and round throughput is bounded
+  by the slowest stage instead of the sum of stages.
+
+The engine never imports :class:`~repro.core.coordinator.Deployment`; it
+talks to it duck-typed (clients, stubs, clock, entry server), which keeps the
+module cycle-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.addfriend import addfriend_body_length
+from repro.core.client import Client
+from repro.core.dialtoken import DIAL_TOKEN_SIZE
+from repro.errors import NetworkError
+from repro.mixnet.chain import RoundResult
+from repro.mixnet.mailbox import choose_mailbox_count
+
+
+@dataclass
+class RoundSummary:
+    """What the deployment reports after driving one full round."""
+
+    protocol: str
+    round_number: int
+    mailbox_count: int
+    submissions: int
+    mix_result: RoundResult | None = None
+    events_by_client: dict[str, list] = field(default_factory=dict)
+    # Transport-level measurements for the round (simulated time and bytes).
+    latency_s: float = 0.0
+    bytes_sent: int = 0
+    failures: int = 0
+    participants: int = 0
+    # True when the round was torn down (announce or control plane failed);
+    # an aborted round has no mix result and delivered nothing.
+    aborted: bool = False
+
+
+@dataclass
+class PendingRound:
+    """A round whose announce+submit stage ran but which is not yet closed."""
+
+    round_number: int
+    clients: list[Client]
+    mailbox_count: int
+    started_at: float
+    announcement: object = None
+    participated: list[Client] = field(default_factory=list)
+    failures: int = 0
+    #: Bytes this round's own stages put on the wire so far.  Measured per
+    #: stage (phase tasks execute sequentially even when their simulated
+    #: intervals overlap), so concurrent rounds never double-count each
+    #: other's traffic in their summaries.
+    bytes_accum: int = 0
+    #: Set when the announce failed; the round was already aborted server-side.
+    failure: Exception | None = None
+
+
+class ProtocolDriver:
+    """Per-protocol hooks the :class:`RoundEngine` is parameterized by."""
+
+    protocol: str  # wire name: "add-friend" or "dialing"
+
+    def __init__(self, deployment) -> None:
+        self.dep = deployment
+
+    def allocate_round(self) -> int:
+        """Advance and return this protocol's round counter."""
+        raise NotImplementedError
+
+    def mailbox_count(self, clients: list[Client]) -> int:
+        """Size the round's mailboxes from the *participating* clients."""
+        raise NotImplementedError
+
+    def body_length(self) -> int:
+        """The round's fixed request body size, from wire-format constants."""
+        raise NotImplementedError
+
+    def round_duration(self) -> float:
+        raise NotImplementedError
+
+    def submit(self, client: Client, announcement) -> None:
+        """Build and submit one client's envelope (may raise NetworkError)."""
+        raise NotImplementedError
+
+    def submit_failed(self, client: Client, round_number: int) -> None:
+        """The envelope never reached the entry server: undo client state."""
+        raise NotImplementedError
+
+    def scan(self, client: Client, round_number: int, mailbox_count: int) -> list:
+        """Fetch and process one client's mailbox; returns its events."""
+        raise NotImplementedError
+
+    def scan_failed(self, client: Client, round_number: int) -> None:
+        """The mailbox is unreachable for this client: advance its state."""
+        raise NotImplementedError
+
+    def round_aborted(self, participated: list[Client], round_number: int) -> None:
+        """The round died after submissions: erase client round state."""
+        raise NotImplementedError
+
+    def after_scan(self, round_number: int) -> None:
+        """Post-round server-side cleanup once clients hold their results."""
+
+
+class AddFriendDriver(ProtocolDriver):
+    """Hooks for the add-friend protocol (Algorithm 1)."""
+
+    protocol = "add-friend"
+
+    def allocate_round(self) -> int:
+        self.dep.addfriend_round += 1
+        return self.dep.addfriend_round
+
+    def mailbox_count(self, clients: list[Client]) -> int:
+        # Size from the round's resolved participants: offline clients'
+        # queued requests cannot enter this round, so counting them (as the
+        # old driver did) inflates the shard count under churn.
+        queued = sum(c.addfriend.pending_in_queue() for c in clients)
+        return choose_mailbox_count(queued, self.dep.config.addfriend_target_per_mailbox)
+
+    def body_length(self) -> int:
+        # Wire-format constants only: a deployment driven purely with
+        # externally constructed clients must announce the same fixed size
+        # every client will produce.
+        return addfriend_body_length(self.dep.config.addfriend_request_size)
+
+    def round_duration(self) -> float:
+        return self.dep.config.addfriend_round_duration
+
+    def submit(self, client: Client, announcement) -> None:
+        envelope = client.participate_addfriend_round(
+            announcement,
+            pkgs=self.dep.pkg_stubs,
+            next_dialing_round=self.dep.dialing_round + 2,
+            now=self.dep.clock,
+        )
+        try:
+            self.dep.entry_stub.submit(
+                "add-friend", announcement.round_number, client.email, envelope
+            )
+        except NetworkError as exc:
+            if not getattr(exc, "request_delivered", False):
+                raise
+            # Only the acknowledgement was lost: the entry server holds the
+            # envelope, so the submission stands and must NOT be re-sent (a
+            # re-send would carry a fresh ephemeral key and desync the
+            # keywheel if the recipient answers the first copy).
+        client.addfriend.confirm_sent()
+
+    def submit_failed(self, client: Client, round_number: int) -> None:
+        # The envelope never reached the entry server: put any consumed
+        # friend request back for the next round, and drop round keys the
+        # client will never use.
+        client.addfriend.requeue_last()
+        client.addfriend.erase_round_keys(round_number)
+
+    def scan(self, client: Client, round_number: int, mailbox_count: int) -> list:
+        return client.process_addfriend_mailbox(
+            round_number,
+            self.dep.cdn_stub,
+            pkg_bls_public_keys=[stub.bls_public_key for stub in self.dep.pkg_stubs],
+            current_dialing_round=self.dep.dialing_round,
+            mailbox_count=mailbox_count,
+        )
+
+    def scan_failed(self, client: Client, round_number: int) -> None:
+        client.addfriend.erase_round_keys(round_number)
+
+    def round_aborted(self, participated: list[Client], round_number: int) -> None:
+        for client in participated:
+            client.addfriend.erase_round_keys(round_number)
+
+    def after_scan(self, round_number: int) -> None:
+        # The PKGs erase the round's master secrets once clients have
+        # fetched their round keys.
+        self.dep.pkg_coordinator.close_round(round_number)
+
+
+class DialingDriver(ProtocolDriver):
+    """Hooks for the dialing protocol (§5)."""
+
+    protocol = "dialing"
+
+    def allocate_round(self) -> int:
+        self.dep.dialing_round += 1
+        return self.dep.dialing_round
+
+    def mailbox_count(self, clients: list[Client]) -> int:
+        queued = sum(c.dialing.pending_in_queue() for c in clients)
+        return choose_mailbox_count(queued, self.dep.config.dialing_target_per_mailbox)
+
+    def body_length(self) -> int:
+        return DIAL_TOKEN_SIZE
+
+    def round_duration(self) -> float:
+        return self.dep.config.dialing_round_duration
+
+    def submit(self, client: Client, announcement) -> None:
+        envelope = client.participate_dialing_round(announcement)
+        try:
+            self.dep.entry_stub.submit(
+                "dialing", announcement.round_number, client.email, envelope
+            )
+        except NetworkError as exc:
+            if not getattr(exc, "request_delivered", False):
+                raise
+            # Ack lost but the token was accepted; the dial stands.
+        client.dialing.confirm_sent()
+
+    def submit_failed(self, client: Client, round_number: int) -> None:
+        # The token never reached the entry server: withdraw the speculative
+        # placed-call record and retry next round.
+        client.dialing.requeue_last()
+
+    def scan(self, client: Client, round_number: int, mailbox_count: int) -> list:
+        return client.process_dialing_mailbox(
+            round_number, self.dep.cdn_stub, mailbox_count=mailbox_count
+        )
+
+    def scan_failed(self, client: Client, round_number: int) -> None:
+        # The round's mailbox is unrecoverable for this client; advance its
+        # wheels and prune the round's sent-token set exactly as a
+        # successful scan would have.
+        client.dialing.finish_round(round_number)
+
+    def round_aborted(self, participated: list[Client], round_number: int) -> None:
+        for client in participated:
+            client.dialing.finish_round(round_number)
+
+
+class RoundEngine:
+    """Drives rounds of one protocol through announce/submit/close/scan."""
+
+    def __init__(self, deployment, driver: ProtocolDriver) -> None:
+        self.dep = deployment
+        self.driver = driver
+
+    # -- stage 1: announce + submissions ----------------------------------
+    def start_round(self, participants=None) -> PendingRound:
+        """Announce a new round and run the concurrent submission phase.
+
+        Never raises on announce failure; the returned pending round carries
+        the failure so a pipelined driver can keep the previous round alive.
+        """
+        driver = self.driver
+        clients = self.dep._resolve_participants(participants)
+        round_number = driver.allocate_round()
+        bytes_before = self.dep.transport.stats.bytes_sent
+        pending = PendingRound(
+            round_number=round_number,
+            clients=clients,
+            mailbox_count=driver.mailbox_count(clients),
+            started_at=self.dep.clock,
+        )
+        try:
+            pending.announcement = self.dep.entry_stub.announce_round(
+                driver.protocol, round_number, pending.mailbox_count, driver.body_length()
+            )
+        except NetworkError as exc:
+            # The announce may have reached the entry server even though its
+            # reply was lost; abort locally so no round secrets outlive the
+            # failure (idempotent if the round never opened).
+            self.dep.entry.abort_round(driver.protocol, round_number)
+            pending.failure = exc
+            pending.bytes_accum = self.dep.transport.stats.bytes_sent - bytes_before
+            return pending
+
+        # Every online client participates every round (cover traffic
+        # included); clients act concurrently, so the phase's duration is
+        # the slowest participant's, not the sum.
+        with self.dep.transport.phase() as phase:
+            for client in clients:
+                try:
+                    phase.run(lambda c=client: driver.submit(c, pending.announcement))
+                    pending.participated.append(client)
+                except NetworkError:
+                    pending.failures += 1
+                    driver.submit_failed(client, round_number)
+        pending.bytes_accum = self.dep.transport.stats.bytes_sent - bytes_before
+        return pending
+
+    # -- stages 2+3: close the round, publish, scan ------------------------
+    def finish_round(self, pending: PendingRound) -> RoundSummary:
+        """Close the round on the entry server, publish, and run the scans."""
+        if pending.failure is not None:
+            raise pending.failure
+        driver = self.driver
+        round_number = pending.round_number
+        bytes_before = self.dep.transport.stats.bytes_sent
+        try:
+            submissions = self.dep.entry_stub.submissions(driver.protocol, round_number)
+            result = self.dep.entry_stub.close_round(driver.protocol, round_number)
+            self.dep.cdn_stub.publish(result.mailboxes)
+        except NetworkError:
+            # The round's control plane failed (entry or CDN unreachable).
+            # The operator runs in the entry server's process: tear the
+            # round down locally so envelopes and round secrets are erased,
+            # then let the failure surface.  This round's requests are lost,
+            # like any mixnet round that dies mid-flight.
+            self.dep.entry.abort_round(driver.protocol, round_number)
+            driver.round_aborted(pending.participated, round_number)
+            pending.bytes_accum += self.dep.transport.stats.bytes_sent - bytes_before
+            raise
+
+        # Clients fetch and scan their mailboxes concurrently; the announced
+        # mailbox count spares them the CDN metadata round trip.
+        events_by_client: dict[str, list] = {}
+        with self.dep.transport.phase() as phase:
+            for client in pending.participated:
+                try:
+                    events = phase.run(
+                        lambda c=client: driver.scan(
+                            c, round_number, pending.announcement.mailbox_count
+                        )
+                    )
+                except NetworkError:
+                    pending.failures += 1
+                    driver.scan_failed(client, round_number)
+                    continue
+                if events:
+                    events_by_client[client.email] = events
+        driver.after_scan(round_number)
+        pending.bytes_accum += self.dep.transport.stats.bytes_sent - bytes_before
+
+        summary = RoundSummary(
+            protocol=driver.protocol,
+            round_number=round_number,
+            mailbox_count=pending.mailbox_count,
+            submissions=submissions,
+            mix_result=result,
+            events_by_client=events_by_client,
+            latency_s=self.dep.clock - pending.started_at,
+            bytes_sent=pending.bytes_accum,
+            failures=pending.failures,
+            participants=len(pending.clients),
+        )
+        self.dep.round_summaries.append(summary)
+        return summary
+
+    def aborted_summary(self, pending: PendingRound) -> RoundSummary:
+        """Record a round that was torn down before delivering anything."""
+        summary = RoundSummary(
+            protocol=self.driver.protocol,
+            round_number=pending.round_number,
+            mailbox_count=pending.mailbox_count,
+            submissions=0,
+            mix_result=None,
+            latency_s=self.dep.clock - pending.started_at,
+            bytes_sent=pending.bytes_accum,
+            failures=len(pending.clients),
+            participants=len(pending.clients),
+            aborted=True,
+        )
+        self.dep.round_summaries.append(summary)
+        return summary
+
+    # -- the sequential driver (legacy semantics) ---------------------------
+    def run_round(self, participants=None) -> RoundSummary:
+        """One complete round, then the configured inter-round gap."""
+        pending = self.start_round(participants)
+        if pending.failure is not None:
+            raise pending.failure
+        summary = self.finish_round(pending)
+        self.dep.advance_clock(self.driver.round_duration())
+        return summary

@@ -75,16 +75,16 @@ class EntryServer:
 
         pkg_publics: list = []
         try:
-            mix_publics = self.mix_chain.open_round(round_number)
+            mix_publics = self.mix_chain.open_round(protocol, round_number)
             if protocol == "add-friend" and self.pkg_coordinator is not None:
                 pkg_publics = list(self.pkg_coordinator.open_round(round_number).public_keys)
         except Exception:
             # The round cannot open (e.g. a server is unreachable during
             # key setup).  Erase whatever round secrets were already
             # generated -- leaving them live would defeat the forward
-            # secrecy the close path exists to provide.  abort_round guards
-            # on protocol, so a failed *dialing* announce cannot poison the
-            # same-numbered add-friend round's PKG keys.
+            # secrecy the close path exists to provide.  Mix round keys are
+            # namespaced by (protocol, round), so a failed *dialing* announce
+            # cannot poison the same-numbered add-friend round's keys.
             self.abort_round(protocol, round_number)
             raise
 
@@ -154,7 +154,7 @@ class EntryServer:
         # Forward secrecy: the mixnet round keys are erased as soon as the
         # batch has been processed; PKG master secrets are erased by the
         # deployment once clients have fetched their round keys.
-        self.mix_chain.close_round(round_number)
+        self.mix_chain.close_round(protocol, round_number)
         self.batches_processed += 1
         return result
 
@@ -164,7 +164,7 @@ class EntryServer:
         operator when the round's control plane fails mid-flight, so a stuck
         round can never retain envelopes or keys indefinitely."""
         self._open_rounds.pop((protocol, round_number), None)
-        self.mix_chain.close_round(round_number)
+        self.mix_chain.close_round(protocol, round_number)
         if protocol == "add-friend" and self.pkg_coordinator is not None:
             self.pkg_coordinator.close_round(round_number)
 

@@ -38,14 +38,14 @@ class _LocalMixHandle:
         self.server = server
         self.name = server.name
 
-    def open_round(self, round_number: int) -> bytes:
-        return self.server.open_round(round_number)
+    def open_round(self, protocol: str, round_number: int) -> bytes:
+        return self.server.open_round(protocol, round_number)
 
-    def round_public_key(self, round_number: int) -> bytes:
-        return self.server.round_public_key(round_number)
+    def round_public_key(self, protocol: str, round_number: int) -> bytes:
+        return self.server.round_public_key(protocol, round_number)
 
-    def close_round(self, round_number: int) -> None:
-        self.server.close_round(round_number)
+    def close_round(self, protocol: str, round_number: int) -> None:
+        self.server.close_round(protocol, round_number)
 
     def process_batch(self, **kwargs) -> tuple[list[bytes], MixServerStats]:
         batch = self.server.process_batch(**kwargs)
@@ -93,30 +93,32 @@ class MixChain:
         self.last_round_stats: list[MixServerStats] = []
         # Round public keys collected at open_round, so run_round does not
         # re-fetch every downstream key on every hop (O(m^2) RPCs otherwise).
-        self._round_publics: dict[int, list[bytes]] = {}
+        # Keyed by (protocol, round_number): the two protocols run
+        # independently numbered, possibly concurrent, rounds.
+        self._round_publics: dict[tuple[str, int], list[bytes]] = {}
 
     def __len__(self) -> int:
         return len(self._handles)
 
     # -- round key management ------------------------------------------------
-    def open_round(self, round_number: int) -> list[bytes]:
+    def open_round(self, protocol: str, round_number: int) -> list[bytes]:
         """Open the round on every server; returns their round public keys."""
-        publics = [handle.open_round(round_number) for handle in self._handles]
-        self._round_publics[round_number] = publics
+        publics = [handle.open_round(protocol, round_number) for handle in self._handles]
+        self._round_publics[(protocol, round_number)] = publics
         return publics
 
-    def round_public_keys(self, round_number: int) -> list[bytes]:
-        return [handle.round_public_key(round_number) for handle in self._handles]
+    def round_public_keys(self, protocol: str, round_number: int) -> list[bytes]:
+        return [handle.round_public_key(protocol, round_number) for handle in self._handles]
 
-    def close_round(self, round_number: int) -> None:
+    def close_round(self, protocol: str, round_number: int) -> None:
         """Erase the round's keys on every reachable server (best-effort:
         an unreachable server keeps its key until it heals)."""
         from repro.errors import NetworkError
 
-        self._round_publics.pop(round_number, None)
+        self._round_publics.pop((protocol, round_number), None)
         for handle in self._handles:
             try:
-                handle.close_round(round_number)
+                handle.close_round(protocol, round_number)
             except NetworkError:
                 continue
 
@@ -135,9 +137,9 @@ class MixChain:
             raise MixnetError(f"unknown protocol {protocol!r}")
 
         batch = list(envelopes)
-        publics = self._round_publics.get(round_number)
+        publics = self._round_publics.get((protocol, round_number))
         if publics is None:
-            publics = self.round_public_keys(round_number)
+            publics = self.round_public_keys(protocol, round_number)
         per_server_noise: list[int] = []
         round_stats: list[MixServerStats] = []
         dropped = 0

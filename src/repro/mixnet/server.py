@@ -47,36 +47,43 @@ def decode_inner_payload(payload: bytes) -> tuple[int, bytes]:
 
 
 class MixServer:
-    """One server in the anytrust mix chain."""
+    """One server in the anytrust mix chain.
+
+    Round keys are namespaced by ``(protocol, round_number)``: the add-friend
+    and dialing protocols advance independent round counters, so round N of
+    one protocol can be in flight while round N of the other is aborted, and
+    neither may touch the other's onion keys.
+    """
 
     def __init__(self, name: str, rng: DeterministicRng | None = None) -> None:
         self.name = name
         self.rng = rng if rng is not None else DeterministicRng(random_bytes(32))
-        self._round_keys: dict[int, OnionKeyPair] = {}
+        self._round_keys: dict[tuple[str, int], OnionKeyPair] = {}
         self.last_stats: MixServerStats = MixServerStats()
         # Failure-injection switches used by the test suite.
         self.drop_all_noise = False
         self.drop_fraction = 0.0
 
     # -- round keys --------------------------------------------------------
-    def open_round(self, round_number: int) -> bytes:
+    def open_round(self, protocol: str, round_number: int) -> bytes:
         """Generate the round's onion key pair; returns the public key."""
-        if round_number not in self._round_keys:
-            self._round_keys[round_number] = OnionKeyPair.generate()
-        return self._round_keys[round_number].public
+        key = (protocol, round_number)
+        if key not in self._round_keys:
+            self._round_keys[key] = OnionKeyPair.generate()
+        return self._round_keys[key].public
 
-    def round_public_key(self, round_number: int) -> bytes:
-        keypair = self._round_keys.get(round_number)
+    def round_public_key(self, protocol: str, round_number: int) -> bytes:
+        keypair = self._round_keys.get((protocol, round_number))
         if keypair is None:
-            raise RoundError(f"round {round_number} is not open on {self.name}")
+            raise RoundError(f"{protocol} round {round_number} is not open on {self.name}")
         return keypair.public
 
-    def close_round(self, round_number: int) -> None:
+    def close_round(self, protocol: str, round_number: int) -> None:
         """Erase the round's private key (forward secrecy)."""
-        self._round_keys.pop(round_number, None)
+        self._round_keys.pop((protocol, round_number), None)
 
-    def has_round_key(self, round_number: int) -> bool:
-        return round_number in self._round_keys
+    def has_round_key(self, protocol: str, round_number: int) -> bool:
+        return (protocol, round_number) in self._round_keys
 
     # -- batch processing ----------------------------------------------------
     def _make_noise_payload(self, protocol: str, mailbox_id: int, body_length: int) -> bytes:
@@ -94,9 +101,9 @@ class MixServer:
         noise_body_length: int,
     ) -> list[bytes]:
         """Peel one layer from a batch, add noise, shuffle, and return it."""
-        keypair = self._round_keys.get(round_number)
+        keypair = self._round_keys.get((protocol, round_number))
         if keypair is None:
-            raise RoundError(f"round {round_number} is not open on {self.name}")
+            raise RoundError(f"{protocol} round {round_number} is not open on {self.name}")
 
         stats = MixServerStats(received=len(envelopes))
         peeled: list[bytes] = []
@@ -135,7 +142,6 @@ class MixServer:
         from repro.errors import NetworkError
         from repro.net import rpc
         from repro.net.transport import RpcResult
-        from repro.utils.serialization import Unpacker
 
         if request.method == "process_batch":
             (
@@ -158,12 +164,14 @@ class MixServer:
             )
             return RpcResult(payload=rpc.encode_process_batch_response(batch, self.last_stats))
 
-        round_number = Unpacker(request.payload).u64()
+        protocol, round_number = rpc.decode_round_ref(request.payload)
         if request.method == "open_round":
-            return RpcResult(payload=Packer().bytes(self.open_round(round_number)).pack())
+            return RpcResult(payload=Packer().bytes(self.open_round(protocol, round_number)).pack())
         if request.method == "round_public_key":
-            return RpcResult(payload=Packer().bytes(self.round_public_key(round_number)).pack())
+            return RpcResult(
+                payload=Packer().bytes(self.round_public_key(protocol, round_number)).pack()
+            )
         if request.method == "close_round":
-            self.close_round(round_number)
+            self.close_round(protocol, round_number)
             return RpcResult()
         raise NetworkError(f"mix server {self.name} has no RPC method {request.method!r}")

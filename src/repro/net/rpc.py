@@ -279,19 +279,19 @@ class MixStub:
         self.name = name
         self.src = src
 
-    def _round_call(self, method: str, round_number: int) -> bytes:
+    def _round_call(self, method: str, protocol: str, round_number: int) -> bytes:
         return self.transport.call(
-            self.src, self.name, method, Packer().u64(round_number).pack()
+            self.src, self.name, method, encode_round_ref(protocol, round_number)
         ).payload
 
-    def open_round(self, round_number: int) -> bytes:
-        return Unpacker(self._round_call("open_round", round_number)).bytes()
+    def open_round(self, protocol: str, round_number: int) -> bytes:
+        return Unpacker(self._round_call("open_round", protocol, round_number)).bytes()
 
-    def round_public_key(self, round_number: int) -> bytes:
-        return Unpacker(self._round_call("round_public_key", round_number)).bytes()
+    def round_public_key(self, protocol: str, round_number: int) -> bytes:
+        return Unpacker(self._round_call("round_public_key", protocol, round_number)).bytes()
 
-    def close_round(self, round_number: int) -> None:
-        self._round_call("close_round", round_number)
+    def close_round(self, protocol: str, round_number: int) -> None:
+        self._round_call("close_round", protocol, round_number)
 
     def process_batch(
         self,

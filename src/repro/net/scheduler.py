@@ -75,6 +75,31 @@ class EventScheduler:
         while self.step():
             pass
 
+    def rewind(self, to_time: float) -> None:
+        """Move the clock backwards to ``to_time`` (phase bookkeeping only).
+
+        A :class:`~repro.net.simulated._SimulatedPhase` restarts each of its
+        logically concurrent tasks at the phase's start time; this is the
+        one legitimate way time moves backwards.  Pending events keep their
+        absolute times -- an event now "in the future" again simply fires
+        when the clock catches back up, and :meth:`step` never runs an event
+        before its time twice.
+        """
+        if to_time > self.now:
+            raise ValueError("rewind cannot move the clock forward")
+        self.now = to_time
+
+    def fast_forward(self, to_time: float) -> None:
+        """Jump the clock forward to ``to_time`` without draining events.
+
+        Used at phase exit: the phase ends at its latest finisher, and any
+        events stragglers left in the heap still fire in order the next time
+        the loop runs (step() clamps their time to the new present).
+        """
+        if to_time < self.now:
+            raise ValueError("fast_forward cannot move the clock backwards")
+        self.now = to_time
+
     def advance(self, seconds: float) -> None:
         """Jump the clock forward, draining any events due in between."""
         if seconds < 0:

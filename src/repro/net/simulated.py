@@ -51,14 +51,14 @@ class _SimulatedPhase(Phase):
         self._latest = scheduler.now
 
     def run(self, task: Callable[[], object]) -> object:
-        self._scheduler.now = self._start
+        self._scheduler.rewind(self._start)
         try:
             return task()
         finally:
             self._latest = max(self._latest, self._scheduler.now)
 
     def __exit__(self, *exc) -> bool:
-        self._scheduler.now = self._latest
+        self._scheduler.fast_forward(self._latest)
         return False
 
 

@@ -20,6 +20,7 @@ from repro.sim.scenario import (
     with_overrides,
 )
 from repro.sim.scenarios import SCENARIOS, make_scenario, run_scenario, scenario_names
+from repro.sim.sweep import SweepPoint, SweepResult, run_sweep
 
 __all__ = [
     "RoundStats",
@@ -27,8 +28,11 @@ __all__ = [
     "Scenario",
     "ScenarioResult",
     "ScenarioSpec",
+    "SweepPoint",
+    "SweepResult",
     "make_scenario",
     "run_scenario",
+    "run_sweep",
     "scenario_names",
     "with_overrides",
 ]

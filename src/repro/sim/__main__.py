@@ -5,6 +5,13 @@ Examples::
     python -m repro.sim --list
     python -m repro.sim --scenario baseline --clients 500
     python -m repro.sim --scenario straggler_mix --clients 100 --json out.json
+    python -m repro.sim --scenario pipelined_rounds --clients 100
+    python -m repro.sim --sweep --sweep-clients 40,80 --sweep-latency-ms 40,200
+
+``--sweep`` runs the scenario over a clients x link-latency grid, once with
+the sequential round driver and once pipelined, and writes the comparison
+(round throughput and speedup per grid point) to ``BENCH_sweep.json`` for
+trend tracking across PRs.
 """
 
 from __future__ import annotations
@@ -22,7 +29,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro.sim",
         description="Run an Alpenhorn deployment scenario on the simulated network.",
     )
-    parser.add_argument("--scenario", default="baseline", help="scenario name (see --list)")
+    parser.add_argument(
+        "--scenario",
+        default=None,
+        help="scenario name (see --list); default baseline, or pipelined_rounds with --sweep",
+    )
     parser.add_argument("--list", action="store_true", help="list scenarios and exit")
     parser.add_argument("--clients", type=int, default=None, help="number of simulated clients")
     parser.add_argument("--addfriend-rounds", type=int, default=None)
@@ -32,6 +43,30 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--pkg-servers", type=int, default=None)
     parser.add_argument("--seed", default=None, help="deterministic scenario seed")
     parser.add_argument("--json", default=None, metavar="PATH", help="also write the result as JSON")
+    parser.add_argument(
+        "--pipelined",
+        choices=("on", "off"),
+        default=None,
+        help="override the scenario's round driver (overlapped vs sequential rounds)",
+    )
+    parser.add_argument(
+        "--sweep",
+        action="store_true",
+        help="run a clients x link-latency grid (sequential vs pipelined) "
+        "and write BENCH_sweep.json; --scenario defaults to pipelined_rounds",
+    )
+    parser.add_argument(
+        "--sweep-clients",
+        default="40,80",
+        metavar="N,N,...",
+        help="comma-separated client counts for --sweep (default: 40,80)",
+    )
+    parser.add_argument(
+        "--sweep-latency-ms",
+        default="40,200",
+        metavar="MS,MS,...",
+        help="comma-separated client link latencies for --sweep (default: 40,200)",
+    )
     return parser
 
 
@@ -59,9 +94,14 @@ def main(argv: list[str] | None = None) -> int:
         overrides["num_pkg_servers"] = args.pkg_servers
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.pipelined is not None:
+        overrides["pipelined"] = args.pipelined == "on"
+
+    if args.sweep:
+        return run_sweep_cli(args, overrides)
 
     try:
-        result = run_scenario(args.scenario, **overrides)
+        result = run_scenario(args.scenario or "baseline", **overrides)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -82,10 +122,58 @@ def main(argv: list[str] | None = None) -> int:
         f"traffic={result.total_bytes_sent / 2**20:.2f} MiB in {result.total_messages_sent} msgs "
         f"(wall {result.wall_seconds:.1f}s)"
     )
+    overall = result.throughput.get("overall")
+    if overall:
+        driver = "pipelined" if result.spec.pipelined else "sequential"
+        print(
+            f"throughput ({driver} driver): {overall['rounds_per_sec']:.3f} rounds/s "
+            f"over {overall['rounds']} rounds in {overall['busy_s']:.2f}s simulated"
+        )
 
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def run_sweep_cli(args, overrides: dict) -> int:
+    from repro.sim.sweep import emit_sweep_report, run_sweep
+
+    ignored = [
+        flag
+        for flag, key in (("--clients", "num_clients"), ("--pipelined", "pipelined"))
+        if overrides.pop(key, None) is not None
+    ]
+    if ignored:
+        print(
+            f"note: {', '.join(ignored)} ignored with --sweep "
+            "(the grid supplies client counts; both drivers are run)"
+        )
+    scenario = args.scenario or "pipelined_rounds"
+    try:
+        clients = [int(v) for v in args.sweep_clients.split(",") if v]
+        latencies = [float(v) for v in args.sweep_latency_ms.split(",") if v]
+    except ValueError:
+        print("error: --sweep-clients / --sweep-latency-ms must be comma-separated numbers", file=sys.stderr)
+        return 2
+    try:
+        result = run_sweep(
+            scenario=scenario,
+            clients=clients,
+            latencies_ms=latencies,
+            progress=print,
+            **overrides,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    path = emit_sweep_report(result)
+    print(f"wrote {path}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_report(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.json}")
     return 0

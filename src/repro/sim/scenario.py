@@ -56,6 +56,10 @@ class ScenarioSpec:
     addfriend_target_per_mailbox: int = 16
     dialing_target_per_mailbox: int = 16
     seed: str = "scenario"
+    #: Drive rounds through ``Deployment.run_rounds``: back-to-back rounds
+    #: with round N+1's announce+submit overlapping round N's mix+scan.
+    #: ``False`` keeps the sequential one-round-at-a-time driver.
+    pipelined: bool = False
 
     def resolved_friend_pairs(self) -> int:
         if self.friend_pairs is not None:
@@ -81,6 +85,7 @@ class RoundStats:
 
     @staticmethod
     def from_summary(summary: RoundSummary) -> "RoundStats":
+        mix = summary.mix_result
         return RoundStats(
             protocol=summary.protocol,
             round_number=summary.round_number,
@@ -88,10 +93,11 @@ class RoundStats:
             submissions=summary.submissions,
             failures=summary.failures,
             mailbox_count=summary.mailbox_count,
-            delivered_real=summary.mix_result.delivered_real,
-            noise_added=summary.mix_result.noise_added,
+            delivered_real=mix.delivered_real if mix is not None else 0,
+            noise_added=mix.noise_added if mix is not None else 0,
             latency_s=summary.latency_s,
             bytes_sent=summary.bytes_sent,
+            aborted=summary.aborted,
         )
 
     def to_dict(self) -> dict:
@@ -122,6 +128,11 @@ class ScenarioResult:
     total_bytes_sent: int = 0
     total_messages_sent: int = 0
     wall_seconds: float = 0.0
+    #: Per-protocol round throughput: ``{"rounds", "busy_s", "rounds_per_sec"}``
+    #: keyed by protocol name plus an ``"overall"`` aggregate.  ``busy_s`` is
+    #: simulated time spent actually driving rounds (inter-round idle gaps
+    #: excluded), so sequential and pipelined runs are directly comparable.
+    throughput: dict[str, dict] = field(default_factory=dict)
 
     def rounds_for(self, protocol: str) -> list[RoundStats]:
         return [r for r in self.rounds if r.protocol == protocol]
@@ -146,6 +157,8 @@ class ScenarioResult:
             "total_bytes_sent": self.total_bytes_sent,
             "total_messages_sent": self.total_messages_sent,
             "wall_seconds": round(self.wall_seconds, 3),
+            "pipelined": self.spec.pipelined,
+            "throughput": self.throughput,
         }
 
     def table(self) -> tuple[list[str], list[list]]:
@@ -190,7 +203,13 @@ class Scenario:
         """Fault injection / load changes just before a round starts."""
 
     def after_round(self, deployment: Deployment, net: SimulatedNetwork, summary: RoundSummary) -> None:
-        """Measurements / healing just after a round completes."""
+        """Measurements / healing just after a round completes.
+
+        Under the pipelined driver the next round is already in flight when
+        this fires, so effects applied here (healing, load changes) reach
+        the round *after* the in-flight one; aborted rounds skip the hook
+        on both drive paths.
+        """
 
     # -- construction ------------------------------------------------------
     def server_endpoints(self) -> list[str]:
@@ -262,11 +281,10 @@ class Scenario:
         self.populate(deployment)
 
         result = ScenarioResult(name=self.spec.name, spec=self.spec)
-        for index in range(self.spec.addfriend_rounds):
-            self._drive_round(deployment, net, "add-friend", index, result)
+        self._drive_protocol(deployment, net, "add-friend", self.spec.addfriend_rounds, result)
         self.queue_calls(deployment)
-        for index in range(self.spec.dialing_rounds):
-            self._drive_round(deployment, net, "dialing", index, result)
+        self._drive_protocol(deployment, net, "dialing", self.spec.dialing_rounds, result)
+        self._record_overall_throughput(result)
 
         result.friendships_confirmed = sum(
             len(c.friends()) for c in deployment.clients.values()
@@ -279,6 +297,78 @@ class Scenario:
         result.wall_seconds = time.perf_counter() - started
         return result
 
+    def _drive_protocol(
+        self,
+        deployment: Deployment,
+        net: SimulatedNetwork,
+        protocol: str,
+        count: int,
+        result: ScenarioResult,
+    ) -> None:
+        """Drive all of one protocol's rounds and record their throughput."""
+        if self.spec.pipelined:
+            busy = self._drive_pipelined(deployment, net, protocol, count, result)
+        else:
+            # Sequential rounds never overlap, so the time spent driving is
+            # the sum of the per-round costs (idle gaps excluded, aborted
+            # rounds' announce/submit time included -- the same accounting
+            # the pipelined path's clock-delta measurement uses).
+            busy = sum(
+                self._drive_round(deployment, net, protocol, index, result)
+                for index in range(count)
+            )
+        completed = sum(
+            1 for r in result.rounds if r.protocol == protocol and not r.aborted
+        )
+        result.throughput[protocol] = {
+            "rounds": completed,
+            "busy_s": round(busy, 6),
+            "rounds_per_sec": round(completed / busy, 6) if busy > 0 else 0.0,
+        }
+
+    def _record_overall_throughput(self, result: ScenarioResult) -> None:
+        per_protocol = [v for k, v in result.throughput.items() if k != "overall"]
+        rounds = sum(v["rounds"] for v in per_protocol)
+        busy = sum(v["busy_s"] for v in per_protocol)
+        result.throughput["overall"] = {
+            "rounds": rounds,
+            "busy_s": round(busy, 6),
+            "rounds_per_sec": round(rounds / busy, 6) if busy > 0 else 0.0,
+        }
+
+    def _drive_pipelined(
+        self,
+        deployment: Deployment,
+        net: SimulatedNetwork,
+        protocol: str,
+        count: int,
+        result: ScenarioResult,
+    ) -> float:
+        """Drive ``count`` overlapped rounds; returns simulated busy time."""
+
+        def participants_for(round_index: int):
+            self.before_round(deployment, net, protocol, round_index)
+            return self.participants(deployment, protocol, round_index)
+
+        def on_summary(summary: RoundSummary) -> None:
+            # Fires as each round completes, mid-pipeline: the next round is
+            # already in flight, so after_round effects (healing, load
+            # shifts) reach the round after that -- the closest a pipelined
+            # deployment can get to "just after a round completes".
+            result.rounds.append(RoundStats.from_summary(summary))
+            if not summary.aborted:
+                self.after_round(deployment, net, summary)
+
+        started_clock = deployment.clock
+        deployment.run_rounds(
+            protocol,
+            count,
+            participants_for=participants_for,
+            pipelined=True,
+            on_summary=on_summary,
+        )
+        return deployment.clock - started_clock
+
     def _drive_round(
         self,
         deployment: Deployment,
@@ -286,10 +376,13 @@ class Scenario:
         protocol: str,
         round_index: int,
         result: ScenarioResult,
-    ) -> None:
+    ) -> float:
+        """Drive one sequential round; returns the simulated time it cost
+        (the inter-round idle gap excluded)."""
         self.before_round(deployment, net, protocol, round_index)
         participants = self.participants(deployment, protocol, round_index)
         online = len(participants) if participants is not None else len(deployment.clients)
+        round_started = deployment.clock
         try:
             if protocol == "add-friend":
                 summary = deployment.run_addfriend_round(participants)
@@ -307,6 +400,7 @@ class Scenario:
                 if protocol == "add-friend"
                 else deployment.config.dialing_round_duration
             )
+            busy = deployment.clock - round_started  # the abort's own cost
             deployment.advance_clock(duration)
             result.rounds.append(
                 RoundStats(
@@ -323,9 +417,10 @@ class Scenario:
                     aborted=True,
                 )
             )
-            return
+            return busy
         result.rounds.append(RoundStats.from_summary(summary))
         self.after_round(deployment, net, summary)
+        return summary.latency_s
 
 
 def with_overrides(spec: ScenarioSpec, **overrides) -> ScenarioSpec:

@@ -18,9 +18,16 @@ answered with EC2 machines:
   mailbox re-sizing and a bandwidth spike.
 * ``geo_distributed`` -- clients spread across regions with realistic
   inter-region latencies; servers are hosted in one region.
+* ``pipelined_rounds`` -- high-latency links with overlapped rounds: round
+  N+1's announce+submit runs while round N is still mixing and being
+  scanned, so throughput is bounded by the slowest stage rather than the
+  sum of stages.  Run it with ``pipelined=False`` for the sequential
+  baseline the speedup is measured against (``python -m repro.sim --sweep``
+  does both and reports the ratio).
 
 ``run_scenario("name", num_clients=500)`` is the programmatic entry point;
-``python -m repro.sim`` is the CLI.
+``python -m repro.sim`` is the CLI (``--sweep`` runs a clients x latency
+grid and writes ``BENCH_sweep.json``).
 """
 
 from __future__ import annotations
@@ -96,14 +103,14 @@ class PkgFailureScenario(Scenario):
     fail_at_round = 1  # 0-based add-friend round index
 
     def before_round(self, deployment, net, protocol, round_index) -> None:
-        if protocol == "add-friend" and round_index == self.fail_at_round:
+        # Heal in before_round rather than after_round: aborted rounds skip
+        # after_round, recovery must be observable on the very next round,
+        # and before_round is the one hook both the sequential and the
+        # pipelined drive paths call for every round.
+        if protocol != "add-friend" or round_index > self.fail_at_round:
+            net.topology.heal_endpoint(self.failed_pkg)
+        elif round_index == self.fail_at_round:
             net.topology.partition_endpoint(self.failed_pkg)
-
-    def _drive_round(self, deployment, net, protocol, round_index, result) -> None:
-        super()._drive_round(deployment, net, protocol, round_index, result)
-        # Heal here rather than in after_round: aborted rounds skip the
-        # hooks, and recovery must be observable on the next round.
-        net.topology.heal_endpoint(self.failed_pkg)
 
 
 class FlashCrowdScenario(Scenario):
@@ -131,6 +138,19 @@ class FlashCrowdScenario(Scenario):
                 lonely[i].add_friend(lonely[i + 1].email)
             except Exception:  # already queued/friended via an earlier pair
                 continue
+
+
+class PipelinedRoundsScenario(Scenario):
+    """Back-to-back rounds on slow links, overlapped by the round engine.
+
+    Every WAN round trip costs ~2x the link latency, so at 200 ms a round's
+    submit stage and its scan stage each take near half a second of
+    simulated time.  Driving rounds through ``Deployment.run_rounds`` with
+    pipelining overlaps round N+1's announce+submit with round N's
+    mix+scan; the spec's ``pipelined`` flag is the only difference from the
+    sequential baseline, so flipping it measures the pipeline's speedup on
+    identical topology and workload.
+    """
 
 
 class GeoDistributedScenario(Scenario):
@@ -188,6 +208,21 @@ SCENARIOS: dict[str, tuple[type[Scenario], ScenarioSpec]] = {
     "geo_distributed": (
         GeoDistributedScenario,
         ScenarioSpec(name="geo_distributed", description="clients across three regions"),
+    ),
+    "pipelined_rounds": (
+        PipelinedRoundsScenario,
+        ScenarioSpec(
+            name="pipelined_rounds",
+            description="overlapped rounds on 200 ms links (pipelined=False for baseline)",
+            num_clients=60,
+            # One extra add-friend round vs the baseline scenario: a
+            # confirming reply queued while round N is scanned overlaps
+            # round N+1's already-built submissions, so it rides round N+2.
+            addfriend_rounds=3,
+            dialing_rounds=8,
+            client_link=LinkSpec.of(latency_ms=200, bandwidth_mbps=50, jitter_ms=10),
+            pipelined=True,
+        ),
     ),
 }
 

@@ -1,0 +1,138 @@
+"""Scenario sweeps: a clients x link-latency grid with trend tracking.
+
+A sweep runs one scenario over every point of a ``clients x latency`` grid,
+once with the sequential round driver and once with the pipelined one, and
+reports the round throughput of both plus their ratio.  The machine-readable
+result lands in ``BENCH_sweep.json`` (via :mod:`repro.bench.reporting`), so
+the throughput trajectory -- and the pipeline's speedup at high-latency
+links -- is tracked across PRs the same way the paper-figure benchmarks are.
+
+``python -m repro.sim --sweep`` is the CLI; :func:`run_sweep` the API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.reporting import format_table, table_report, write_json_report
+from repro.net.links import LinkSpec
+from repro.sim.scenario import ScenarioResult
+
+
+@dataclass
+class SweepPoint:
+    """One grid cell: the same workload driven sequentially and pipelined."""
+
+    num_clients: int
+    latency_ms: float
+    sequential: ScenarioResult
+    pipelined: ScenarioResult
+
+    def speedup(self, protocol: str = "dialing") -> float:
+        base = self.sequential.throughput.get(protocol, {}).get("rounds_per_sec", 0.0)
+        pipe = self.pipelined.throughput.get(protocol, {}).get("rounds_per_sec", 0.0)
+        return pipe / base if base > 0 else 0.0
+
+    def row(self) -> list:
+        seq_dial = self.sequential.throughput["dialing"]["rounds_per_sec"]
+        pipe_dial = self.pipelined.throughput["dialing"]["rounds_per_sec"]
+        seq_all = self.sequential.throughput["overall"]["rounds_per_sec"]
+        pipe_all = self.pipelined.throughput["overall"]["rounds_per_sec"]
+        return [
+            self.num_clients,
+            int(self.latency_ms),
+            f"{seq_dial:.3f}",
+            f"{pipe_dial:.3f}",
+            f"{self.speedup('dialing'):.2f}x",
+            f"{seq_all:.3f}",
+            f"{pipe_all:.3f}",
+            f"{self.speedup('overall'):.2f}x",
+        ]
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep produced."""
+
+    scenario: str
+    points: list[SweepPoint] = field(default_factory=list)
+
+    HEADERS = [
+        "clients", "link ms",
+        "seq dial r/s", "pipe dial r/s", "dial speedup",
+        "seq all r/s", "pipe all r/s", "all speedup",
+    ]
+
+    def table(self) -> tuple[list[str], list[list]]:
+        return list(self.HEADERS), [point.row() for point in self.points]
+
+    def to_report(self) -> dict:
+        headers, rows = self.table()
+        report = table_report(
+            headers, rows, title=f"sweep of {self.scenario}: sequential vs pipelined rounds"
+        )
+        report["scenario"] = self.scenario
+        report["points"] = [
+            {
+                "clients": point.num_clients,
+                "latency_ms": point.latency_ms,
+                "sequential": point.sequential.to_dict(),
+                "pipelined": point.pipelined.to_dict(),
+                "dialing_speedup": round(point.speedup("dialing"), 4),
+                "overall_speedup": round(point.speedup("overall"), 4),
+            }
+            for point in self.points
+        ]
+        return report
+
+
+def sweep_link(latency_ms: float) -> LinkSpec:
+    """The client link used at one latency grid point."""
+    return LinkSpec.of(latency_ms=latency_ms, bandwidth_mbps=50, jitter_ms=10)
+
+
+def run_sweep(
+    scenario: str = "pipelined_rounds",
+    clients: list[int] | None = None,
+    latencies_ms: list[float] | None = None,
+    progress=None,
+    **overrides,
+) -> SweepResult:
+    """Run ``scenario`` over the grid, sequential and pipelined at each point.
+
+    ``overrides`` are forwarded to every run (``seed``, round counts, ...);
+    ``progress`` is an optional ``callable(str)`` for CLI feedback.
+    """
+    from repro.sim.scenarios import run_scenario
+
+    clients = clients if clients else [40, 80]
+    latencies_ms = latencies_ms if latencies_ms else [40.0, 200.0]
+    result = SweepResult(scenario=scenario)
+    for num_clients in clients:
+        for latency_ms in latencies_ms:
+            point_overrides = dict(
+                overrides,
+                num_clients=num_clients,
+                client_link=sweep_link(latency_ms),
+            )
+            if progress:
+                progress(f"sweep: {num_clients} clients @ {latency_ms:g} ms links")
+            sequential = run_scenario(scenario, pipelined=False, **point_overrides)
+            pipelined = run_scenario(scenario, pipelined=True, **point_overrides)
+            result.points.append(
+                SweepPoint(
+                    num_clients=num_clients,
+                    latency_ms=latency_ms,
+                    sequential=sequential,
+                    pipelined=pipelined,
+                )
+            )
+    return result
+
+
+def emit_sweep_report(result: SweepResult, name: str = "sweep") -> str:
+    """Print the sweep table and write ``BENCH_<name>.json``; returns the path."""
+    headers, rows = result.table()
+    print(format_table(headers, rows, title=f"sweep of {result.scenario}"))
+    path = write_json_report(name, result.to_report())
+    return str(path)

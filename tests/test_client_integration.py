@@ -184,7 +184,7 @@ class TestForwardSecrecyAcrossTheSystem:
         deployment.run_addfriend_round()
         for round_number in (1, 2):
             assert all(not pkg.has_master_secret(round_number) for pkg in deployment.pkgs)
-            assert all(not mix.has_round_key(round_number) for mix in deployment.mix_servers)
+            assert all(not mix.has_round_key("add-friend", round_number) for mix in deployment.mix_servers)
 
     def test_clients_hold_no_round_ibe_keys_after_scanning(self):
         config = AlpenhornConfig.for_tests()

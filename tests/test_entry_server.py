@@ -122,6 +122,18 @@ class TestRateLimit:
         entry.submit("dialing", 1, "alice", b"envelope", rate_token=mint_token(entry))
         entry.submit("dialing", 1, "alice", b"replay", rate_token=mint_token(entry))
         assert verifier.spent_count == 1
+        assert entry.submissions("dialing", 1) == 1
+
+    def test_duplicate_without_token_is_dropped_not_rejected(self):
+        """A replayed frame that lost its token rider is still just a
+        duplicate: dropped silently, not a rate-limit rejection (the
+        client's original submission already stands)."""
+        entry, verifier = make_entry(rate_limit=True)
+        entry.announce_round("dialing", 1, 1, 32)
+        entry.submit("dialing", 1, "alice", b"envelope", rate_token=mint_token(entry))
+        entry.submit("dialing", 1, "alice", b"replay")  # no token, no error
+        assert entry.submissions("dialing", 1) == 1
+        assert verifier.spent_count == 1
 
 
 class TestEntryOverTransport:
@@ -153,6 +165,15 @@ class TestEntryOverTransport:
         entry.announce_round("dialing", 1, 1, 32)
         with pytest.raises(RateLimitError):
             stub.submit("dialing", 1, "alice@example.org", b"\x01" * 64)
+
+    def test_duplicate_over_rpc_does_not_burn_token(self):
+        """The duplicate-before-token ordering holds on the framed path too."""
+        entry, stub, verifier = self.make_networked_entry(rate_limit=True)
+        entry.announce_round("dialing", 1, 1, 32)
+        stub.submit("dialing", 1, "alice@example.org", b"\x01" * 64, rate_token=mint_token(entry))
+        stub.submit("dialing", 1, "alice@example.org", b"\x02" * 64, rate_token=mint_token(entry))
+        assert stub.submissions("dialing", 1) == 1
+        assert verifier.spent_count == 1
 
     def test_unknown_method_raises_network_error(self):
         _, stub, _ = self.make_networked_entry()

@@ -105,13 +105,15 @@ class TestMailboxRouting:
 class TestMixServer:
     def test_round_key_lifecycle(self):
         server = MixServer("mix0")
-        public = server.open_round(1)
-        assert server.round_public_key(1) == public
-        assert server.has_round_key(1)
-        server.close_round(1)
-        assert not server.has_round_key(1)
+        public = server.open_round("add-friend", 1)
+        assert server.round_public_key("add-friend", 1) == public
+        assert server.has_round_key("add-friend", 1)
+        # The dialing namespace is independent of the add-friend one.
+        assert not server.has_round_key("dialing", 1)
+        server.close_round("add-friend", 1)
+        assert not server.has_round_key("add-friend", 1)
         with pytest.raises(RoundError):
-            server.round_public_key(1)
+            server.round_public_key("add-friend", 1)
 
     def test_process_batch_requires_open_round(self):
         server = MixServer("mix0")
@@ -120,7 +122,7 @@ class TestMixServer:
 
     def test_malformed_envelopes_are_dropped_not_fatal(self):
         server = MixServer("mix0", rng=DeterministicRng("x"))
-        server.open_round(1)
+        server.open_round("add-friend", 1)
         out = server.process_batch(
             1, "add-friend", [b"garbage", b""], [], 1, NoiseConfig(0, 0, 0, 0), 16
         )
@@ -129,7 +131,7 @@ class TestMixServer:
 
     def test_noise_is_added_per_mailbox(self):
         server = MixServer("mix0", rng=DeterministicRng("x"))
-        server.open_round(1)
+        server.open_round("add-friend", 1)
         out = server.process_batch(
             1, "add-friend", [], [], mailbox_count=4,
             noise_config=NoiseConfig(10, 0, 10, 0), noise_body_length=16,
@@ -143,7 +145,7 @@ class TestMixServer:
     def test_drop_all_noise_switch(self):
         server = MixServer("mix0", rng=DeterministicRng("x"))
         server.drop_all_noise = True
-        server.open_round(1)
+        server.open_round("add-friend", 1)
         out = server.process_batch(
             1, "add-friend", [], [], 2, NoiseConfig(10, 0, 10, 0), 16
         )
@@ -152,7 +154,7 @@ class TestMixServer:
 
 class TestMixChain:
     def _submit_round(self, chain, round_number, payloads, mailbox_count, protocol="add-friend", body_len=64):
-        publics = chain.open_round(round_number)
+        publics = chain.open_round(protocol, round_number)
         envelopes = [wrap_onion(p, publics) for p in payloads]
         return chain.run_round(round_number, protocol, envelopes, mailbox_count, body_len)
 
@@ -194,15 +196,15 @@ class TestMixChain:
 
     def test_unknown_protocol_rejected(self):
         chain = make_chain(1)
-        chain.open_round(1)
+        chain.open_round("bogus", 1)
         with pytest.raises(MixnetError):
             chain.run_round(1, "bogus", [], 1, 32)
 
     def test_round_keys_erased_after_close(self):
         chain = make_chain(2)
-        chain.open_round(4)
-        chain.close_round(4)
-        assert all(not server.has_round_key(4) for server in chain.servers)
+        chain.open_round("add-friend", 4)
+        chain.close_round("add-friend", 4)
+        assert all(not server.has_round_key("add-friend", 4) for server in chain.servers)
 
     def test_out_of_range_mailbox_is_dropped(self):
         chain = make_chain(1)

@@ -340,7 +340,7 @@ class TestDeploymentOverSimulatedNetwork:
             deployment.run_addfriend_round()
         aborted = deployment.addfriend_round
         assert deployment.entry.submissions("add-friend", aborted) == 0  # batch dropped
-        assert all(not mix.has_round_key(aborted) for mix in deployment.mix_servers)
+        assert all(not mix.has_round_key("add-friend", aborted) for mix in deployment.mix_servers)
         assert all(not pkg.has_master_secret(aborted) for pkg in deployment.pkgs)
         assert not alice.addfriend.has_round_keys(aborted)
         # The deployment recovers once the control path works again.
@@ -358,7 +358,7 @@ class TestDeploymentOverSimulatedNetwork:
         with pytest.raises(NetworkError):
             deployment.run_addfriend_round()
         aborted = deployment.addfriend_round
-        assert all(not mix.has_round_key(aborted) for mix in deployment.mix_servers)
+        assert all(not mix.has_round_key("add-friend", aborted) for mix in deployment.mix_servers)
         assert not deployment.pkgs[0].has_master_secret(aborted)
 
     def test_chain_does_not_refetch_round_keys_per_hop(self):
