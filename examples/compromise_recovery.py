@@ -7,6 +7,12 @@ key), wait out the 30-day lockout, re-register with a fresh key, and re-run
 add-friend with every friend -- plus the forward-secrecy point that the
 stolen keywheel snapshot says nothing about calls made after the compromise.
 
+This example deliberately stays on the legacy convenience surface
+(``Deployment.befriend`` / ``Deployment.place_call``): those entry points
+are deprecation shims over the ClientSession API now, so running it also
+demonstrates that old embedding code keeps working (expect
+DeprecationWarnings).  See examples/session_api.py for the replacement.
+
 Run with:  python examples/compromise_recovery.py
 """
 

@@ -4,7 +4,9 @@
 Mirrors the paper's Vuvuzela integration: the application keeps its own
 conversation protocol (fixed-size messages via dead drops) and uses
 Alpenhorn's ``/addfriend`` and ``/call`` to bootstrap conversations with
-metadata privacy and forward secrecy.
+metadata privacy and forward secrecy.  The messengers here wrap
+ClientSessions, so ``/addfriend`` returns a lifecycle handle and incoming
+calls arrive through the session's event bus.
 
 Run with:  python examples/messaging_app.py
 """
@@ -22,21 +24,24 @@ def main() -> None:
     deployment = Deployment(config, seed="messaging-app")
     service = VuvuzelaConversationService()
 
-    alice = deployment.create_client("alice@example.org")
-    bob = deployment.create_client("bob@example.org")
-    alice_app = VuvuzelaMessenger(alice, service)
-    bob_app = VuvuzelaMessenger(bob, service)
+    deployment.create_client("alice@example.org")
+    deployment.create_client("bob@example.org")
+    alice_app = VuvuzelaMessenger(deployment.session("alice@example.org"), service)
+    bob_app = VuvuzelaMessenger(deployment.session("bob@example.org"), service)
 
     print("== /addfriend bob@example.org ==")
-    alice_app.addfriend("bob@example.org")
+    handle = alice_app.addfriend("bob@example.org")
     deployment.run_addfriend_round()
     deployment.run_addfriend_round()
-    print(f"  friendship established: {alice.friends()} / {bob.friends()}")
+    print(f"  request handle: {handle}")
+    print(f"  friendship established: {alice_app.session.friends()} / {bob_app.session.friends()}")
 
     print("\n== /call bob@example.org ==")
-    placed = deployment.place_call("alice@example.org", "bob@example.org", intent=0)
-    conversation = alice_app.adopt_placed_call(placed)
-    print(f"  call placed in dialing round {placed.round_number}; "
+    call = alice_app.call("bob@example.org", intent=0)
+    while alice_app.client.dialing.pending_in_queue():
+        deployment.run_dialing_round()
+    conversation = alice_app.adopt_call_handle(call)
+    print(f"  call placed in dialing round {call.placed.round_number}; "
           f"conversation key {conversation.session_key.hex()[:16]}...")
 
     print("\n== conversation over dead drops ==")

@@ -3,9 +3,10 @@
 
 PANDA assumes the two users already share a secret; the paper's Pond
 integration obtains that secret from an Alpenhorn ``Call`` instead of an
-out-of-band exchange.  This example runs the whole chain: add-friend, call,
-then a PANDA exchange seeded by the call's session key, after which both
-sides hold each other's Pond key material.
+out-of-band exchange.  This example runs the whole chain on the session
+API: add-friend (watching the request handle confirm), call (the
+CallHandle carries the caller's secret), then a PANDA exchange seeded by
+the call, after which both sides hold each other's Pond key material.
 
 Run with:  python examples/panda_bootstrap.py
 """
@@ -13,26 +14,33 @@ Run with:  python examples/panda_bootstrap.py
 from __future__ import annotations
 
 from repro import AlpenhornConfig, Deployment
-from repro.apps.pond_panda import bootstrap_panda_from_call
+from repro.apps.pond_panda import bootstrap_panda_from_handles
 
 
 def main() -> None:
     config = AlpenhornConfig.for_tests(backend="simulated")
     deployment = Deployment(config, seed="panda-bootstrap")
     deployment.create_client("alice@example.org")
-    bob = deployment.create_client("bob@example.org")
+    deployment.create_client("bob@example.org")
+    alice = deployment.session("alice@example.org")
+    bob = deployment.session("bob@example.org")
 
     print("== Alpenhorn bootstrap ==")
-    deployment.befriend("alice@example.org", "bob@example.org")
-    placed = deployment.place_call("alice@example.org", "bob@example.org", intent=2)
+    request = alice.add_friend("bob@example.org")
+    deployment.run_addfriend_round()
+    deployment.run_addfriend_round()
+    assert request.confirmed
+    call = alice.call("bob@example.org", intent=2)
+    while alice.client.dialing.pending_in_queue():
+        deployment.run_dialing_round()
     received = bob.received_calls()[-1]
     print(f"  call delivered with intent {received.intent}; shared secret "
-          f"{placed.session_key.hex()[:24]}... (both sides)")
+          f"{call.session_key.hex()[:24]}... (both sides)")
 
     print("\n== PANDA exchange seeded by the call ==")
-    caller_result, callee_result = bootstrap_panda_from_call(
-        caller_session_key=placed.session_key,
-        callee_session_key=received.session_key,
+    caller_result, callee_result = bootstrap_panda_from_handles(
+        call,
+        received,
         caller_payload=b"alice-pond-long-term-key",
         callee_payload=b"bob-pond-long-term-key",
     )

@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
-"""Quickstart: Alice adds Bob as a friend and calls him.
+"""Quickstart: Alice adds Bob as a friend and calls him, via ClientSession.
 
 This walks through the full Alpenhorn flow from Figure 1 of the paper on an
 in-process deployment with the real pairing-based crypto: registration at
-the PKGs, the two-round add-friend exchange, and a dialing round that yields
-matching session keys on both sides.
+the PKGs, the two-round add-friend exchange (observed through a typed
+FriendRequestHandle and event-bus subscriptions), and a dialing round whose
+CallHandle yields matching session keys on both sides.
 
 Run with:  python examples/quickstart.py
 """
@@ -22,40 +23,47 @@ def main() -> None:
 
     print("== Registration (Register) ==")
     alice = deployment.create_client("alice@example.org")
-    bob = deployment.create_client(
-        "bob@example.org",
-        new_friend=lambda email, key: (print(f"  [bob] NewFriend({email}) -> accept"), True)[1],
-        incoming_call=lambda email, intent, key: print(
-            f"  [bob] IncomingCall(from={email}, intent={intent}, key={key.hex()[:16]}...)"
-        ),
-    )
+    bob = deployment.create_client("bob@example.org")
     print(f"  alice registered, signing key {alice.my_signing_key().hex()[:16]}...")
     print(f"  bob   registered, signing key {bob.my_signing_key().hex()[:16]}...")
 
+    # Sessions are the embeddable API: typed handles + an event bus.
+    alice_session = deployment.session("alice@example.org")
+    bob_session = deployment.session("bob@example.org")
+    bob_session.events.subscribe(
+        "friend_request_received",
+        lambda e: print(f"  [bob] friend_request_received({e.email}) -> accepted={e['accepted']}"),
+    )
+    bob_session.events.subscribe(
+        "call_received",
+        lambda e: print(f"  [bob] call_received(from={e.email}, "
+                        f"key={e['call'].session_key.hex()[:16]}...)"),
+    )
+
     print("\n== Add friend (AddFriend) ==")
-    alice.add_friend("bob@example.org")
-    print("  alice queued a friend request for bob (knows only his email)")
+    handle = alice_session.add_friend("bob@example.org")
+    print(f"  alice queued a friend request for bob: {handle}")
     summary = deployment.run_addfriend_round()
     print(f"  add-friend round {summary.round_number}: {summary.submissions} submissions "
-          f"({summary.mix_result.noise_added} noise msgs added by the mixnet)")
-    summary = deployment.run_addfriend_round()
-    print(f"  add-friend round {summary.round_number}: bob's confirmation reached alice")
-    print(f"  alice's friends: {alice.friends()}")
-    print(f"  bob's friends:   {bob.friends()}")
-    entry = alice.keywheel.entry("bob@example.org")
-    print(f"  shared keywheel anchored at dialing round {entry.round_number}")
+          f"({summary.mix_result.noise_added} noise msgs added by the mixnet); {handle}")
+    deployment.run_addfriend_round()
+    print(f"  add-friend round 2: bob's confirmation reached alice; {handle}")
+    assert handle.confirmed and handle.confirmed_by == bob.my_signing_key()
+    print(f"  alice's friends: {alice_session.friends()}")
+    print(f"  bob's friends:   {bob_session.friends()}")
+    print(f"  lifecycle events alice saw: "
+          f"{[e.type for e in alice_session.events.history()]}")
 
     print("\n== Call (Call) ==")
-    alice.call("bob@example.org", intent=0)
+    call = alice_session.call("bob@example.org", intent=0)
     while alice.dialing.pending_in_queue():
         summary = deployment.run_dialing_round()
         print(f"  dialing round {summary.round_number} ran "
-              f"({summary.mix_result.noise_added} noise tokens)")
-    placed = alice.placed_calls()[-1]
-    received = bob.received_calls()[-1]
-    print(f"  alice's session key: {placed.session_key.hex()[:32]}...")
+              f"({summary.mix_result.noise_added} noise tokens); call state {call.state.value}")
+    received = bob_session.received_calls()[-1]
+    print(f"  alice's session key: {call.session_key.hex()[:32]}...")
     print(f"  bob's session key:   {received.session_key.hex()[:32]}...")
-    assert placed.session_key == received.session_key
+    assert call.session_key == received.session_key
     print("  session keys match -- the conversation can start in any messenger")
 
 

@@ -28,7 +28,11 @@ def main() -> None:
     headers, rows = result.table()
     print(format_table(headers, rows, title="client_churn: 80 clients, 25% offline per round"))
     print()
+    requests = result.friend_requests
     print(f"friendships established : {result.friendships_confirmed}")
+    print(f"friend requests         : {requests['confirmed']}/{requests['total']} confirmed "
+          f"(no retry -- requests delivered into rounds their recipient missed are "
+          f"lost; re-run with retry_horizon=1 for liveness)")
     print(f"calls delivered         : {result.calls_delivered}")
     print(f"simulated traffic       : {result.total_bytes_sent / 2**20:.2f} MiB "
           f"in {result.total_messages_sent} messages")

@@ -8,6 +8,8 @@ whom, and providing forward secrecy for that metadata.
 
 The top-level package lazily exposes the pieces most users need:
 
+* :class:`repro.api.session.ClientSession` -- the embeddable client session
+  (typed request handles, lifecycle events, sender-side retry).
 * :class:`repro.core.client.Client` -- the Alpenhorn client (Figure 1 API).
 * :class:`repro.core.coordinator.Deployment` -- an in-process deployment of
   PKG servers, the mixnet chain, the entry server and a CDN, driven in
@@ -24,7 +26,19 @@ See README.md for a quickstart and DESIGN.md for the full system inventory.
 
 __version__ = "0.2.0"
 
-__all__ = ["AlpenhornConfig", "Client", "Deployment", "__version__"]
+__all__ = [
+    "AlpenhornConfig",
+    "CallHandle",
+    "Client",
+    "ClientSession",
+    "Deployment",
+    "EventBus",
+    "FriendRequestHandle",
+    "RequestState",
+    "__version__",
+]
+
+_API_NAMES = {"ClientSession", "FriendRequestHandle", "CallHandle", "EventBus", "RequestState"}
 
 
 def __getattr__(name):
@@ -42,4 +56,8 @@ def __getattr__(name):
         from repro.core.coordinator import Deployment
 
         return Deployment
+    if name in _API_NAMES:
+        import repro.api as api
+
+        return getattr(api, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

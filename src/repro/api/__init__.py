@@ -1,0 +1,29 @@
+"""repro.api: the embeddable client session API.
+
+The redesigned Figure-1 surface: a :class:`ClientSession` per client that
+returns typed, observable handles (:class:`FriendRequestHandle`,
+:class:`CallHandle`), publishes lifecycle events on an :class:`EventBus`,
+and runs sender-side retry for unconfirmed friend requests.  Obtain sessions
+from a deployment::
+
+    session = deployment.session("alice@example.org")
+    handle = session.add_friend("bob@example.org")
+    deployment.run_addfriend_round(); deployment.run_addfriend_round()
+    assert handle.confirmed
+
+See README.md ("Embedding the client") for the full walkthrough.
+"""
+
+from repro.api.events import EventBus, SessionEvent
+from repro.api.handles import CallHandle, FriendRequestHandle, RequestState
+from repro.api.session import ClientSession, SessionRegistry
+
+__all__ = [
+    "CallHandle",
+    "ClientSession",
+    "EventBus",
+    "FriendRequestHandle",
+    "RequestState",
+    "SessionEvent",
+    "SessionRegistry",
+]

@@ -1,0 +1,410 @@
+"""The embeddable client session: typed handles, events, and sender retry.
+
+:class:`ClientSession` is the redesigned Figure-1 surface.  Where the raw
+:class:`~repro.core.client.Client` exposes fire-and-forget ``add_friend`` /
+``call``, a session returns :class:`~repro.api.handles.FriendRequestHandle`
+and :class:`~repro.api.handles.CallHandle` objects whose lifecycle the round
+engine advances, and publishes every observable state change on an
+:class:`~repro.api.events.EventBus`.  The session also runs the *outbox
+state machine* the paper leaves to applications: a friend request still
+unconfirmed ``retry_horizon`` add-friend rounds after its last submission is
+re-enqueued automatically (a request delivered into a round its recipient
+missed is unrecoverable -- the recipient never held that round's IBE key --
+so sender-side retry is the only liveness mechanism).
+
+:class:`SessionRegistry` is the deployment-side counterpart: it owns the
+sessions of one deployment and receives the per-round callbacks from
+:class:`~repro.core.roundengine.RoundEngine` (what was submitted, what each
+round delivered, which scans produced confirmations), translating them into
+handle transitions and bus events.  Clients without a session are untouched
+-- the legacy driver surface keeps working, it just has nobody to tell.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.api.events import EventBus, SessionEvent
+from repro.api.handles import CallHandle, FriendRequestHandle, RequestState
+from repro.core.addfriend import QueuedFriendRequest
+from repro.core.client import Client
+from repro.core.dialtoken import IncomingCall
+from repro.errors import ProtocolError
+
+__all__ = ["ClientSession", "SessionRegistry"]
+
+
+class ClientSession:
+    """One application's view of its embedded Alpenhorn client.
+
+    ``retry_horizon``: re-enqueue a friend request still unconfirmed this
+    many add-friend rounds after its last submission (``None`` disables
+    retry, matching the paper's bare library).  ``max_attempts`` bounds the
+    total submissions per request -- the natural bound is the client's
+    rate-token budget (§9), and :class:`SessionRegistry` defaults it to
+    ``rate_tokens_per_day`` when the deployment enforces rate tokens.
+    ``accept_friend(email, signing_key) -> bool`` replaces the legacy
+    ``new_friend`` callback; omitted, every request is accepted.
+    """
+
+    def __init__(
+        self,
+        client: Client,
+        *,
+        retry_horizon: int | None = None,
+        max_attempts: int | None = None,
+        accept_friend: Callable[[str, bytes], bool] | None = None,
+    ) -> None:
+        self.client = client
+        self.events = EventBus()
+        self.retry_horizon = retry_horizon
+        self.max_attempts = max_attempts
+        self._requests: dict[str, FriendRequestHandle] = {}
+        self._calls: list[CallHandle] = []
+        if accept_friend is not None:
+            client.callbacks.new_friend = accept_friend
+        # The bridge tap turns the client's callback invocations into bus
+        # events (friend_request_received, call_received).  Chain rather
+        # than overwrite, so a second session over the same client (e.g. a
+        # directly constructed one next to the registry's) never silently
+        # disconnects the first.
+        previous_tap = client.callbacks.tap
+
+        def tap(kind: str, payload: dict) -> None:
+            if previous_tap is not None:
+                previous_tap(kind, payload)
+            self._tap(kind, payload)
+
+        client.callbacks.tap = tap
+
+    # ------------------------------------------------------------------ #
+    # The application-facing API
+    # ------------------------------------------------------------------ #
+    @property
+    def email(self) -> str:
+        return self.client.email
+
+    def my_signing_key(self) -> bytes:
+        return self.client.my_signing_key()
+
+    def friends(self) -> list[str]:
+        return self.client.friends()
+
+    def add_friend(self, email: str, expected_key: bytes | None = None) -> FriendRequestHandle:
+        """Queue a friend request; returns its lifecycle handle.
+
+        Idempotent while a request for ``email`` is in flight: the existing
+        handle is returned rather than a duplicate queued.  Supplying a
+        *different* ``expected_key`` for an in-flight request raises -- the
+        trust level of an outstanding request cannot be upgraded silently.
+        """
+        email = email.lower()
+        active = self._requests.get(email)
+        if active is not None and not active.done():
+            if expected_key is not None and expected_key != active.expected_key:
+                raise ProtocolError(
+                    f"a request to {email} is already in flight with a different "
+                    "expected key; wait for it to finish (or remove the friend) "
+                    "before re-adding with verified trust"
+                )
+            return active
+        request = self.client.add_friend(email, expected_key)
+        handle = FriendRequestHandle(email=email, expected_key=expected_key, request=request)
+        self._requests[email] = handle
+        self.events.emit("request_queued", email=email)
+        return handle
+
+    def call(self, email: str, intent: int = 0) -> CallHandle:
+        """Queue a call to a confirmed friend; returns its lifecycle handle."""
+        email = email.lower()
+        outgoing = self.client.call(email, intent)
+        handle = CallHandle(friend=email, intent=intent, outgoing=outgoing)
+        self._calls.append(handle)
+        return handle
+
+    def request(self, email: str) -> FriendRequestHandle | None:
+        """The (most recent) friend-request handle for ``email``."""
+        return self._requests.get(email.lower())
+
+    def requests(self) -> list[FriendRequestHandle]:
+        return list(self._requests.values())
+
+    def pending_requests(self) -> list[FriendRequestHandle]:
+        return [h for h in self._requests.values() if not h.done()]
+
+    def calls(self) -> list[CallHandle]:
+        return list(self._calls)
+
+    def received_calls(self) -> list[IncomingCall]:
+        return self.client.received_calls()
+
+    def __repr__(self) -> str:
+        return f"ClientSession({self.email!r}, requests={len(self._requests)})"
+
+    # ------------------------------------------------------------------ #
+    # Bridge tap: scan-time callbacks -> bus events
+    # ------------------------------------------------------------------ #
+    def _tap(self, kind: str, payload: dict) -> None:
+        if kind == "friend_request_received":
+            self.events.emit(
+                "friend_request_received",
+                email=payload["email"],
+                signing_key=payload["signing_key"],
+                accepted=payload["accepted"],
+            )
+        elif kind == "call_received":
+            call: IncomingCall = payload["call"]
+            self.events.emit(
+                "call_received",
+                email=call.caller,
+                round_number=call.round_number,
+                call=call,
+            )
+
+    # ------------------------------------------------------------------ #
+    # Round-engine feed (via SessionRegistry)
+    # ------------------------------------------------------------------ #
+    def _addfriend_submitted(self, round_number: int) -> None:
+        consumed = self.client.addfriend.last_consumed
+        if consumed is None or consumed.is_reply:
+            return
+        handle = self._requests.get(consumed.email.lower())
+        if handle is None or handle.request is not consumed or handle.done():
+            return
+        handle.state = RequestState.SUBMITTED
+        handle.round_submitted = round_number
+        handle.rounds_submitted.append(round_number)
+        handle.attempts += 1
+        self.events.emit(
+            "request_submitted",
+            email=handle.email,
+            round_number=round_number,
+            attempts=handle.attempts,
+        )
+
+    def _dialing_submitted(self, round_number: int) -> None:
+        built = self.client.dialing.last_built
+        if built is None:
+            return
+        outgoing, placed = built
+        for handle in self._calls:
+            if handle.outgoing is outgoing and handle.state is RequestState.QUEUED:
+                handle.state = RequestState.SUBMITTED
+                handle.round_submitted = round_number
+                handle.placed = placed
+                self.events.emit(
+                    "call_placed",
+                    email=handle.friend,
+                    round_number=round_number,
+                    intent=handle.intent,
+                )
+                return
+
+    def _round_delivered(self, protocol: str, round_number: int) -> None:
+        if protocol == "add-friend":
+            for handle in self._requests.values():
+                if (
+                    handle.state is RequestState.SUBMITTED
+                    and handle.round_submitted == round_number
+                ):
+                    handle.state = RequestState.DELIVERED
+                    self.events.emit(
+                        "request_delivered", email=handle.email, round_number=round_number
+                    )
+        else:
+            for handle in self._calls:
+                if (
+                    handle.state is RequestState.SUBMITTED
+                    and handle.round_submitted == round_number
+                ):
+                    handle.state = RequestState.DELIVERED
+                    self.events.emit(
+                        "call_delivered", email=handle.friend, round_number=round_number
+                    )
+
+    def _round_aborted(self, protocol: str, round_number: int) -> None:
+        if protocol == "add-friend":
+            for handle in self._requests.values():
+                if (
+                    handle.state is not RequestState.SUBMITTED
+                    or handle.round_submitted != round_number
+                ):
+                    continue
+                if self.retry_horizon:
+                    # The envelope died with the round; the handle stays
+                    # SUBMITTED and the retry pass re-enqueues it later.
+                    continue
+                # No retry: the request is provably lost (the round erased
+                # every envelope), so the handle must reach a terminal state
+                # rather than hang non-terminal forever.
+                handle.state = RequestState.FAILED
+                self.events.emit(
+                    "request_failed",
+                    email=handle.email,
+                    round_number=round_number,
+                    attempts=handle.attempts,
+                    reason="round aborted",
+                )
+            return
+        for handle in self._calls:
+            if handle.state is RequestState.SUBMITTED and handle.round_submitted == round_number:
+                handle.state = RequestState.FAILED
+                # The token died with the round: the callee never derived
+                # this key, so the handle must not advertise one.
+                handle.placed = None
+                self.events.emit("call_failed", email=handle.friend, round_number=round_number)
+
+    def _apply_scan_events(self, round_number: int, events: list[dict]) -> None:
+        for event in events:
+            kind = event.get("type")
+            email = event.get("email", "")
+            if kind == "confirmed":
+                self._confirm(email, round_number, event.get("dialing_round"))
+            elif kind == "declined":
+                self.events.emit("friend_request_declined", email=email, round_number=round_number)
+            elif kind == "rejected":
+                self.events.emit(
+                    "friend_request_rejected",
+                    email=email,
+                    round_number=round_number,
+                    reason=event.get("reason"),
+                )
+            # "accepted" already surfaced as friend_request_received via the
+            # bridge tap at scan time; nothing handle-side to do.
+
+    def _confirm(self, email: str, round_number: int, keywheel_round: int | None) -> None:
+        handle = self._requests.get(email.lower())
+        friend = (
+            self.client.address_book.friend(email)
+            if self.client.address_book.has_friend(email)
+            else None
+        )
+        signing_key = friend.signing_key if friend is not None else None
+        if handle is not None and handle.state is not RequestState.CONFIRMED:
+            # A confirmation overrides FAILED too: the retry budget may run
+            # out while the last copy's confirmation is still in flight, and
+            # the handle must end up agreeing with the address book.
+            handle.state = RequestState.CONFIRMED
+            handle.confirmed_round = round_number
+            handle.confirmed_by = signing_key
+        self.events.emit(
+            "friend_confirmed",
+            email=email,
+            round_number=round_number,
+            signing_key=signing_key,
+            keywheel_round=keywheel_round,
+        )
+
+    def _retry_pass(self, round_number: int) -> None:
+        """Re-enqueue requests unconfirmed past the horizon (outbox machine)."""
+        if not self.retry_horizon:
+            return
+        for handle in self._requests.values():
+            if handle.state not in (RequestState.SUBMITTED, RequestState.DELIVERED):
+                continue
+            if handle.round_submitted is None:
+                continue
+            if round_number - handle.round_submitted < self.retry_horizon:
+                continue
+            if self.max_attempts is not None and handle.attempts >= self.max_attempts:
+                handle.state = RequestState.FAILED
+                self.events.emit(
+                    "request_failed",
+                    email=handle.email,
+                    round_number=round_number,
+                    attempts=handle.attempts,
+                    reason="retry budget exhausted",
+                )
+                continue
+            request = QueuedFriendRequest(email=handle.email, expected_key=handle.expected_key)
+            self.client.addfriend.enqueue(request)
+            handle.request = request
+            handle.state = RequestState.QUEUED
+            self.events.emit(
+                "request_retrying",
+                email=handle.email,
+                round_number=round_number,
+                attempts=handle.attempts,
+            )
+
+
+class SessionRegistry:
+    """All sessions of one deployment, fed by the round engine.
+
+    The engine does not know about sessions per se; it reports what happened
+    (submissions, deliveries, scan events, aborts) and the registry routes
+    each fact to the session of the client it concerns.  Deployments without
+    sessions pay nothing: every hook is a dictionary miss.
+    """
+
+    def __init__(self, deployment) -> None:
+        self.dep = deployment
+        self._by_email: dict[str, ClientSession] = {}
+
+    # -- session management -------------------------------------------------
+    def ensure(self, client: Client, **kwargs) -> ClientSession:
+        """The session for ``client``, created on first use.
+
+        Creation defaults come from the deployment's config:
+        ``retry_horizon`` from ``addfriend_retry_horizon`` and, when rate
+        tokens are enforced, ``max_attempts`` from ``rate_tokens_per_day``.
+        An existing session is returned as-is (kwargs ignored).
+        """
+        session = self._by_email.get(client.email)
+        if session is None:
+            config = self.dep.config
+            kwargs.setdefault("retry_horizon", config.addfriend_retry_horizon)
+            if config.require_rate_tokens:
+                kwargs.setdefault("max_attempts", config.rate_tokens_per_day)
+            session = ClientSession(client, **kwargs)
+            self._by_email[client.email] = session
+        return session
+
+    def get(self, client: Client) -> ClientSession | None:
+        return self._by_email.get(client.email)
+
+    def __len__(self) -> int:
+        return len(self._by_email)
+
+    def __iter__(self):
+        return iter(self._by_email.values())
+
+    # -- round-engine hooks -------------------------------------------------
+    def note_submitted(self, protocol: str, client: Client, round_number: int) -> None:
+        session = self._by_email.get(client.email)
+        if session is None:
+            return
+        if protocol == "add-friend":
+            session._addfriend_submitted(round_number)
+        else:
+            session._dialing_submitted(round_number)
+
+    def round_finished(
+        self,
+        protocol: str,
+        round_number: int,
+        participated: list[Client],
+        events_by_client: dict[str, list],
+    ) -> None:
+        for client in participated:
+            session = self._by_email.get(client.email)
+            if session is not None:
+                session._round_delivered(protocol, round_number)
+        if protocol == "add-friend":
+            for client in participated:
+                session = self._by_email.get(client.email)
+                if session is not None:
+                    session._apply_scan_events(
+                        round_number, events_by_client.get(client.email, [])
+                    )
+            # The retry pass runs for every session, online or not: an
+            # offline sender's re-enqueued request simply waits in its queue
+            # until the client next participates.
+            for session in self._by_email.values():
+                session._retry_pass(round_number)
+
+    def round_aborted(self, protocol: str, round_number: int, participated: list[Client]) -> None:
+        for client in participated:
+            session = self._by_email.get(client.email)
+            if session is not None:
+                session._round_aborted(protocol, round_number)

@@ -103,3 +103,26 @@ def bootstrap_panda_from_call(
     if caller_result is None or callee_result is None:
         raise ProtocolError("PANDA exchange did not complete (mismatched secrets?)")
     return caller_result, callee_result
+
+
+def bootstrap_panda_from_handles(
+    call_handle,
+    incoming_call,
+    caller_payload: bytes,
+    callee_payload: bytes,
+) -> tuple[PandaResult, PandaResult]:
+    """Session-API convenience: seed PANDA from a CallHandle + IncomingCall.
+
+    ``call_handle`` is what ``ClientSession.call`` returned on the caller
+    side (its ``session_key`` is set once the dial went out); ``incoming_call``
+    is the callee's :class:`~repro.core.dialtoken.IncomingCall` (from the
+    ``call_received`` event or ``received_calls()``).
+    """
+    if call_handle.session_key is None:
+        raise ProtocolError(
+            f"call to {call_handle.friend} has not gone out yet "
+            f"(state {call_handle.state.value})"
+        )
+    return bootstrap_panda_from_call(
+        call_handle.session_key, incoming_call.session_key, caller_payload, callee_payload
+    )

@@ -35,6 +35,7 @@ from repro.errors import ProtocolError
 from repro.mixnet.mailbox import COVER_MAILBOX_ID, mailbox_for_identity
 from repro.mixnet.onion import wrap_onion
 from repro.mixnet.server import encode_inner_payload
+from repro.net.transport import concurrent_calls, shared_transport
 from repro.pkg.server import extraction_request_statement
 from repro.utils.serialization import Packer, Unpacker
 
@@ -113,18 +114,33 @@ class AddFriendEngine:
         keywheel: Keywheel,
         ibe: AnytrustIbe,
         plaintext_size: int,
+        parallel_fanout: bool = True,
     ) -> None:
         self.identity = identity
         self.address_book = address_book
         self.keywheel = keywheel
         self.ibe = ibe
         self.plaintext_size = plaintext_size
+        self.parallel_fanout = parallel_fanout
         self.queue: list[QueuedFriendRequest] = []
         self._round_keys: dict[int, RoundKeyMaterial] = {}
         self._prepared_replies: dict[str, PreparedReply] = {}
+        # Idempotency state for re-sent requests (sender-side retry): the
+        # dialing key of the last request we accepted/answered per sender,
+        # and the reply key material we already used, so a duplicate of an
+        # already-answered request re-sends the *same* reply instead of
+        # re-anchoring the wheel with fresh keys (which would desync a
+        # recipient who answered the first copy).
+        self._accepted_requests: dict[str, bytes] = {}
+        self._sent_replies: dict[str, PreparedReply] = {}
         # What the most recent build_request_payload consumed, so a failed
         # network submission can put it back (see requeue_last).
         self._last_sent: tuple[QueuedFriendRequest, PreparedReply | None] | None = None
+        #: The queue entry the most recent build consumed (None for cover
+        #: traffic).  Unlike ``_last_sent`` this survives ``confirm_sent``,
+        #: so the session layer can attribute a successful submission to its
+        #: handle after the fact.
+        self.last_consumed: QueuedFriendRequest | None = None
 
     # -- queueing (driven by the public API) ------------------------------
     def enqueue(self, request: QueuedFriendRequest) -> None:
@@ -135,15 +151,25 @@ class AddFriendEngine:
 
     # -- step 1: acquire round keys -----------------------------------------
     def acquire_round_keys(self, round_number: int, pkgs: list, now: float) -> RoundKeyMaterial:
-        """Fetch private-key shares + attestations from every PKG and combine."""
+        """Fetch private-key shares + attestations from every PKG and combine.
+
+        The per-PKG extraction RPCs are independent, so they fan out in one
+        concurrent transport phase: the stage costs the slowest PKG's round
+        trip, not the sum over PKGs (the anytrust set can then grow without
+        stretching the add-friend submit stage).
+        """
         statement = extraction_request_statement(self.identity.email, round_number)
         signature = self.identity.sign(statement)
-        shares = []
-        attestations = []
-        for pkg in pkgs:
-            response = pkg.extract(self.identity.email, round_number, signature, now)
-            shares.append(response.private_key_share)
-            attestations.append(response.attestation)
+        transport = shared_transport(pkgs) if self.parallel_fanout else None
+        responses = concurrent_calls(
+            transport,
+            [
+                lambda p=pkg: p.extract(self.identity.email, round_number, signature, now)
+                for pkg in pkgs
+            ],
+        )
+        shares = [response.private_key_share for response in responses]
+        attestations = [response.attestation for response in responses]
         combined = self.ibe.aggregate_private(shares)
         material = RoundKeyMaterial(
             round_number=round_number, private_key=combined, attestations=attestations
@@ -181,19 +207,37 @@ class AddFriendEngine:
 
         if not self.queue:
             self._last_sent = None
+            self.last_consumed = None
             body = b"\x00" * self.body_length()
             return encode_inner_payload(COVER_MAILBOX_ID, body), None
 
         queued = self.queue.pop(0)
         prepared = self._prepared_replies.pop(queued.email.lower(), None)
         self._last_sent = (queued, prepared)
+        self.last_consumed = queued
         if prepared is not None:
             dialing_private = prepared.dialing_private
             dialing_public = prepared.dialing_public
             request_dialing_round = prepared.dialing_round
+            # Keep the reply re-sendable: if the recipient retries their
+            # request because this reply got lost, we must answer with the
+            # same key material (the wheel is already anchored with it).
+            self._sent_replies[queued.email.lower()] = prepared
         else:
-            dialing_private, dialing_public = x25519.generate_keypair()
-            request_dialing_round = dialing_round
+            pending = self.address_book.pending_outgoing(queued.email)
+            if pending is not None:
+                # A re-send (sender-side retry, or a requeue after a lost
+                # envelope) of a request that is still outstanding: reuse
+                # the pending ephemeral so every copy carries the same key
+                # and proposed round.  A recipient who answered an earlier
+                # copy anchored their wheel with exactly this key; a fresh
+                # one would silently desync the two wheels.
+                dialing_private = pending.dialing_private
+                dialing_public = x25519.public_key(pending.dialing_private)
+                request_dialing_round = pending.dialing_round
+            else:
+                dialing_private, dialing_public = x25519.generate_keypair()
+                request_dialing_round = dialing_round
 
         request = FriendRequest.build(
             sender_email=self.identity.email,
@@ -203,6 +247,7 @@ class AddFriendEngine:
             pkg_round=round_number,
             dialing_key=dialing_public,
             dialing_round=request_dialing_round,
+            is_confirmation=prepared is not None,
         )
         plaintext = padded_plaintext(request, self.plaintext_size)
         ciphertext = self.ibe.encrypt(pkg_public_keys, queued.email, plaintext)
@@ -253,7 +298,9 @@ class AddFriendEngine:
         confirming reply's prepared key pair is restored, since the wheel is
         already anchored with it), so the next round re-sends it.  The
         pending-outgoing record an initial request created is left in place;
-        re-sending overwrites it with the fresh ephemeral key it generates.
+        the re-send *reuses* its ephemeral key (see build_request_payload),
+        so every copy of an outstanding request carries identical key
+        material and a recipient can answer any of them.
         """
         if self._last_sent is None:
             return
@@ -347,7 +394,36 @@ class AddFriendEngine:
                 signing_key=request.sender_key,
                 established_round=anchor,
             )
+            # Remember what we answered (and with which of our keys) so a
+            # duplicate of this request -- the other side retrying because
+            # our own request/reply has not reached them -- is answered
+            # identically instead of re-anchoring the wheel.
+            self._accepted_requests[sender] = request.dialing_key
+            self._sent_replies[sender] = PreparedReply(
+                dialing_private=pending.dialing_private,
+                dialing_public=x25519.public_key(pending.dialing_private),
+                dialing_round=pending.dialing_round,
+            )
             return {"type": "confirmed", "email": sender, "dialing_round": anchor}
+
+        if (
+            self.keywheel.has_friend(sender)
+            and self._accepted_requests.get(sender) == request.dialing_key
+        ):
+            # A duplicate of a request we already answered.  If it is an
+            # *initial* request, the sender retried because our confirming
+            # reply has not reached them: the wheel is already anchored, so
+            # re-send the same reply (unless one is still queued) rather
+            # than accepting afresh.  A duplicated *confirmation* is never
+            # answered -- the confirmed initiator needs nothing, and
+            # responding would make two confirmed peers answer each other's
+            # re-sends forever.
+            if not request.is_confirmation and sender not in self._prepared_replies:
+                sent = self._sent_replies.get(sender)
+                if sent is not None:
+                    self._prepared_replies[sender] = sent
+                    self.queue.append(QueuedFriendRequest(email=sender, is_reply=True))
+            return {"type": "duplicate", "email": sender}
 
         # A brand-new incoming request: ask the application.
         if not accept_new_friend(sender, request.sender_key):
@@ -369,6 +445,7 @@ class AddFriendEngine:
             signing_key=request.sender_key,
             established_round=anchor,
         )
+        self._accepted_requests[sender] = request.dialing_key
         self._prepared_replies[sender] = PreparedReply(
             dialing_private=dialing_private,
             dialing_public=dialing_public,

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.core.addfriend import AddFriendEngine, QueuedFriendRequest
 from repro.core.addressbook import AddressBook, FriendshipState
-from repro.core.callbacks import ApplicationCallbacks, IncomingCallCallback, NewFriendCallback
+from repro.core.callbacks import CallbackBridge, IncomingCallCallback, NewFriendCallback
 from repro.core.config import AlpenhornConfig
 from repro.core.dialing import DialingEngine
 from repro.core.dialtoken import IncomingCall, OutgoingCall, PlacedCall
@@ -32,6 +32,7 @@ from repro.crypto import bls
 from repro.crypto.ibe.anytrust import AnytrustIbe
 from repro.errors import ProtocolError
 from repro.mixnet.mailbox import mailbox_for_identity
+from repro.net.transport import concurrent_calls, shared_transport
 from repro.pkg.server import PkgServer
 
 
@@ -65,14 +66,16 @@ class Client:
         self.identity = UserIdentity.create(email, seed=signing_seed)
         self.address_book = AddressBook()
         self.keywheel = Keywheel()
-        self.callbacks = ApplicationCallbacks(new_friend=new_friend, incoming_call=incoming_call)
+        self.callbacks = CallbackBridge(new_friend=new_friend, incoming_call=incoming_call)
         self.ibe = ibe
+        self._parallel_fanout = config.pkg_fanout == "parallel"
         self.addfriend = AddFriendEngine(
             identity=self.identity,
             address_book=self.address_book,
             keywheel=self.keywheel,
             ibe=ibe,
             plaintext_size=config.addfriend_request_size,
+            parallel_fanout=self._parallel_fanout,
         )
         self.dialing = DialingEngine(keywheel=self.keywheel, num_intents=config.num_intents)
         self.stats = ClientStats()
@@ -97,10 +100,22 @@ class Client:
         The client reads the confirmation token each PKG emailed to its
         address and echoes it back, after which the address is locked to the
         client's long-term signing key (§4.6).
+
+        The per-PKG RPCs are independent, so each leg (begin, confirm) fans
+        out to every PKG in one concurrent transport phase: registration
+        costs two round trips to the slowest PKG, not 2N sequential trips.
         """
+        transport = self._fanout_transport(pkgs)
+        concurrent_calls(
+            transport,
+            [
+                lambda p=pkg: p.begin_registration(self.email, self.identity.signing_public, now)
+                for pkg in pkgs
+            ],
+        )
+        tokens = []
+        inbox = email_network.read_inbox(self.email)
         for pkg in pkgs:
-            pkg.begin_registration(self.email, self.identity.signing_public, now)
-            inbox = email_network.read_inbox(self.email)
             token = None
             for message in reversed(inbox):
                 if message.sender.startswith(pkg.name):
@@ -108,22 +123,47 @@ class Client:
                     break
             if token is None:
                 raise ProtocolError(f"no confirmation email from {pkg.name} for {self.email}")
-            pkg.confirm_registration(self.email, token, now)
+            tokens.append(token)
+        concurrent_calls(
+            transport,
+            [
+                lambda p=pkg, t=token: p.confirm_registration(self.email, t, now)
+                for pkg, token in zip(pkgs, tokens)
+            ],
+        )
         self.registered = True
 
-    def add_friend(self, email: str, their_signing_key: bytes | None = None) -> None:
-        """``AddFriend()``: queue a friend request for the next add-friend round."""
+    def _fanout_transport(self, pkgs: list):
+        """The transport for a concurrent per-PKG fan-out (None = sequential)."""
+        if not self._parallel_fanout:
+            return None
+        return shared_transport(pkgs)
+
+    def add_friend(self, email: str, their_signing_key: bytes | None = None) -> QueuedFriendRequest:
+        """``AddFriend()``: queue a friend request for the next add-friend round.
+
+        Returns the queue entry, which the session layer uses to correlate
+        the eventual submission with its handle.
+        """
         email = email.lower()
         if email == self.email:
             raise ProtocolError("cannot add yourself as a friend")
         if self.keywheel.has_friend(email):
             raise ProtocolError(f"{email} is already a friend")
-        self.addfriend.enqueue(QueuedFriendRequest(email=email, expected_key=their_signing_key))
+        request = QueuedFriendRequest(email=email, expected_key=their_signing_key)
+        self.addfriend.enqueue(request)
+        return request
 
-    def call(self, email: str, intent: int = 0) -> None:
+    def call(self, email: str, intent: int = 0) -> OutgoingCall:
         """``Call()``: queue a call; the session key is delivered when the
-        next dialing round in which the keywheel is live completes."""
-        self.dialing.enqueue(OutgoingCall(friend=email.lower(), intent=intent))
+        next dialing round in which the keywheel is live completes.
+
+        Returns the queue entry, which the session layer uses to correlate
+        the eventual dial with its handle.
+        """
+        outgoing = OutgoingCall(friend=email.lower(), intent=intent)
+        self.dialing.enqueue(outgoing)
+        return outgoing
 
     def friends(self) -> list[str]:
         """Confirmed friends (those with an established keywheel)."""
@@ -151,9 +191,11 @@ class Client:
         long-term keys from an offline backup, which maps to passing
         ``their_signing_key`` when re-adding).
         """
-        for pkg in pkgs:
-            signature = self.identity.sign(PkgServer.deregistration_statement(self.email))
-            pkg.deregister(self.email, signature, now)
+        signature = self.identity.sign(PkgServer.deregistration_statement(self.email))
+        concurrent_calls(
+            self._fanout_transport(pkgs),
+            [lambda p=pkg: p.deregister(self.email, signature, now) for pkg in pkgs],
+        )
         old_friends = [friend.email for friend in self.address_book.friends()]
         self.identity = self.identity.rotate()
         self.address_book = AddressBook()
@@ -164,6 +206,7 @@ class Client:
             keywheel=self.keywheel,
             ibe=self.ibe,
             plaintext_size=self.config.addfriend_request_size,
+            parallel_fanout=self._parallel_fanout,
         )
         self.dialing = DialingEngine(keywheel=self.keywheel, num_intents=self.config.num_intents)
         self.registered = False

@@ -64,6 +64,19 @@ class AlpenhornConfig:
     require_rate_tokens: bool = False
     rate_tokens_per_day: int = 100
 
+    # How a client issues its per-round PKG RPCs (key extraction,
+    # registration): "parallel" fans them out in one concurrent transport
+    # phase (the stage costs the slowest PKG, not the sum); "sequential"
+    # keeps the historical one-at-a-time loop, retained so the fan-out
+    # speedup stays measurable.
+    pkg_fanout: str = "parallel"
+
+    # Sender-side retry (ClientSession outbox): re-enqueue a friend request
+    # still unconfirmed this many add-friend rounds after its last
+    # submission.  None disables retry, matching the paper's bare library
+    # (which leaves retry to the application).
+    addfriend_retry_horizon: int | None = None
+
     def __post_init__(self) -> None:
         self.validate()
 
@@ -85,6 +98,12 @@ class AlpenhornConfig:
             raise ConfigurationError("add-friend request size too small to hold a request")
         if self.addfriend_round_duration <= 0 or self.dialing_round_duration <= 0:
             raise ConfigurationError("round durations must be positive")
+        if self.pkg_fanout not in ("parallel", "sequential"):
+            raise ConfigurationError(
+                f"unknown pkg_fanout {self.pkg_fanout!r}; expected 'parallel' or 'sequential'"
+            )
+        if self.addfriend_retry_horizon is not None and self.addfriend_retry_horizon < 1:
+            raise ConfigurationError("addfriend_retry_horizon must be >= 1 (or None)")
 
     @staticmethod
     def for_tests(num_mix_servers: int = 2, num_pkg_servers: int = 2, backend: str = "bn254") -> "AlpenhornConfig":

@@ -19,6 +19,8 @@ meaningful end-to-end ``latency_s``.
 
 from __future__ import annotations
 
+import warnings
+
 from repro.cdn.cdn import Cdn
 from repro.core.client import Client
 from repro.core.config import AlpenhornConfig
@@ -110,8 +112,15 @@ class Deployment:
         self.entry_stub = EntryStub(self.transport)
         self.cdn_stub = CdnStub(self.transport)
 
-        # Clients and round counters.
+        # Clients, their sessions, and round counters.  The session registry
+        # receives the round engines' lifecycle feed (see repro.api.session);
+        # clients that never asked for a session are untouched by it.  The
+        # import is local to keep repro.core importable without repro.api
+        # (and vice versa) at module-load time.
+        from repro.api.session import SessionRegistry
+
         self.clients: dict[str, Client] = {}
+        self.sessions = SessionRegistry(self)
         self.addfriend_round = 0
         self.dialing_round = 0
         self.round_summaries: list[RoundSummary] = []
@@ -152,6 +161,16 @@ class Deployment:
 
     def client(self, email: str) -> Client:
         return self.clients[email.lower()]
+
+    def session(self, email: str, **kwargs):
+        """The :class:`~repro.api.session.ClientSession` for a client.
+
+        Created on first use (defaults -- retry horizon, rate-token bound --
+        come from the deployment config; ``kwargs`` override them at
+        creation only).  This is the preferred application surface; the
+        client's raw Figure-1 methods stay available underneath it.
+        """
+        return self.sessions.ensure(self.client(email), **kwargs)
 
     def _resolve_participants(self, participants) -> list[Client]:
         """Normalize a participant list (emails or clients) to clients.
@@ -276,30 +295,46 @@ class Deployment:
         return summaries
 
     # ------------------------------------------------------------------ #
-    # Convenience flows used by examples and integration tests
+    # Convenience flows (deprecation shims over the session API)
     # ------------------------------------------------------------------ #
-    def befriend(self, alice_email: str, bob_email: str) -> None:
-        """Run the two add-friend rounds needed for a mutual friendship."""
-        self.client(alice_email).add_friend(bob_email)
+    def befriend(self, alice_email: str, bob_email: str):
+        """Deprecated: use ``session(alice).add_friend(bob)`` and drive rounds.
+
+        Runs the two add-friend rounds a mutual friendship needs and returns
+        the initiating request's handle.
+        """
+        warnings.warn(
+            "Deployment.befriend is deprecated; use "
+            "deployment.session(email).add_friend(...) and drive rounds "
+            "(the handle reports confirmation)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        handle = self.session(alice_email).add_friend(bob_email)
         self.run_addfriend_round()  # Alice's request reaches Bob, Bob accepts
         self.run_addfriend_round()  # Bob's confirmation reaches Alice
+        return handle
 
     def place_call(self, caller_email: str, callee_email: str, intent: int = 0):
-        """Queue a call and run dialing rounds until it goes out and lands.
+        """Deprecated: use ``session(caller).call(callee)`` and drive rounds.
 
-        Returns the :class:`~repro.core.dialtoken.PlacedCall` for *this*
-        dial, or ``None`` when it never left the queue (e.g. every round
-        failed) -- never a stale record of some earlier call.
+        Queues a call and runs dialing rounds until it goes out (or the lag
+        budget runs dry).  Returns the
+        :class:`~repro.core.dialtoken.PlacedCall` for *this* dial, or
+        ``None`` when it never left the queue -- never a stale record of
+        some earlier call.
         """
+        warnings.warn(
+            "Deployment.place_call is deprecated; use "
+            "deployment.session(email).call(...) and drive rounds "
+            "(the CallHandle carries the session key)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        handle = self.session(caller_email).call(callee_email, intent)
         caller = self.client(caller_email)
-        callee = callee_email.lower()
-        already_placed = len(caller.placed_calls())
-        caller.call(callee, intent)
         for _ in range(self.config.max_mailbox_lag_rounds):
             self.run_dialing_round()
             if caller.dialing.pending_in_queue() == 0:
                 break
-        for placed in caller.placed_calls()[already_placed:]:
-            if placed.friend == callee and placed.intent == intent:
-                return placed
-        return None
+        return handle.placed

@@ -41,6 +41,10 @@ class DialingEngine:
     _sent_tokens: dict[int, set[bytes]] = field(default_factory=dict)
     # (call, token) consumed by the last build, restorable on network failure.
     _last_sent: tuple[OutgoingCall, PlacedCall, bytes] | None = None
+    #: The (outgoing call, placed record) of the most recent build, or None
+    #: for cover traffic.  Survives ``confirm_sent`` so the session layer can
+    #: attribute a successful submission to its CallHandle.
+    last_built: tuple[OutgoingCall, PlacedCall] | None = None
 
     # -- queueing ---------------------------------------------------------
     def enqueue(self, call: OutgoingCall) -> None:
@@ -69,6 +73,7 @@ class DialingEngine:
                 break
         if ready is None:
             self._last_sent = None
+            self.last_built = None
             body = b"\x00" * DIAL_TOKEN_SIZE
             return encode_inner_payload(COVER_MAILBOX_ID, body), None
 
@@ -83,6 +88,7 @@ class DialingEngine:
         self.placed_calls.append(placed)
         self._sent_tokens.setdefault(round_number, set()).add(token)
         self._last_sent = (ready, placed, token)
+        self.last_built = (ready, placed)
         mailbox_id = mailbox_for_identity(ready.friend, mailbox_count)
         return encode_inner_payload(mailbox_id, token), placed
 

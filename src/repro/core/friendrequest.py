@@ -13,6 +13,12 @@ add-friend mixnet.  Its fields follow Figure 3 of the paper:
   half used to derive the keywheel secret), and
 * ``dialing_round``  -- the dialing round at which the new keywheel starts.
 
+One field extends Figure 3: ``is_confirmation`` marks the reply leg of the
+handshake (Algorithm 1 step 5).  Recipients use it to answer re-sent
+*initial* requests idempotently (re-send the stored reply) while never
+responding to a duplicated confirmation -- without it, two confirmed peers
+deduplicating each other's re-sends would answer each other forever.
+
 Verification mirrors Algorithm 1 step 4: check the PKG multi-signature
 against the aggregate PKG public key (one honest PKG suffices), and check
 the sender's own signature.  If the recipient knows the sender's key
@@ -32,7 +38,9 @@ from repro.utils.serialization import Packer, Unpacker
 _SENDER_SIG_DOMAIN = b"alpenhorn/friend-request/sender-sig"
 
 
-def sender_statement(email: str, dialing_key: bytes, dialing_round: int) -> bytes:
+def sender_statement(
+    email: str, dialing_key: bytes, dialing_round: int, is_confirmation: bool = False
+) -> bytes:
     """The statement covered by ``sender_sig``."""
     return (
         Packer()
@@ -40,6 +48,7 @@ def sender_statement(email: str, dialing_key: bytes, dialing_round: int) -> byte
         .str(email.lower())
         .bytes(dialing_key)
         .u64(dialing_round)
+        .u8(1 if is_confirmation else 0)
         .pack()
     )
 
@@ -55,6 +64,7 @@ class FriendRequest:
     dialing_key: bytes             # X25519 public key, 32 bytes
     dialing_round: int
     pkg_round: int                 # add-friend round the PKG attestation covers
+    is_confirmation: bool = False  # the reply leg of the handshake
 
     # -- construction ------------------------------------------------------
     @staticmethod
@@ -66,8 +76,9 @@ class FriendRequest:
         pkg_round: int,
         dialing_key: bytes,
         dialing_round: int,
+        is_confirmation: bool = False,
     ) -> "FriendRequest":
-        statement = sender_statement(sender_email, dialing_key, dialing_round)
+        statement = sender_statement(sender_email, dialing_key, dialing_round, is_confirmation)
         sender_sig = ed25519.sign(sender_signing_private, statement)
         aggregated = bls.aggregate_signatures(pkg_attestations)
         return FriendRequest(
@@ -78,6 +89,7 @@ class FriendRequest:
             dialing_key=dialing_key,
             dialing_round=dialing_round,
             pkg_round=pkg_round,
+            is_confirmation=is_confirmation,
         )
 
     # -- serialization ------------------------------------------------------
@@ -91,6 +103,7 @@ class FriendRequest:
             .fixed(self.dialing_key, 32)
             .u64(self.dialing_round)
             .u64(self.pkg_round)
+            .u8(1 if self.is_confirmation else 0)
             .pack()
         )
 
@@ -106,6 +119,7 @@ class FriendRequest:
                 dialing_key=unpacker.fixed(32),
                 dialing_round=unpacker.u64(),
                 pkg_round=unpacker.u64(),
+                is_confirmation=bool(unpacker.u8()),
             )
             unpacker.done()
         except SerializationError:
@@ -139,5 +153,7 @@ class FriendRequest:
         )
         if not ok1:
             return False
-        statement = sender_statement(self.sender_email, self.dialing_key, self.dialing_round)
+        statement = sender_statement(
+            self.sender_email, self.dialing_key, self.dialing_round, self.is_confirmation
+        )
         return ed25519.verify(self.sender_key, statement, self.sender_sig)

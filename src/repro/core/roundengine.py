@@ -51,6 +51,9 @@ class RoundSummary:
     events_by_client: dict[str, list] = field(default_factory=dict)
     # Transport-level measurements for the round (simulated time and bytes).
     latency_s: float = 0.0
+    #: Time the announce+submit stage took (the stage the per-PKG fan-out
+    #: shortens); the remainder of ``latency_s`` is mix+publish+scan.
+    submit_stage_s: float = 0.0
     bytes_sent: int = 0
     failures: int = 0
     participants: int = 0
@@ -67,6 +70,8 @@ class PendingRound:
     clients: list[Client]
     mailbox_count: int
     started_at: float
+    #: When the announce+submit stage finished (clock at start_round exit).
+    submitted_at: float = 0.0
     announcement: object = None
     participated: list[Client] = field(default_factory=list)
     failures: int = 0
@@ -259,6 +264,16 @@ class RoundEngine:
         self.dep = deployment
         self.driver = driver
 
+    def _sessions(self):
+        """The deployment's session registry, if it has one.
+
+        The engine stays duck-typed over the deployment: a registry gets the
+        per-round lifecycle feed (submissions, deliveries, scan events,
+        aborts) that drives handles and sender-side retry; a deployment
+        without one simply has nobody to tell.
+        """
+        return getattr(self.dep, "sessions", None)
+
     # -- stage 1: announce + submissions ----------------------------------
     def start_round(self, participants=None) -> PendingRound:
         """Announce a new round and run the concurrent submission phase.
@@ -286,20 +301,25 @@ class RoundEngine:
             # failure (idempotent if the round never opened).
             self.dep.entry.abort_round(driver.protocol, round_number)
             pending.failure = exc
+            pending.submitted_at = self.dep.clock
             pending.bytes_accum = self.dep.transport.stats.bytes_sent - bytes_before
             return pending
 
         # Every online client participates every round (cover traffic
         # included); clients act concurrently, so the phase's duration is
         # the slowest participant's, not the sum.
+        sessions = self._sessions()
         with self.dep.transport.phase() as phase:
             for client in clients:
                 try:
                     phase.run(lambda c=client: driver.submit(c, pending.announcement))
                     pending.participated.append(client)
+                    if sessions is not None:
+                        sessions.note_submitted(driver.protocol, client, round_number)
                 except NetworkError:
                     pending.failures += 1
                     driver.submit_failed(client, round_number)
+        pending.submitted_at = self.dep.clock
         pending.bytes_accum = self.dep.transport.stats.bytes_sent - bytes_before
         return pending
 
@@ -323,6 +343,9 @@ class RoundEngine:
             # like any mixnet round that dies mid-flight.
             self.dep.entry.abort_round(driver.protocol, round_number)
             driver.round_aborted(pending.participated, round_number)
+            sessions = self._sessions()
+            if sessions is not None:
+                sessions.round_aborted(driver.protocol, round_number, pending.participated)
             pending.bytes_accum += self.dep.transport.stats.bytes_sent - bytes_before
             raise
 
@@ -344,6 +367,14 @@ class RoundEngine:
                 if events:
                     events_by_client[client.email] = events
         driver.after_scan(round_number)
+        sessions = self._sessions()
+        if sessions is not None:
+            # Feed the session layer: handles submitted into this round are
+            # now delivered, scan events may confirm them, and the retry
+            # pass re-enqueues what stayed unconfirmed past the horizon.
+            sessions.round_finished(
+                driver.protocol, round_number, pending.participated, events_by_client
+            )
         pending.bytes_accum += self.dep.transport.stats.bytes_sent - bytes_before
 
         summary = RoundSummary(
@@ -354,6 +385,7 @@ class RoundEngine:
             mix_result=result,
             events_by_client=events_by_client,
             latency_s=self.dep.clock - pending.started_at,
+            submit_stage_s=pending.submitted_at - pending.started_at,
             bytes_sent=pending.bytes_accum,
             failures=pending.failures,
             participants=len(pending.clients),
@@ -370,6 +402,7 @@ class RoundEngine:
             submissions=0,
             mix_result=None,
             latency_s=self.dep.clock - pending.started_at,
+            submit_stage_s=max(0.0, pending.submitted_at - pending.started_at),
             bytes_sent=pending.bytes_accum,
             failures=len(pending.clients),
             participants=len(pending.clients),

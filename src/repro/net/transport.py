@@ -108,6 +108,38 @@ class Phase:
         return False
 
 
+def concurrent_calls(transport: "Transport | None", tasks: list) -> list:
+    """Run thunks as one concurrent phase on ``transport``.
+
+    The client-side fan-out primitive: a client issuing the same RPC to N
+    independent servers (per-round PKG key extraction, registration at every
+    PKG) opens N connections at once, so the stage costs the *slowest*
+    server's round trip instead of the sum of all of them.  With
+    ``transport=None`` (plain server objects, no wire) the tasks simply run
+    in order, which is also the behavior under ``pkg_fanout="sequential"``
+    -- the configuration the fan-out speedup is measured against.
+
+    Exceptions propagate exactly as in a sequential loop: the first failing
+    task aborts the fan-out (its phase still closes).
+    """
+    if transport is None:
+        return [task() for task in tasks]
+    with transport.phase() as phase:
+        return [phase.run(task) for task in tasks]
+
+
+def shared_transport(stubs: list) -> "Transport | None":
+    """The transport a list of client-side stubs talks through, if any.
+
+    Plain server objects (unit tests hand those in) have no ``transport``
+    attribute and get ``None``, which makes :func:`concurrent_calls` fall
+    back to a sequential loop.
+    """
+    if not stubs:
+        return None
+    return getattr(stubs[0], "transport", None)
+
+
 class Transport(ABC):
     """Abstract message-passing layer between Alpenhorn components."""
 

@@ -50,6 +50,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the scenario's round driver (overlapped vs sequential rounds)",
     )
     parser.add_argument(
+        "--retry-horizon",
+        type=int,
+        default=None,
+        metavar="K",
+        help="re-enqueue friend requests unconfirmed K add-friend rounds "
+        "after submission (0 disables retry)",
+    )
+    parser.add_argument(
+        "--pkg-fanout",
+        choices=("parallel", "sequential"),
+        default=None,
+        help="how clients issue per-PKG RPCs (default: the scenario's, normally parallel)",
+    )
+    parser.add_argument(
         "--sweep",
         action="store_true",
         help="run a clients x link-latency grid (sequential vs pipelined) "
@@ -66,6 +80,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="40,200",
         metavar="MS,MS,...",
         help="comma-separated client link latencies for --sweep (default: 40,200)",
+    )
+    parser.add_argument(
+        "--sweep-retry-horizon",
+        default="0,2",
+        metavar="K,K,...",
+        help="retry-horizon axis for --sweep: client_churn liveness per horizon "
+        "(0 = retry off; empty string skips the axis; default: 0,2)",
+    )
+    parser.add_argument(
+        "--sweep-fanout-pkgs",
+        type=int,
+        default=4,
+        metavar="N",
+        help="PKG count for the sequential-vs-parallel fan-out comparison "
+        "in --sweep (0 skips it; default: 4)",
     )
     return parser
 
@@ -96,6 +125,10 @@ def main(argv: list[str] | None = None) -> int:
         overrides["seed"] = args.seed
     if args.pipelined is not None:
         overrides["pipelined"] = args.pipelined == "on"
+    if args.retry_horizon is not None:
+        overrides["retry_horizon"] = args.retry_horizon or None
+    if args.pkg_fanout is not None:
+        overrides["pkg_fanout"] = args.pkg_fanout
 
     if args.sweep:
         return run_sweep_cli(args, overrides)
@@ -129,6 +162,17 @@ def main(argv: list[str] | None = None) -> int:
             f"throughput ({driver} driver): {overall['rounds_per_sec']:.3f} rounds/s "
             f"over {overall['rounds']} rounds in {overall['busy_s']:.2f}s simulated"
         )
+    requests = result.friend_requests
+    if requests.get("total"):
+        initial = requests["initial"]
+        retry = result.spec.retry_horizon
+        print(
+            f"friend requests ({'retry K=' + str(retry) if retry else 'no retry'}): "
+            f"{requests['confirmed']}/{requests['total']} confirmed, "
+            f"{requests['retries']} retries; initial pairs "
+            f"{initial['confirmed']}/{initial['total']} "
+            f"({initial['confirmed_fraction'] * 100:.0f}%)"
+        )
 
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -143,26 +187,39 @@ def run_sweep_cli(args, overrides: dict) -> int:
 
     ignored = [
         flag
-        for flag, key in (("--clients", "num_clients"), ("--pipelined", "pipelined"))
+        for flag, key in (
+            ("--clients", "num_clients"),
+            ("--pipelined", "pipelined"),
+            ("--retry-horizon", "retry_horizon"),
+            ("--pkg-fanout", "pkg_fanout"),
+        )
         if overrides.pop(key, None) is not None
     ]
     if ignored:
         print(
             f"note: {', '.join(ignored)} ignored with --sweep "
-            "(the grid supplies client counts; both drivers are run)"
+            "(the grid supplies client counts and both drivers; the retry and "
+            "fan-out axes have their own flags)"
         )
     scenario = args.scenario or "pipelined_rounds"
     try:
         clients = [int(v) for v in args.sweep_clients.split(",") if v]
         latencies = [float(v) for v in args.sweep_latency_ms.split(",") if v]
+        retry_horizons = [int(v) for v in args.sweep_retry_horizon.split(",") if v.strip()]
     except ValueError:
-        print("error: --sweep-clients / --sweep-latency-ms must be comma-separated numbers", file=sys.stderr)
+        print(
+            "error: --sweep-clients / --sweep-latency-ms / --sweep-retry-horizon "
+            "must be comma-separated numbers",
+            file=sys.stderr,
+        )
         return 2
     try:
         result = run_sweep(
             scenario=scenario,
             clients=clients,
             latencies_ms=latencies,
+            retry_horizons=retry_horizons,
+            fanout_pkgs=args.sweep_fanout_pkgs or None,
             progress=print,
             **overrides,
         )

@@ -60,6 +60,15 @@ class ScenarioSpec:
     #: with round N+1's announce+submit overlapping round N's mix+scan.
     #: ``False`` keeps the sequential one-round-at-a-time driver.
     pipelined: bool = False
+    #: Sender-side retry: re-enqueue friend requests still unconfirmed this
+    #: many add-friend rounds after their last submission (None = off, the
+    #: paper's bare-library behavior).  Friendships are queued through
+    #: ClientSession, so handles report per-request liveness either way.
+    retry_horizon: int | None = None
+    #: How clients issue per-round PKG RPCs: "parallel" (one concurrent
+    #: fan-out phase) or "sequential" (the historical loop, kept so the
+    #: fan-out speedup stays measurable).
+    pkg_fanout: str = "parallel"
 
     def resolved_friend_pairs(self) -> int:
         if self.friend_pairs is not None:
@@ -82,6 +91,9 @@ class RoundStats:
     latency_s: float
     bytes_sent: int
     aborted: bool = False
+    #: The announce+submit stage's share of ``latency_s`` (the stage the
+    #: per-PKG fan-out shortens).
+    submit_stage_s: float = 0.0
 
     @staticmethod
     def from_summary(summary: RoundSummary) -> "RoundStats":
@@ -98,6 +110,7 @@ class RoundStats:
             latency_s=summary.latency_s,
             bytes_sent=summary.bytes_sent,
             aborted=summary.aborted,
+            submit_stage_s=summary.submit_stage_s,
         )
 
     def to_dict(self) -> dict:
@@ -111,6 +124,7 @@ class RoundStats:
             "delivered_real": self.delivered_real,
             "noise_added": self.noise_added,
             "latency_s": round(self.latency_s, 6),
+            "submit_stage_s": round(self.submit_stage_s, 6),
             "bytes_sent": self.bytes_sent,
             "aborted": self.aborted,
         }
@@ -133,9 +147,22 @@ class ScenarioResult:
     #: simulated time spent actually driving rounds (inter-round idle gaps
     #: excluded), so sequential and pipelined runs are directly comparable.
     throughput: dict[str, dict] = field(default_factory=dict)
+    #: Friend-request liveness, measured through the session handles the
+    #: scenario queued: totals over every request, plus an ``"initial"``
+    #: breakdown for the pre-run friendship pairs (whose senders a churn
+    #: scenario keeps always-online -- the liveness population the retry
+    #: machinery is judged on).
+    friend_requests: dict = field(default_factory=dict)
 
     def rounds_for(self, protocol: str) -> list[RoundStats]:
         return [r for r in self.rounds if r.protocol == protocol]
+
+    def mean_submit_stage(self, protocol: str = "add-friend") -> float:
+        """Mean announce+submit stage time over the protocol's live rounds."""
+        stages = [
+            r.submit_stage_s for r in self.rounds if r.protocol == protocol and not r.aborted
+        ]
+        return sum(stages) / len(stages) if stages else 0.0
 
     def round_latencies(self, protocol: str | None = None) -> list[float]:
         return [
@@ -158,7 +185,11 @@ class ScenarioResult:
             "total_messages_sent": self.total_messages_sent,
             "wall_seconds": round(self.wall_seconds, 3),
             "pipelined": self.spec.pipelined,
+            "retry_horizon": self.spec.retry_horizon,
+            "pkg_fanout": self.spec.pkg_fanout,
+            "addfriend_submit_stage_s": round(self.mean_submit_stage("add-friend"), 6),
             "throughput": self.throughput,
+            "friend_requests": self.friend_requests,
         }
 
     def table(self) -> tuple[list[str], list[list]]:
@@ -190,6 +221,15 @@ class Scenario:
 
     def __init__(self, spec: ScenarioSpec) -> None:
         self.spec = spec
+        #: Handles for the pre-run friendship pairs (queued via sessions).
+        self.request_handles: list = []
+        #: Handles for requests queued mid-run (e.g. a churn scenario's late
+        #: joiners); counted in the totals but not in the "initial" breakdown.
+        self.extra_handles: list = []
+        #: Emails of the initial pairs' senders; churn scenarios keep these
+        #: online so the liveness of their requests is a retry measurement,
+        #: not an artifact of the sender itself being offline.
+        self.sender_emails: set[str] = set()
 
     # -- hooks -------------------------------------------------------------
     def configure(self, deployment: Deployment, net: SimulatedNetwork) -> None:
@@ -243,6 +283,8 @@ class Scenario:
             dialing_target_per_mailbox=spec.dialing_target_per_mailbox,
             bloom_false_positive_rate=1e-6,
             num_intents=3,
+            pkg_fanout=spec.pkg_fanout,
+            addfriend_retry_horizon=spec.retry_horizon,
         )
         deployment = Deployment(config, seed=f"{spec.seed}/{spec.name}", transport=net)
         return deployment, net
@@ -257,11 +299,17 @@ class Scenario:
         self.queue_friendships(deployment)
 
     def queue_friendships(self, deployment: Deployment) -> None:
-        """Disjoint pairs (2i, 2i+1) queue a friend request from the even side."""
+        """Disjoint pairs (2i, 2i+1) queue a friend request from the even side.
+
+        Requests go through :class:`~repro.api.session.ClientSession`, so
+        every scenario gets per-request lifecycle handles (and, with
+        ``spec.retry_horizon`` set, sender-side retry) for free.
+        """
         for pair in range(self.spec.resolved_friend_pairs()):
             a, b = self.client_email(2 * pair), self.client_email(2 * pair + 1)
             if a in deployment.clients and b in deployment.clients:
-                deployment.client(a).add_friend(b)
+                self.request_handles.append(deployment.session(a).add_friend(b))
+                self.sender_emails.add(a)
 
     def queue_calls(self, deployment: Deployment) -> None:
         """One direction per friendship dials (the lexicographically smaller
@@ -292,10 +340,29 @@ class Scenario:
         result.calls_delivered = sum(
             len(c.received_calls()) for c in deployment.clients.values()
         )
+        result.friend_requests = self._friend_request_stats()
         result.total_bytes_sent = net.stats.bytes_sent
         result.total_messages_sent = net.stats.messages_sent
         result.wall_seconds = time.perf_counter() - started
         return result
+
+    def _friend_request_stats(self) -> dict:
+        """Liveness accounting over the handles this scenario queued."""
+        from repro.api.handles import RequestState
+
+        def bucket(handles: list) -> dict:
+            confirmed = sum(1 for h in handles if h.state is RequestState.CONFIRMED)
+            return {
+                "total": len(handles),
+                "confirmed": confirmed,
+                "failed": sum(1 for h in handles if h.state is RequestState.FAILED),
+                "retries": sum(max(0, h.attempts - 1) for h in handles),
+                "confirmed_fraction": round(confirmed / len(handles), 4) if handles else 0.0,
+            }
+
+        stats = bucket(self.request_handles + self.extra_handles)
+        stats["initial"] = bucket(self.request_handles)
+        return stats
 
     def _drive_protocol(
         self,

@@ -45,7 +45,14 @@ class BaselineScenario(Scenario):
 
 class ClientChurnScenario(Scenario):
     """A deterministic fraction of clients is offline each round; new
-    clients join between add-friend rounds."""
+    clients join between add-friend rounds.
+
+    The initial pairs' *senders* stay online every round: their requests'
+    fate then measures exactly what churn does to the protocol (recipients
+    missing delivery rounds) and what sender-side retry recovers -- not the
+    confound of the sender itself being away.  Everyone else (recipients,
+    bystanders, late joiners) churns.
+    """
 
     offline_fraction = 0.25
     joins_per_round = 2
@@ -60,6 +67,7 @@ class ClientChurnScenario(Scenario):
             client
             for client in deployment.clients.values()
             if self._rng.uniform() >= self.offline_fraction
+            or client.email in self.sender_emails
         ]
         # A round with zero online clients tells us nothing; keep one.
         return online or [next(iter(deployment.clients.values()))]
@@ -70,9 +78,11 @@ class ClientChurnScenario(Scenario):
         for _ in range(self.joins_per_round):
             email = f"late{self._joined}@sim.example.org"
             self._joined += 1
-            joiner = deployment.create_client(email)
+            deployment.create_client(email)
             # Late joiners immediately want in: befriend an anchor user.
-            joiner.add_friend(self.client_email(0))
+            self.extra_handles.append(
+                deployment.session(email).add_friend(self.client_email(0))
+            )
 
 
 class StragglerMixScenario(Scenario):

@@ -7,6 +7,16 @@ result lands in ``BENCH_sweep.json`` (via :mod:`repro.bench.reporting`), so
 the throughput trajectory -- and the pipeline's speedup at high-latency
 links -- is tracked across PRs the same way the paper-figure benchmarks are.
 
+Two further axes ride the same report:
+
+* ``retry_horizons`` drives ``client_churn`` once per horizon (0 = retry
+  disabled) and records friend-request liveness -- what fraction of the
+  always-online senders' requests reached ``confirmed`` -- plus the retry
+  overhead in extra submissions and bytes.
+* ``fanout_pkgs`` runs the high-latency scenario at that PKG count with the
+  client's per-PKG RPCs issued sequentially vs fanned out in one concurrent
+  phase, and records the add-friend submit-stage speedup.
+
 ``python -m repro.sim --sweep`` is the CLI; :func:`run_sweep` the API.
 """
 
@@ -51,20 +61,98 @@ class SweepPoint:
 
 
 @dataclass
+class RetryPoint:
+    """One retry-axis cell: client_churn at one retry horizon (0 = off)."""
+
+    retry_horizon: int
+    result: ScenarioResult
+
+    def row(self) -> list:
+        requests = self.result.friend_requests
+        initial = requests.get("initial", requests)
+        addfriend = self.result.rounds_for("add-friend")
+        return [
+            self.retry_horizon or "off",
+            initial["total"],
+            initial["confirmed"],
+            f"{initial['confirmed_fraction']:.2f}",
+            initial["retries"],
+            len(addfriend),
+            f"{self.result.total_bytes_sent / 2**20:.2f}",
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "retry_horizon": self.retry_horizon,
+            "result": self.result.to_dict(),
+        }
+
+
+@dataclass
+class FanoutComparison:
+    """The same workload with sequential vs parallel per-PKG client RPCs."""
+
+    pkg_servers: int
+    sequential: ScenarioResult
+    parallel: ScenarioResult
+
+    def submit_speedup(self) -> float:
+        par = self.parallel.mean_submit_stage("add-friend")
+        seq = self.sequential.mean_submit_stage("add-friend")
+        return seq / par if par > 0 else 0.0
+
+    def row(self) -> list:
+        return [
+            self.pkg_servers,
+            f"{self.sequential.mean_submit_stage('add-friend'):.3f}",
+            f"{self.parallel.mean_submit_stage('add-friend'):.3f}",
+            f"{self.submit_speedup():.2f}x",
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "pkg_servers": self.pkg_servers,
+            "sequential_submit_stage_s": round(
+                self.sequential.mean_submit_stage("add-friend"), 6
+            ),
+            "parallel_submit_stage_s": round(self.parallel.mean_submit_stage("add-friend"), 6),
+            "submit_stage_speedup": round(self.submit_speedup(), 4),
+            "sequential": self.sequential.to_dict(),
+            "parallel": self.parallel.to_dict(),
+        }
+
+
+@dataclass
 class SweepResult:
     """Everything one sweep produced."""
 
     scenario: str
     points: list[SweepPoint] = field(default_factory=list)
+    #: client_churn liveness per retry horizon (empty unless requested).
+    retry_points: list[RetryPoint] = field(default_factory=list)
+    #: sequential-vs-parallel PKG fan-out comparison (None unless requested).
+    fanout: FanoutComparison | None = None
 
     HEADERS = [
         "clients", "link ms",
         "seq dial r/s", "pipe dial r/s", "dial speedup",
         "seq all r/s", "pipe all r/s", "all speedup",
     ]
+    RETRY_HEADERS = [
+        "retry K", "requests", "confirmed", "confirmed frac",
+        "retries", "af rounds", "MiB",
+    ]
+    FANOUT_HEADERS = ["pkgs", "seq submit s", "par submit s", "submit speedup"]
 
     def table(self) -> tuple[list[str], list[list]]:
         return list(self.HEADERS), [point.row() for point in self.points]
+
+    def retry_table(self) -> tuple[list[str], list[list]]:
+        return list(self.RETRY_HEADERS), [point.row() for point in self.retry_points]
+
+    def fanout_table(self) -> tuple[list[str], list[list]]:
+        rows = [self.fanout.row()] if self.fanout is not None else []
+        return list(self.FANOUT_HEADERS), rows
 
     def to_report(self) -> dict:
         headers, rows = self.table()
@@ -83,6 +171,8 @@ class SweepResult:
             }
             for point in self.points
         ]
+        report["retry_points"] = [point.to_dict() for point in self.retry_points]
+        report["fanout"] = self.fanout.to_dict() if self.fanout is not None else None
         return report
 
 
@@ -95,13 +185,24 @@ def run_sweep(
     scenario: str = "pipelined_rounds",
     clients: list[int] | None = None,
     latencies_ms: list[float] | None = None,
+    retry_horizons: list[int] | None = None,
+    fanout_pkgs: int | None = None,
+    retry_workload: dict | None = None,
+    fanout_workload: dict | None = None,
     progress=None,
     **overrides,
 ) -> SweepResult:
     """Run ``scenario`` over the grid, sequential and pipelined at each point.
 
-    ``overrides`` are forwarded to every run (``seed``, round counts, ...);
-    ``progress`` is an optional ``callable(str)`` for CLI feedback.
+    ``overrides`` are forwarded to every grid run (``seed``, round counts,
+    ...); ``progress`` is an optional ``callable(str)`` for CLI feedback.
+
+    ``retry_horizons`` (e.g. ``[0, 2]``; 0 = retry disabled) additionally
+    runs ``client_churn`` once per horizon and records friend-request
+    liveness and retry overhead.  ``fanout_pkgs`` additionally runs the
+    scenario at that PKG count with sequential vs parallel per-PKG client
+    RPCs and records the add-friend submit-stage speedup.  Both sections use
+    their own fixed workloads, so the grid overrides do not skew them.
     """
     from repro.sim.scenarios import run_scenario
 
@@ -127,12 +228,63 @@ def run_sweep(
                     pipelined=pipelined,
                 )
             )
+
+    seed = overrides.get("seed", "sweep")
+    retry_args = dict(
+        num_clients=40, friend_pairs=12, addfriend_rounds=8, dialing_rounds=0,
+        seed=f"{seed}/retry",
+    )
+    retry_args.update(retry_workload or {})
+    for horizon in retry_horizons or []:
+        if progress:
+            progress(f"sweep: client_churn retry_horizon={horizon or 'off'}")
+        churn = run_scenario(
+            "client_churn", retry_horizon=horizon or None, **retry_args
+        )
+        result.retry_points.append(RetryPoint(retry_horizon=horizon, result=churn))
+
+    if fanout_pkgs:
+        fanout_args = dict(
+            num_clients=24, friend_pairs=6, addfriend_rounds=2, dialing_rounds=0,
+            seed=f"{seed}/fanout",
+        )
+        fanout_args.update(fanout_workload or {})
+        runs = {}
+        for mode in ("sequential", "parallel"):
+            if progress:
+                progress(f"sweep: pkg fan-out {mode} @ {fanout_pkgs} PKGs")
+            runs[mode] = run_scenario(
+                scenario,
+                pipelined=False,
+                num_pkg_servers=fanout_pkgs,
+                pkg_fanout=mode,
+                **fanout_args,
+            )
+        result.fanout = FanoutComparison(
+            pkg_servers=fanout_pkgs,
+            sequential=runs["sequential"],
+            parallel=runs["parallel"],
+        )
     return result
 
 
 def emit_sweep_report(result: SweepResult, name: str = "sweep") -> str:
-    """Print the sweep table and write ``BENCH_<name>.json``; returns the path."""
+    """Print the sweep tables and write ``BENCH_<name>.json``; returns the path."""
     headers, rows = result.table()
     print(format_table(headers, rows, title=f"sweep of {result.scenario}"))
+    if result.retry_points:
+        headers, rows = result.retry_table()
+        print(
+            format_table(
+                headers, rows, title="client_churn liveness: always-online senders, per retry horizon"
+            )
+        )
+    if result.fanout is not None:
+        headers, rows = result.fanout_table()
+        print(
+            format_table(
+                headers, rows, title="add-friend submit stage: sequential vs parallel PKG fan-out"
+            )
+        )
     path = write_json_report(name, result.to_report())
     return str(path)

@@ -1,0 +1,526 @@
+"""The redesigned client API: sessions, handles, events, retry, fan-out.
+
+Covers the contracts the api_redesign introduced:
+
+* the EventBus (subscription, unsubscription, history),
+* FriendRequestHandle / CallHandle lifecycle as rounds run,
+* friend-request liveness under churn -- retry recovers a request delivered
+  into a round its recipient missed; without retry the test demonstrates
+  the loss the paper accepts,
+* the retry budget (max_attempts / rate tokens) terminating a hopeless
+  request,
+* the deprecation shims (Deployment.befriend / place_call /
+  ApplicationCallbacks) keeping their legacy behavior,
+* the parallel per-PKG fan-out: RPC *counts* still scale linearly in PKG
+  count (TransportStats.calls_by_method) while the stage's simulated
+  wall-clock no longer does.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import EventBus, RequestState
+from repro.core.callbacks import ApplicationCallbacks
+from repro.core.config import AlpenhornConfig
+from repro.core.coordinator import Deployment
+from repro.errors import ProtocolError
+from repro.net.links import LinkSpec, NetworkTopology
+from repro.net.simulated import SimulatedNetwork
+from repro.sim.scenarios import run_scenario
+
+
+def make_deployment(seed: str = "session-test", retry: int | None = None, **config_kwargs):
+    config = AlpenhornConfig.for_tests(backend="simulated")
+    config.addfriend_retry_horizon = retry
+    for key, value in config_kwargs.items():
+        setattr(config, key, value)
+    config.validate()
+    return Deployment(config, seed=seed)
+
+
+def make_sim_deployment(
+    pkgs: int = 2, fanout: str = "parallel", latency_ms: float = 200, seed: str = "session-sim"
+) -> Deployment:
+    servers = (
+        ["entry", "cdn", "coordinator"]
+        + [f"mix{i}" for i in range(2)]
+        + [f"pkg{i}" for i in range(pkgs)]
+    )
+    topology = NetworkTopology(default=LinkSpec.of(latency_ms=latency_ms, bandwidth_mbps=50))
+    for i, a in enumerate(servers):
+        for b in servers[i + 1 :]:
+            topology.set_link(a, b, LinkSpec.of(latency_ms=2, bandwidth_mbps=1000))
+    net = SimulatedNetwork(topology=topology, seed=f"{seed}/net")
+    config = AlpenhornConfig.for_tests(num_pkg_servers=pkgs, backend="simulated")
+    config.pkg_fanout = fanout
+    return Deployment(config, seed=seed, transport=net)
+
+
+class TestEventBus:
+    def test_subscribe_and_emit(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("ping", seen.append)
+        event = bus.emit("ping", email="a@x.org", round_number=3, extra=1)
+        assert seen == [event]
+        assert event.email == "a@x.org" and event["extra"] == 1
+
+    def test_unsubscribe_stops_delivery(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.subscribe("ping", seen.append)
+        bus.emit("ping")
+        unsubscribe()
+        unsubscribe()  # idempotent
+        bus.emit("ping")
+        assert len(seen) == 1
+
+    def test_subscribe_all_sees_every_type(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe_all(lambda e: seen.append(e.type))
+        bus.emit("a")
+        bus.emit("b")
+        assert seen == ["a", "b"]
+
+    def test_history_filters_and_last(self):
+        bus = EventBus()
+        bus.emit("a", email="1")
+        bus.emit("b")
+        bus.emit("a", email="2")
+        assert [e.email for e in bus.history("a")] == ["1", "2"]
+        assert len(bus.history()) == 3 and len(bus) == 3
+        assert bus.last("a").email == "2"
+        assert bus.last("missing") is None
+
+
+class TestFriendRequestHandleLifecycle:
+    @pytest.fixture(scope="class")
+    def confirmed(self):
+        deployment = make_deployment("handle-lifecycle")
+        deployment.create_client("alice@x.org")
+        bob = deployment.create_client("bob@x.org")
+        alice = deployment.session("alice@x.org")
+        bob_session = deployment.session("bob@x.org")
+        handle = alice.add_friend("bob@x.org")
+        states = [handle.state]
+        deployment.run_addfriend_round()
+        states.append(handle.state)
+        deployment.run_addfriend_round()
+        states.append(handle.state)
+        return deployment, alice, bob_session, bob, handle, states
+
+    def test_states_progress_to_confirmed(self, confirmed):
+        *_, handle, states = confirmed
+        assert states == [RequestState.QUEUED, RequestState.DELIVERED, RequestState.CONFIRMED]
+        assert handle.confirmed and handle.done()
+
+    def test_submission_metadata(self, confirmed):
+        *_, handle, _ = confirmed
+        assert handle.attempts == 1
+        assert handle.round_submitted == 1
+        assert handle.rounds_submitted == [1]
+        assert handle.confirmed_round == 2
+
+    def test_confirmed_by_is_the_friends_signing_key(self, confirmed):
+        _, _, _, bob, handle, _ = confirmed
+        assert handle.confirmed_by == bob.my_signing_key()
+
+    def test_sender_event_order(self, confirmed):
+        _, alice, *_ = confirmed
+        assert [e.type for e in alice.events.history()] == [
+            "request_queued",
+            "request_submitted",
+            "request_delivered",
+            "friend_confirmed",
+        ]
+
+    def test_recipient_saw_friend_request_received(self, confirmed):
+        _, _, bob_session, *_ = confirmed
+        received = bob_session.events.last("friend_request_received")
+        assert received is not None
+        assert received.email == "alice@x.org" and received["accepted"] is True
+
+    def test_request_accessor_and_idempotence(self):
+        deployment = make_deployment("handle-idempotent")
+        deployment.create_client("alice@x.org")
+        deployment.create_client("bob@x.org")
+        alice = deployment.session("alice@x.org")
+        handle = alice.add_friend("bob@x.org")
+        assert alice.add_friend("bob@x.org") is handle  # still in flight
+        assert alice.request("bob@x.org") is handle
+        assert alice.pending_requests() == [handle]
+        assert alice.client.addfriend.pending_in_queue() == 1  # no duplicate queued
+
+    def test_add_friend_still_validates(self):
+        deployment = make_deployment("handle-validate")
+        deployment.create_client("alice@x.org")
+        with pytest.raises(ProtocolError):
+            deployment.session("alice@x.org").add_friend("alice@x.org")
+
+
+class TestCallHandleLifecycle:
+    def test_call_handle_delivers_session_key(self):
+        deployment = make_deployment("call-handle")
+        deployment.create_client("alice@x.org")
+        bob_client = deployment.create_client("bob@x.org")
+        alice = deployment.session("alice@x.org")
+        bob = deployment.session("bob@x.org")
+        alice.add_friend("bob@x.org")
+        deployment.run_addfriend_round()
+        deployment.run_addfriend_round()
+
+        handle = alice.call("bob@x.org", intent=1)
+        assert handle.state is RequestState.QUEUED and handle.session_key is None
+        while alice.client.dialing.pending_in_queue():
+            deployment.run_dialing_round()
+        assert handle.state is RequestState.DELIVERED
+        assert handle.placed is not None and handle.placed.intent == 1
+        incoming = bob_client.received_calls()[-1]
+        assert handle.session_key == incoming.session_key
+
+        event = bob.events.last("call_received")
+        assert event is not None and event["call"].caller == "alice@x.org"
+        placed_event = alice.events.last("call_placed")
+        delivered_event = alice.events.last("call_delivered")
+        assert placed_event.round_number == delivered_event.round_number == handle.round_submitted
+
+    def test_call_still_validates_through_session(self):
+        deployment = make_deployment("call-validate")
+        deployment.create_client("alice@x.org")
+        with pytest.raises(ProtocolError):
+            deployment.session("alice@x.org").call("stranger@x.org")
+
+
+class TestRetryLiveness:
+    """The ROADMAP item: engine-level re-enqueue of unconfirmed requests."""
+
+    def drive(self, retry: int | None, rounds_after_miss: int = 4):
+        deployment = make_deployment("retry-liveness", retry=retry)
+        deployment.create_client("alice@x.org")
+        deployment.create_client("bob@x.org")
+        alice = deployment.session("alice@x.org")
+        handle = alice.add_friend("bob@x.org")
+        # Round 1: bob offline.  Alice's request is delivered into a round
+        # whose IBE key bob never held -- unrecoverable by bob.
+        deployment.run_addfriend_round(participants=["alice@x.org"])
+        # Later rounds: everyone online.
+        for _ in range(rounds_after_miss):
+            deployment.run_addfriend_round()
+        return deployment, alice, handle
+
+    def test_without_retry_the_request_is_lost(self):
+        deployment, alice, handle = self.drive(retry=None)
+        assert handle.state is RequestState.DELIVERED  # stuck forever
+        assert handle.attempts == 1
+        assert deployment.client("bob@x.org").friends() == []
+        assert alice.events.history("request_retrying") == []
+
+    def test_with_retry_the_request_confirms(self):
+        deployment, alice, handle = self.drive(retry=1)
+        assert handle.state is RequestState.CONFIRMED
+        assert handle.attempts == 2
+        assert deployment.client("bob@x.org").friends() == ["alice@x.org"]
+        retrying = alice.events.history("request_retrying")
+        assert len(retrying) == 1 and retrying[0].email == "bob@x.org"
+
+    def test_retry_budget_exhaustion_fails_the_handle(self):
+        deployment = make_deployment("retry-budget", retry=1)
+        deployment.create_client("alice@x.org")
+        deployment.create_client("bob@x.org")
+        alice = deployment.session("alice@x.org", max_attempts=2)
+        handle = alice.add_friend("bob@x.org")
+        # Bob never comes online: every delivery is into a missed round.
+        for _ in range(6):
+            deployment.run_addfriend_round(participants=["alice@x.org"])
+        assert handle.state is RequestState.FAILED
+        assert handle.attempts == 2  # the budget
+        assert alice.events.last("request_failed") is not None
+        # The outbox stopped: no queued request lingers.
+        assert alice.client.addfriend.pending_in_queue() == 0
+
+    def test_rate_token_config_bounds_attempts(self):
+        deployment = make_deployment(
+            "retry-ratelimit", retry=1, require_rate_tokens=True, rate_tokens_per_day=3
+        )
+        deployment.create_client("alice@x.org")
+        session = deployment.session("alice@x.org")
+        assert session.max_attempts == 3
+
+    def test_churn_scenario_liveness_with_and_without_retry(self):
+        """Always-online senders: 100% confirmed with retry, loss without."""
+        kwargs = dict(
+            num_clients=24, addfriend_rounds=6, dialing_rounds=0,
+            friend_pairs=8, seed="live1",
+        )
+        with_retry = run_scenario("client_churn", retry_horizon=1, **kwargs)
+        without = run_scenario("client_churn", retry_horizon=None, **kwargs)
+        assert with_retry.friend_requests["initial"]["confirmed_fraction"] == 1.0
+        assert without.friend_requests["initial"]["confirmed_fraction"] < 1.0
+        assert with_retry.friend_requests["retries"] > 0
+        assert without.friend_requests["retries"] == 0
+        # The report is JSON-serializable with the liveness section included.
+        parsed = json.loads(json.dumps(with_retry.to_dict()))
+        assert parsed["retry_horizon"] == 1
+        assert parsed["friend_requests"]["initial"]["total"] == 8
+
+
+class TestRetryIdempotency:
+    """Re-sent requests must not desync keywheels (same ephemeral, dedupe)."""
+
+    def test_retry_after_recipient_accepted_first_copy_keeps_wheels_synced(self):
+        """The desync scenario: bob answers copy #1, misses a round, alice
+        retries.  Copy #2 must carry the same ephemeral and bob must answer
+        it identically (not re-anchor), or dialing breaks silently."""
+        deployment = make_deployment("retry-idempotent", retry=1)
+        deployment.create_client("alice@x.org")
+        bob_client = deployment.create_client("bob@x.org")
+        alice = deployment.session("alice@x.org")
+        handle = alice.add_friend("bob@x.org")
+        # Round 1: both online; bob accepts and queues his reply.
+        deployment.run_addfriend_round()
+        assert bob_client.friends() == ["alice@x.org"]
+        # Round 2: bob offline -- his reply cannot go out, alice's handle is
+        # past the horizon at round end, so the outbox re-sends.
+        deployment.run_addfriend_round(participants=["alice@x.org"])
+        # Rounds 3-4: both online; bob's reply and the duplicate resolve.
+        deployment.run_addfriend_round()
+        deployment.run_addfriend_round()
+        assert handle.confirmed and handle.attempts == 2
+        wheel_a = alice.client.keywheel.entry("bob@x.org")
+        wheel_b = bob_client.keywheel.entry("alice@x.org")
+        assert wheel_a.secret == wheel_b.secret
+        assert wheel_a.round_number == wheel_b.round_number
+        # The synced wheels actually dial.
+        call = alice.call("bob@x.org")
+        while alice.client.dialing.pending_in_queue():
+            deployment.run_dialing_round()
+        assert call.session_key == bob_client.received_calls()[-1].session_key
+
+    def test_duplicate_request_is_not_reaccepted(self):
+        """Bob reports a duplicate instead of re-anchoring; no reply storm."""
+        deployment = make_deployment("retry-dup", retry=1)
+        deployment.create_client("alice@x.org")
+        bob_client = deployment.create_client("bob@x.org")
+        alice = deployment.session("alice@x.org")
+        bob = deployment.session("bob@x.org")
+        alice.add_friend("bob@x.org")
+        deployment.run_addfriend_round()
+        deployment.run_addfriend_round(participants=["alice@x.org"])
+        for _ in range(3):
+            deployment.run_addfriend_round()
+        # Bob saw the original and the duplicate, but accepted only once.
+        received = bob.events.history("friend_request_received")
+        assert len(received) == 1
+        # Quiescence: nobody keeps queueing follow-up requests.
+        assert alice.client.addfriend.pending_in_queue() == 0
+        assert bob_client.addfriend.pending_in_queue() == 0
+
+
+class TestAbortedRoundHandles:
+    def drive_to_abort(self, retry: int | None):
+        from repro.errors import NetworkError
+
+        deployment = make_sim_deployment(pkgs=2, fanout="parallel", latency_ms=20,
+                                         seed=f"abort-{retry}")
+        deployment.config.addfriend_retry_horizon = retry
+        deployment.create_client("alice@x.org")
+        deployment.create_client("bob@x.org")
+        alice = deployment.session("alice@x.org")
+        handle = alice.add_friend("bob@x.org")
+        # The CDN partitions after submissions: close/publish fails, the
+        # round aborts, and every envelope dies with it.
+        deployment.transport.topology.partition_endpoint("cdn")
+        with pytest.raises(NetworkError):
+            deployment.run_addfriend_round()
+        deployment.transport.topology.heal_endpoint("cdn")
+        return deployment, alice, handle
+
+    def test_abort_without_retry_fails_the_handle(self):
+        _, alice, handle = self.drive_to_abort(retry=None)
+        assert handle.state is RequestState.FAILED
+        failed = alice.events.last("request_failed")
+        assert failed is not None and failed["reason"] == "round aborted"
+
+    def test_abort_with_retry_recovers(self):
+        deployment, alice, handle = self.drive_to_abort(retry=1)
+        assert handle.state is RequestState.SUBMITTED  # awaiting the retry pass
+        for _ in range(3):
+            deployment.run_addfriend_round()
+        assert handle.confirmed
+        assert len(alice.events.history("request_retrying")) == 1
+
+
+class TestLateConfirmation:
+    def test_confirmation_in_flight_overrides_failed(self):
+        """Budget runs out while bob's reply is in transit: the handle must
+        end up agreeing with the address book (CONFIRMED, not FAILED)."""
+        deployment = make_deployment("late-confirm", retry=1)
+        deployment.create_client("alice@x.org")
+        deployment.create_client("bob@x.org")
+        alice = deployment.session("alice@x.org", max_attempts=1)
+        handle = alice.add_friend("bob@x.org")
+        deployment.run_addfriend_round()  # bob accepts, queues his reply
+        # Bob offline: the reply stalls, the budget (1 attempt) expires.
+        deployment.run_addfriend_round(participants=["alice@x.org"])
+        assert handle.state is RequestState.FAILED
+        deployment.run_addfriend_round()  # bob's reply finally lands
+        assert handle.confirmed
+        assert alice.client.friends() == ["bob@x.org"]
+
+
+class TestTapChaining:
+    def test_second_session_does_not_disconnect_the_first(self):
+        from repro.api import ClientSession
+
+        deployment = make_deployment("tap-chain")
+        deployment.create_client("alice@x.org")
+        bob_client = deployment.create_client("bob@x.org")
+        direct = ClientSession(bob_client)          # app-constructed session
+        registry = deployment.session("bob@x.org")  # registry session (shims use this)
+        assert direct is not registry
+        deployment.session("alice@x.org").add_friend("bob@x.org")
+        deployment.run_addfriend_round()
+        for session in (direct, registry):
+            event = session.events.last("friend_request_received")
+            assert event is not None and event.email == "alice@x.org"
+
+
+class TestDeprecationShims:
+    def test_befriend_warns_and_still_befriends(self):
+        deployment = make_deployment("shim-befriend")
+        deployment.create_client("alice@x.org")
+        deployment.create_client("bob@x.org")
+        with pytest.warns(DeprecationWarning):
+            handle = deployment.befriend("alice@x.org", "bob@x.org")
+        assert deployment.client("alice@x.org").friends() == ["bob@x.org"]
+        assert deployment.client("bob@x.org").friends() == ["alice@x.org"]
+        assert handle.confirmed  # the shim returns the session handle
+
+    def test_place_call_warns_and_returns_placed_call(self):
+        deployment = make_deployment("shim-place-call")
+        deployment.create_client("alice@x.org")
+        bob = deployment.create_client("bob@x.org")
+        with pytest.warns(DeprecationWarning):
+            deployment.befriend("alice@x.org", "bob@x.org")
+        with pytest.warns(DeprecationWarning):
+            placed = deployment.place_call("alice@x.org", "bob@x.org", intent=2)
+        assert placed is not None and placed.intent == 2
+        assert bob.received_calls()[-1].session_key == placed.session_key
+
+    def test_application_callbacks_warns_but_works(self):
+        with pytest.warns(DeprecationWarning):
+            callbacks = ApplicationCallbacks(new_friend=lambda email, key: False)
+        assert callbacks.on_new_friend("eve@x.org", b"\x01" * 32) is False
+        assert callbacks.friend_requests_seen == [("eve@x.org", b"\x01" * 32)]
+
+    def test_legacy_client_callbacks_still_recording(self):
+        """Clients constructed the old way keep the recording bridge."""
+        deployment = make_deployment("shim-bridge")
+        deployment.create_client("alice@x.org")
+        bob = deployment.create_client("bob@x.org")
+        deployment.client("alice@x.org").add_friend("bob@x.org")
+        deployment.run_addfriend_round()
+        assert any(email == "alice@x.org" for email, _ in bob.callbacks.friend_requests_seen)
+
+
+class TestParallelPkgFanout:
+    """RPC counts scale with PKG count; simulated wall-clock must not."""
+
+    def one_round(self, pkgs: int, fanout: str):
+        deployment = make_sim_deployment(pkgs=pkgs, fanout=fanout, seed=f"fan-{fanout}")
+        for i in range(4):
+            deployment.create_client(f"u{i}@x.org")
+        deployment.client("u0@x.org").add_friend("u1@x.org")
+        summary = deployment.run_addfriend_round()
+        return deployment, summary
+
+    def test_extraction_rpcs_scale_but_submit_stage_does_not(self):
+        dep2, round2 = self.one_round(2, "parallel")
+        dep4, round4 = self.one_round(4, "parallel")
+        # Linear RPC fan-out: one extract per client per PKG (the stats
+        # record both directions, so 2 messages per RPC)...
+        assert dep2.transport.stats.calls_by_method["extract"] == 2 * 4 * 2
+        assert dep4.transport.stats.calls_by_method["extract"] == 2 * 4 * 4
+        # ...but the concurrent phase keeps the submit stage flat.
+        assert round4.submit_stage_s < round2.submit_stage_s * 1.25
+
+    def test_sequential_fanout_still_scales_linearly(self):
+        _, round2 = self.one_round(2, "sequential")
+        _, round4 = self.one_round(4, "sequential")
+        assert round4.submit_stage_s > round2.submit_stage_s * 1.5
+
+    def test_parallel_beats_sequential_at_4_pkgs(self):
+        _, sequential = self.one_round(4, "sequential")
+        _, parallel = self.one_round(4, "parallel")
+        assert sequential.submit_stage_s > parallel.submit_stage_s * 1.5
+
+    def test_registration_fans_out_too(self):
+        def registration_cost(pkgs: int) -> tuple[float, int]:
+            deployment = make_sim_deployment(pkgs=pkgs, fanout="parallel", seed="reg")
+            before = deployment.clock
+            deployment.create_client("alice@x.org")
+            return (
+                deployment.clock - before,
+                deployment.transport.stats.calls_by_method["begin_registration"],
+            )
+
+        cost2, begins2 = registration_cost(2)
+        cost4, begins4 = registration_cost(4)
+        assert (begins2, begins4) == (2 * 2, 2 * 4)  # both directions recorded
+        assert cost4 < cost2 * 1.25
+
+    def test_recovery_deregisters_all_pkgs_concurrently(self):
+        deployment = make_sim_deployment(pkgs=4, fanout="parallel", seed="recover")
+        deployment.create_client("alice@x.org")
+        alice = deployment.client("alice@x.org")
+        before = deployment.clock
+        alice.recover_from_compromise(deployment.pkg_stubs, deployment.email_network, now=before)
+        elapsed = deployment.clock - before
+        assert deployment.transport.stats.calls_by_method["deregister"] == 2 * 4
+        # One concurrent phase: ~one client-link round trip, not four.
+        single_rtt = 2 * 0.2
+        assert elapsed < single_rtt * 2.5
+
+
+class TestSweepSections:
+    def test_sweep_records_retry_and_fanout_sections(self, tmp_path, monkeypatch):
+        from repro.sim.sweep import emit_sweep_report, run_sweep
+
+        monkeypatch.setenv("BENCH_RESULTS_DIR", str(tmp_path))
+        result = run_sweep(
+            clients=[8],
+            latencies_ms=[60.0],
+            addfriend_rounds=1,
+            dialing_rounds=1,
+            friend_pairs=2,
+            seed="t-sections",
+            retry_horizons=[0, 1],
+            fanout_pkgs=3,
+            retry_workload=dict(num_clients=10, friend_pairs=3, addfriend_rounds=4),
+            fanout_workload=dict(num_clients=8, friend_pairs=2, addfriend_rounds=1),
+        )
+        assert [p.retry_horizon for p in result.retry_points] == [0, 1]
+        assert result.fanout is not None and result.fanout.pkg_servers == 3
+        assert result.fanout.submit_speedup() > 1.5
+
+        report = json.loads(json.dumps(result.to_report()))
+        assert len(report["retry_points"]) == 2
+        assert report["fanout"]["submit_stage_speedup"] > 1.5
+        emit_sweep_report(result)
+        written = json.loads((tmp_path / "BENCH_sweep.json").read_text())
+        assert written["data"]["fanout"]["pkg_servers"] == 3
+
+    def test_sweep_sections_are_optional(self):
+        from repro.sim.sweep import run_sweep
+
+        result = run_sweep(
+            clients=[8], latencies_ms=[20.0],
+            addfriend_rounds=1, dialing_rounds=1, friend_pairs=2, seed="t-bare",
+        )
+        assert result.retry_points == [] and result.fanout is None
+        report = result.to_report()
+        assert report["retry_points"] == [] and report["fanout"] is None
