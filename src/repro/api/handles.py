@@ -88,11 +88,18 @@ class FriendRequestHandle:
 
 @dataclass
 class CallHandle:
-    """One ``Call`` as the application sees it."""
+    """One ``Call`` as the application sees it, across re-dials.
+
+    With the session's dialing retry enabled (``redial_attempts``), a call
+    whose round aborted returns to ``QUEUED`` and is re-dialed next round
+    instead of failing terminally; ``attempts`` counts the dials.
+    """
 
     friend: str
     intent: int = 0
     state: RequestState = RequestState.QUEUED
+    #: How many dialing rounds a token for this call entered (1 on the first).
+    attempts: int = 0
     #: The dialing round the token was submitted into.
     round_submitted: int | None = None
     #: The queue entry for this call (matched by identity on submit).

@@ -43,6 +43,10 @@ class ClientSession:
     total submissions per request -- the natural bound is the client's
     rate-token budget (§9), and :class:`SessionRegistry` defaults it to
     ``rate_tokens_per_day`` when the deployment enforces rate tokens.
+    ``redial_attempts`` is the dialing-side outbox: a call whose round
+    aborted is re-dialed next round (deduped by (friend, intent)) until it
+    has entered that many rounds in total; ``None`` keeps a dead round's
+    calls terminally FAILED, the paper's bare-library behavior.
     ``accept_friend(email, signing_key) -> bool`` replaces the legacy
     ``new_friend`` callback; omitted, every request is accepted.
     """
@@ -53,12 +57,14 @@ class ClientSession:
         *,
         retry_horizon: int | None = None,
         max_attempts: int | None = None,
+        redial_attempts: int | None = None,
         accept_friend: Callable[[str, bytes], bool] | None = None,
     ) -> None:
         self.client = client
         self.events = EventBus()
         self.retry_horizon = retry_horizon
         self.max_attempts = max_attempts
+        self.redial_attempts = redial_attempts
         self._requests: dict[str, FriendRequestHandle] = {}
         self._calls: list[CallHandle] = []
         if accept_friend is not None:
@@ -192,6 +198,7 @@ class ClientSession:
                 handle.state = RequestState.SUBMITTED
                 handle.round_submitted = round_number
                 handle.placed = placed
+                handle.attempts += 1
                 self.events.emit(
                     "call_placed",
                     email=handle.friend,
@@ -248,11 +255,85 @@ class ClientSession:
             return
         for handle in self._calls:
             if handle.state is RequestState.SUBMITTED and handle.round_submitted == round_number:
-                handle.state = RequestState.FAILED
                 # The token died with the round: the callee never derived
                 # this key, so the handle must not advertise one.
                 handle.placed = None
+                if self._try_redial(handle, round_number):
+                    continue
+                handle.state = RequestState.FAILED
                 self.events.emit("call_failed", email=handle.friend, round_number=round_number)
+
+    def _try_redial(self, handle: CallHandle, round_number: int) -> bool:
+        """The dialing outbox: re-enqueue an aborted call for the next round.
+
+        Bounded by ``redial_attempts`` total dials and deduped by
+        ``(friend, intent)``: if another live handle already covers the same
+        intent, this one is left to fail -- a second dial would either burn
+        a round slot or ring the callee twice for one intention.
+        """
+        if not self.redial_attempts or handle.attempts >= self.redial_attempts:
+            return False
+        for other in self._calls:
+            if (
+                other is not handle
+                and other.friend == handle.friend
+                and other.intent == handle.intent
+                and other.state in (RequestState.QUEUED, RequestState.SUBMITTED)
+            ):
+                return False
+        try:
+            outgoing = self.client.call(handle.friend, handle.intent)
+        except ProtocolError:
+            # The keywheel is gone (friend removed mid-flight): nothing to
+            # re-dial with; let the handle fail.
+            return False
+        handle.outgoing = outgoing
+        handle.state = RequestState.QUEUED
+        self.events.emit(
+            "call_retrying",
+            email=handle.friend,
+            round_number=round_number,
+            attempts=handle.attempts,
+        )
+        return True
+
+    # ------------------------------------------------------------------ #
+    # Batched-submission revocation (the ingress-flush undo)
+    # ------------------------------------------------------------------ #
+    def _submission_revoked(self, protocol: str, round_number: int) -> None:
+        """The entry tier's flush reported this round's envelope lost.
+
+        The client engine already put the request/call back in its queue
+        (``revoke_submission``); the handle mirrors that by returning to
+        QUEUED as if the submission never happened -- including the attempt
+        counter, so revoked attempts never eat the retry budget.
+        """
+        if protocol == "add-friend":
+            for handle in self._requests.values():
+                if (
+                    handle.state is RequestState.SUBMITTED
+                    and handle.round_submitted == round_number
+                ):
+                    handle.state = RequestState.QUEUED
+                    handle.attempts = max(0, handle.attempts - 1)
+                    if handle.rounds_submitted:
+                        handle.rounds_submitted.pop()
+                    handle.round_submitted = (
+                        handle.rounds_submitted[-1] if handle.rounds_submitted else None
+                    )
+                    self.events.emit(
+                        "request_requeued", email=handle.email, round_number=round_number
+                    )
+            return
+        for handle in self._calls:
+            if handle.state is RequestState.SUBMITTED and handle.round_submitted == round_number:
+                handle.state = RequestState.QUEUED
+                handle.attempts = max(0, handle.attempts - 1)
+                handle.round_submitted = None
+                handle.placed = None
+                self.events.emit(
+                    "call_requeued", email=handle.friend, round_number=round_number
+                )
 
     def _apply_scan_events(self, round_number: int, events: list[dict]) -> None:
         for event in events:
@@ -354,6 +435,7 @@ class SessionRegistry:
         if session is None:
             config = self.dep.config
             kwargs.setdefault("retry_horizon", config.addfriend_retry_horizon)
+            kwargs.setdefault("redial_attempts", config.dialing_redial_attempts)
             if config.require_rate_tokens:
                 kwargs.setdefault("max_attempts", config.rate_tokens_per_day)
             session = ClientSession(client, **kwargs)
@@ -378,6 +460,12 @@ class SessionRegistry:
             session._addfriend_submitted(round_number)
         else:
             session._dialing_submitted(round_number)
+
+    def note_submission_revoked(self, protocol: str, client: Client, round_number: int) -> None:
+        """An acked submission was reported lost by the ingress-batch flush."""
+        session = self._by_email.get(client.email)
+        if session is not None:
+            session._submission_revoked(protocol, round_number)
 
     def round_finished(
         self,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from repro.errors import RoundError
+from repro.errors import UnknownRoundError
 from repro.mixnet.mailbox import MailboxSet, decode_mailbox
 
 
@@ -51,17 +51,24 @@ class Cdn:
     def mailbox_count(self, protocol: str, round_number: int, client: str = "anonymous") -> int:
         key = (protocol, round_number)
         if key not in self._mailbox_counts:
-            raise RoundError(f"no published {protocol} mailboxes for round {round_number}")
+            raise UnknownRoundError(f"no published {protocol} mailboxes for round {round_number}")
         return self._mailbox_counts[key]
 
     def has_round(self, protocol: str, round_number: int) -> bool:
         return (protocol, round_number) in self._store
 
     def download_blob(self, protocol: str, round_number: int, mailbox_id: int, client: str = "anonymous") -> bytes | None:
-        """Fetch one mailbox's serialized bytes; ``None`` if it is empty."""
+        """Fetch one mailbox's serialized bytes; ``None`` if it is empty.
+
+        An *empty mailbox in a known round* is the only case that returns
+        ``None``; a round this server never published (or already evicted)
+        raises :class:`UnknownRoundError` instead, so a misrouted download
+        -- the classic shard-routing bug -- surfaces as an explicit error
+        rather than reading as silent no-mail.
+        """
         key = (protocol, round_number)
         if key not in self._store:
-            raise RoundError(f"no published {protocol} mailboxes for round {round_number}")
+            raise UnknownRoundError(f"no published {protocol} mailboxes for round {round_number}")
         blob = self._store[key].get(mailbox_id)
         if blob is None:
             return None
@@ -101,5 +108,5 @@ class Cdn:
     def round_total_bytes(self, protocol: str, round_number: int) -> int:
         key = (protocol, round_number)
         if key not in self._store:
-            raise RoundError(f"no published {protocol} mailboxes for round {round_number}")
+            raise UnknownRoundError(f"no published {protocol} mailboxes for round {round_number}")
         return sum(len(blob) for blob in self._store[key].values())

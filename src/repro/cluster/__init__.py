@@ -1,0 +1,35 @@
+"""repro.cluster: the horizontally sharded entry/CDN tier.
+
+The paper's deployment sketch (§7) scales the untrusted front tier
+horizontally: clients talk to whichever front-end owns their mailbox, while
+the mixnet stays a single chain.  This package reproduces that split:
+
+* :mod:`repro.cluster.directory` -- the per-round :class:`ShardDirectory`
+  mapping contiguous mailbox-ID ranges to shard endpoints;
+* :mod:`repro.cluster.shard` -- the per-shard servers: :class:`EntryShard`
+  (submission buffering for its range), :class:`IngressProxy` (``SubmitBatch``
+  envelope batching at the shard's access link), and :class:`CdnShard`
+  (mailbox serving for its range);
+* :mod:`repro.cluster.router` -- the coordinator-side :class:`ShardRouter`
+  (opens rounds once, routes submissions, merges per-shard batches into one
+  mix run) and :class:`ShardedCdnStub` (publish fan-out, download routing).
+
+``AlpenhornConfig.entry_shards > 1`` activates the tier; the default of 1
+keeps the original single :class:`~repro.entry.server.EntryServer` /
+:class:`~repro.cdn.cdn.Cdn` wiring untouched.
+"""
+
+from repro.cluster.directory import ShardDirectory, ShardRange, balanced_ranges
+from repro.cluster.router import ShardedCdnStub, ShardRouter
+from repro.cluster.shard import CdnShard, EntryShard, IngressProxy
+
+__all__ = [
+    "ShardDirectory",
+    "ShardRange",
+    "balanced_ranges",
+    "ShardRouter",
+    "ShardedCdnStub",
+    "EntryShard",
+    "IngressProxy",
+    "CdnShard",
+]

@@ -1,0 +1,166 @@
+"""The shard directory: who owns which mailbox range this round.
+
+The sharded entry/CDN tier (see :mod:`repro.cluster`) splits each round's
+mailbox-ID space ``[0, K)`` into one contiguous range per shard.  A
+:class:`ShardDirectory` is built by the :class:`~repro.cluster.router.ShardRouter`
+when a round opens and is announced to clients alongside the
+:class:`~repro.entry.server.RoundAnnouncement`: a client computes its own
+mailbox ID (``H(email) mod K``) and routes its submission and its mailbox
+download to the shard whose range contains it.  Because ``K`` is chosen per
+round, the directory is per-round state -- which is also what makes shard
+rebalancing (a ROADMAP follow-on) a pure directory change.
+
+Ranges are balanced to within one mailbox: with ``K`` mailboxes over ``S``
+shards the first ``K mod S`` shards own ``ceil(K/S)`` mailboxes and the rest
+own ``floor(K/S)``.  ``K < S`` leaves the tail shards with empty ranges;
+they simply receive no submissions or downloads that round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ShardRoutingError
+from repro.mixnet.mailbox import mailbox_for_identity
+from repro.utils.serialization import Packer, Unpacker
+
+
+def balanced_ranges(mailbox_count: int, shard_count: int) -> list[tuple[int, int]]:
+    """Split ``[0, mailbox_count)`` into ``shard_count`` contiguous ranges."""
+    if shard_count < 1:
+        raise ValueError("need at least one shard")
+    if mailbox_count < 0:
+        raise ValueError("mailbox count must be non-negative")
+    base, extra = divmod(mailbox_count, shard_count)
+    ranges: list[tuple[int, int]] = []
+    lo = 0
+    for index in range(shard_count):
+        width = base + (1 if index < extra else 0)
+        ranges.append((lo, lo + width))
+        lo += width
+    return ranges
+
+
+def entry_shard_name(index: int) -> str:
+    return f"entry{index}"
+
+
+def ingress_proxy_name(index: int) -> str:
+    return f"ingress{index}"
+
+
+def cdn_shard_name(index: int) -> str:
+    return f"cdn{index}"
+
+
+@dataclass(frozen=True)
+class ShardRange:
+    """One shard's slice of the round's mailbox space, plus its endpoints."""
+
+    index: int
+    lo: int
+    hi: int  # exclusive
+    entry: str
+    ingress: str
+    cdn: str
+
+    def contains(self, mailbox_id: int) -> bool:
+        return self.lo <= mailbox_id < self.hi
+
+    def width(self) -> int:
+        return self.hi - self.lo
+
+
+@dataclass(frozen=True)
+class ShardDirectory:
+    """The per-round routing table clients and the router share."""
+
+    protocol: str
+    round_number: int
+    mailbox_count: int
+    ranges: tuple[ShardRange, ...]
+
+    @staticmethod
+    def build(
+        protocol: str, round_number: int, mailbox_count: int, shard_count: int
+    ) -> "ShardDirectory":
+        ranges = tuple(
+            ShardRange(
+                index=index,
+                lo=lo,
+                hi=hi,
+                entry=entry_shard_name(index),
+                ingress=ingress_proxy_name(index),
+                cdn=cdn_shard_name(index),
+            )
+            for index, (lo, hi) in enumerate(balanced_ranges(mailbox_count, shard_count))
+        )
+        return ShardDirectory(
+            protocol=protocol,
+            round_number=round_number,
+            mailbox_count=mailbox_count,
+            ranges=ranges,
+        )
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.ranges)
+
+    # -- routing -----------------------------------------------------------
+    def shard_for_mailbox(self, mailbox_id: int) -> ShardRange:
+        """The owning shard; raises :class:`ShardRoutingError` off the map.
+
+        A linear scan, not an arithmetic shortcut: ranges stay authoritative
+        even once rebalancing makes them unevenly sized.
+        """
+        for shard in self.ranges:
+            if shard.contains(mailbox_id):
+                return shard
+        raise ShardRoutingError(
+            f"mailbox {mailbox_id} is outside every shard range for "
+            f"{self.protocol} round {self.round_number} "
+            f"(mailbox_count={self.mailbox_count})"
+        )
+
+    def shard_for_identity(self, identity: str) -> ShardRange:
+        """The shard owning an identity's own mailbox this round."""
+        return self.shard_for_mailbox(mailbox_for_identity(identity, self.mailbox_count))
+
+    # -- wire format ---------------------------------------------------------
+    def pack_into(self, packer: Packer) -> Packer:
+        packer.str(self.protocol).u64(self.round_number).u32(self.mailbox_count)
+        packer.u32(len(self.ranges))
+        for shard in self.ranges:
+            packer.u32(shard.lo).u32(shard.hi)
+            packer.str(shard.entry).str(shard.ingress).str(shard.cdn)
+        return packer
+
+    def to_bytes(self) -> bytes:
+        return self.pack_into(Packer()).pack()
+
+    @staticmethod
+    def read_from(unpacker: Unpacker) -> "ShardDirectory":
+        protocol = unpacker.str()
+        round_number = unpacker.u64()
+        mailbox_count = unpacker.u32()
+        count = unpacker.u32()
+        ranges = []
+        for index in range(count):
+            lo, hi = unpacker.u32(), unpacker.u32()
+            entry, ingress, cdn = unpacker.str(), unpacker.str(), unpacker.str()
+            ranges.append(
+                ShardRange(index=index, lo=lo, hi=hi, entry=entry, ingress=ingress, cdn=cdn)
+            )
+        return ShardDirectory(
+            protocol=protocol,
+            round_number=round_number,
+            mailbox_count=mailbox_count,
+            ranges=tuple(ranges),
+        )
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "ShardDirectory":
+        unpacker = Unpacker(data)
+        directory = ShardDirectory.read_from(unpacker)
+        unpacker.done()
+        return directory

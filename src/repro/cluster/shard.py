@@ -1,0 +1,377 @@
+"""The shard servers of the sharded entry/CDN tier.
+
+Three server roles live here, each bound to its own transport endpoint:
+
+* :class:`EntryShard` -- one slice of the entry tier.  It owns a contiguous
+  mailbox-ID range per round (told to it by the router at round open),
+  buffers the envelopes of the clients whose own mailbox falls in that
+  range, and hands them back when the router closes the round.  Unlike the
+  single :class:`~repro.entry.server.EntryServer` it never touches the mix
+  chain or the PKGs -- round control lives in the
+  :class:`~repro.cluster.router.ShardRouter`.
+* :class:`IngressProxy` -- the shard's access-link aggregation point.
+  Clients submit to the proxy; the proxy coalesces envelopes into
+  ``SubmitBatch`` frames of up to ``batch_size`` toward its shard, paying
+  one frame overhead per batch instead of per envelope (visible in
+  ``TransportStats.calls_by_method`` as ``submit_batch`` counts).  Client
+  submissions are acknowledged optimistically; per-envelope rejections and
+  lost batches are reported back to the round driver on the end-of-stage
+  ``flush``, which requeues the affected clients' requests.
+* :class:`CdnShard` -- one slice of the CDN.  It stores only the mailboxes
+  in its published range and answers downloads for them; a download for a
+  mailbox outside the range raises :class:`~repro.errors.ShardRoutingError`
+  (a routing bug must surface loudly, never read as silent no-mail).
+
+Rate limiting: every shard holds a reference to the *same*
+:class:`~repro.crypto.blind.TokenVerifier` (modelling the replicated
+spent-token set a real deployment would share), so a token spent at one
+shard is spent at all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cdn.cdn import Cdn
+from repro.crypto import blind
+from repro.errors import (
+    NetworkError,
+    RateLimitError,
+    RoundError,
+    ShardRoutingError,
+    UnknownRoundError,
+)
+from repro.mixnet.mailbox import mailbox_for_identity
+from repro.net import rpc
+from repro.net.transport import RpcRequest, RpcResult, Transport
+from repro.utils.serialization import Packer
+
+
+@dataclass
+class _ShardRound:
+    """One open round's state on one entry shard."""
+
+    mailbox_count: int
+    request_body_length: int
+    lo: int
+    hi: int
+    envelopes: list[bytes] = field(default_factory=list)
+    submitted_by: set[str] = field(default_factory=set)
+
+
+class EntryShard:
+    """One mailbox-range slice of the entry tier."""
+
+    #: Open rounds more than this many rounds behind a newly opened one are
+    #: expired: a round whose close/abort never arrived (coordinator died
+    #: mid-round) must not retain envelopes indefinitely.
+    RETAINED_ROUNDS = 4
+
+    def __init__(
+        self,
+        name: str,
+        index: int,
+        rate_limit_verifier: blind.TokenVerifier | None = None,
+    ) -> None:
+        self.name = name
+        self.index = index
+        self.rate_limit_verifier = rate_limit_verifier
+        self._open_rounds: dict[tuple[str, int], _ShardRound] = {}
+        self.batches_received = 0
+        self.envelopes_accepted = 0
+        self.rounds_expired = 0
+
+    # -- round lifecycle (driven by the router) ----------------------------
+    def open_round(self, protocol: str, round_number: int, request_body_length: int, directory) -> None:
+        """Accept submissions for a round; idempotent (pipelined re-opens)."""
+        key = (protocol, round_number)
+        if key in self._open_rounds:
+            return
+        horizon = round_number - self.RETAINED_ROUNDS
+        for stale in [k for k in self._open_rounds if k[0] == protocol and k[1] < horizon]:
+            self._open_rounds.pop(stale, None)
+            self.rounds_expired += 1
+        own = directory.ranges[self.index]
+        self._open_rounds[key] = _ShardRound(
+            mailbox_count=directory.mailbox_count,
+            request_body_length=request_body_length,
+            lo=own.lo,
+            hi=own.hi,
+        )
+
+    def collect_round(self, protocol: str, round_number: int) -> list[bytes]:
+        """Close the round on this shard and return its collected envelopes."""
+        key = (protocol, round_number)
+        if key not in self._open_rounds:
+            raise RoundError(f"{protocol} round {round_number} is not open on {self.name}")
+        return self._open_rounds.pop(key).envelopes
+
+    def abort_round(self, protocol: str, round_number: int) -> None:
+        """Drop a dead round's buffered envelopes (idempotent)."""
+        self._open_rounds.pop((protocol, round_number), None)
+
+    def submissions(self, protocol: str, round_number: int) -> int:
+        key = (protocol, round_number)
+        if key not in self._open_rounds:
+            return 0
+        return len(self._open_rounds[key].envelopes)
+
+    # -- submission --------------------------------------------------------
+    def _accept(
+        self,
+        protocol: str,
+        round_number: int,
+        client_id: str,
+        envelope: bytes,
+        token_bytes: bytes | None,
+    ) -> int:
+        """Validate and buffer one envelope; returns a ``SUBMIT_*`` status."""
+        open_round = self._open_rounds.get((protocol, round_number))
+        if open_round is None:
+            return rpc.SUBMIT_ROUND_NOT_OPEN
+        mailbox_id = mailbox_for_identity(client_id, open_round.mailbox_count)
+        if not open_round.lo <= mailbox_id < open_round.hi:
+            return rpc.SUBMIT_WRONG_SHARD
+        if client_id in open_round.submitted_by:
+            # One request per client per round, same as the single server.
+            return rpc.SUBMIT_DUPLICATE
+        if self.rate_limit_verifier is not None:
+            if token_bytes is None:
+                return rpc.SUBMIT_RATE_LIMITED
+            try:
+                self.rate_limit_verifier.spend(blind.RateToken.from_bytes(token_bytes))
+            except RateLimitError:
+                return rpc.SUBMIT_RATE_LIMITED
+        open_round.submitted_by.add(client_id)
+        open_round.envelopes.append(envelope)
+        self.envelopes_accepted += 1
+        return rpc.SUBMIT_ACCEPTED
+
+    def submit(
+        self,
+        protocol: str,
+        round_number: int,
+        client_id: str,
+        envelope: bytes,
+        rate_token: blind.RateToken | None = None,
+    ) -> None:
+        """Direct (unbatched) submission; raises instead of returning a status."""
+        token_bytes = rate_token.to_bytes() if rate_token is not None else None
+        status = self._accept(protocol, round_number, client_id, envelope, token_bytes)
+        if status == rpc.SUBMIT_ROUND_NOT_OPEN:
+            raise RoundError(f"{protocol} round {round_number} is not open on {self.name}")
+        if status == rpc.SUBMIT_WRONG_SHARD:
+            raise ShardRoutingError(
+                f"{client_id}'s mailbox is outside {self.name}'s range for "
+                f"{protocol} round {round_number}"
+            )
+        if status == rpc.SUBMIT_RATE_LIMITED:
+            raise RateLimitError("rate token missing or rejected")
+        # SUBMIT_ACCEPTED and SUBMIT_DUPLICATE are both silent successes.
+
+    def submit_batch(
+        self,
+        protocol: str,
+        round_number: int,
+        entries: list[tuple[str, bytes, bytes | None]],
+    ) -> list[int]:
+        """Accept a ``SubmitBatch`` frame; one status per envelope, in order."""
+        self.batches_received += 1
+        return [
+            self._accept(protocol, round_number, client_id, envelope, token_bytes)
+            for client_id, envelope, token_bytes in entries
+        ]
+
+    # -- transport dispatch --------------------------------------------------
+    def handle_rpc(self, request: RpcRequest) -> RpcResult:
+        if request.method == "open_round":
+            body_length, directory = rpc.decode_open_shard_round(request.payload)
+            self.open_round(directory.protocol, directory.round_number, body_length, directory)
+            return RpcResult()
+        if request.method == "submit":
+            protocol, round_number, client_id, envelope, token_bytes = rpc.decode_submit_request(
+                request.payload
+            )
+            token = blind.RateToken.from_bytes(token_bytes) if token_bytes is not None else None
+            self.submit(protocol, round_number, client_id, envelope, rate_token=token)
+            return RpcResult()
+        if request.method == "submit_batch":
+            protocol, round_number, entries = rpc.decode_submit_batch_request(request.payload)
+            statuses = self.submit_batch(protocol, round_number, entries)
+            return RpcResult(payload=rpc.encode_submit_batch_response(statuses))
+        if request.method == "submissions":
+            protocol, round_number = rpc.decode_round_ref(request.payload)
+            return RpcResult(payload=Packer().u32(self.submissions(protocol, round_number)).pack())
+        if request.method == "close_round":
+            protocol, round_number = rpc.decode_round_ref(request.payload)
+            envelopes = self.collect_round(protocol, round_number)
+            return RpcResult(payload=rpc.encode_collect_response(envelopes))
+        if request.method == "abort_round":
+            protocol, round_number = rpc.decode_round_ref(request.payload)
+            self.abort_round(protocol, round_number)
+            return RpcResult()
+        raise NetworkError(f"entry shard has no RPC method {request.method!r}")
+
+
+class IngressProxy:
+    """Coalesces client submissions into ``SubmitBatch`` frames for one shard.
+
+    The proxy sits at the shard's access link: clients reach it over their
+    WAN links, it reaches the shard over the (capacity-limited) local hop.
+    Acks to clients are optimistic; what the shard rejected -- and whole
+    batches the network lost -- accumulate per round and are returned to
+    the round driver by the end-of-stage ``flush``, whose caller requeues
+    the affected clients.  A batch whose *acknowledgement* was lost is
+    treated as accepted: the shard already buffered the envelopes, and a
+    blind requeue would only produce server-side duplicates.
+
+    A round whose ``flush`` never arrives (the coordinator partitioned
+    away at stage end) must not retain envelopes indefinitely: activity
+    for a round more than ``RETAINED_ROUNDS`` ahead expires the stale
+    round's buffer and rejects, mirroring the entry tier's no-retained-
+    state contract.
+    """
+
+    #: Buffered rounds older than this many rounds behind the newest
+    #: activity (per protocol) are expired.
+    RETAINED_ROUNDS = 4
+
+    def __init__(
+        self,
+        name: str,
+        shard_endpoint: str,
+        transport: Transport,
+        batch_size: int = 16,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError("batch size must be at least 1")
+        self.name = name
+        self.shard_endpoint = shard_endpoint
+        self.transport = transport
+        self.batch_size = batch_size
+        self._buffers: dict[tuple[str, int], list[tuple[str, bytes, bytes | None]]] = {}
+        self._rejects: dict[tuple[str, int], list[tuple[str, str]]] = {}
+        self.batches_sent = 0
+        self.rounds_expired = 0
+
+    def _expire_stale(self, protocol: str, round_number: int) -> None:
+        horizon = round_number - self.RETAINED_ROUNDS
+        stale = {
+            key
+            for store in (self._buffers, self._rejects)
+            for key in store
+            if key[0] == protocol and key[1] < horizon
+        }
+        for key in stale:
+            self._buffers.pop(key, None)
+            self._rejects.pop(key, None)
+        self.rounds_expired += len(stale)
+
+    def buffered(self, protocol: str, round_number: int) -> int:
+        return len(self._buffers.get((protocol, round_number), ()))
+
+    def _flush(self, protocol: str, round_number: int) -> None:
+        key = (protocol, round_number)
+        batch = self._buffers.pop(key, None)
+        if not batch:
+            return
+        rejects = self._rejects.setdefault(key, [])
+        try:
+            result = self.transport.call(
+                self.name,
+                self.shard_endpoint,
+                "submit_batch",
+                rpc.encode_submit_batch_request(protocol, round_number, batch),
+            )
+        except NetworkError as exc:
+            if getattr(exc, "request_delivered", False):
+                # Ack lost: the shard holds the envelopes; the batch stands.
+                self.batches_sent += 1
+                return
+            rejects.extend((client_id, "batch lost in transit") for client_id, _, _ in batch)
+            return
+        self.batches_sent += 1
+        statuses = rpc.decode_submit_batch_response(result.payload)
+        for (client_id, _, _), status in zip(batch, statuses):
+            if status in (rpc.SUBMIT_ACCEPTED, rpc.SUBMIT_DUPLICATE):
+                continue
+            rejects.append((client_id, rpc.SUBMIT_STATUS_REASONS.get(status, f"status {status}")))
+
+    def flush(self, protocol: str, round_number: int) -> list[tuple[str, str]]:
+        """Flush the round's remainder; return and clear its rejects."""
+        self._expire_stale(protocol, round_number)
+        self._flush(protocol, round_number)
+        return self._rejects.pop((protocol, round_number), [])
+
+    def abort_round(self, protocol: str, round_number: int) -> None:
+        self._buffers.pop((protocol, round_number), None)
+        self._rejects.pop((protocol, round_number), None)
+
+    # -- transport dispatch --------------------------------------------------
+    def handle_rpc(self, request: RpcRequest) -> RpcResult:
+        if request.method == "submit":
+            protocol, round_number, client_id, envelope, token_bytes = rpc.decode_submit_request(
+                request.payload
+            )
+            self._expire_stale(protocol, round_number)
+            key = (protocol, round_number)
+            buffer = self._buffers.setdefault(key, [])
+            buffer.append((client_id, envelope, token_bytes))
+            if len(buffer) >= self.batch_size:
+                self._flush(protocol, round_number)
+            return RpcResult()
+        if request.method == "flush":
+            protocol, round_number = rpc.decode_round_ref(request.payload)
+            rejects = self.flush(protocol, round_number)
+            return RpcResult(payload=rpc.encode_rejects(rejects))
+        if request.method == "abort_round":
+            protocol, round_number = rpc.decode_round_ref(request.payload)
+            self.abort_round(protocol, round_number)
+            return RpcResult()
+        raise NetworkError(f"ingress proxy has no RPC method {request.method!r}")
+
+
+class CdnShard(Cdn):
+    """One mailbox-range slice of the CDN tier.
+
+    Receives a (possibly empty) publish every round -- so it always knows
+    whether a round exists -- plus the range it owns for that round, and
+    refuses downloads outside it with :class:`ShardRoutingError`.
+    """
+
+    def __init__(self, name: str, index: int, retained_rounds: int = 32) -> None:
+        super().__init__(retained_rounds=retained_rounds)
+        self.name = name
+        self.index = index
+        self._ranges: dict[tuple[str, int], tuple[int, int]] = {}
+
+    def publish_shard(self, mailboxes, lo: int, hi: int) -> None:
+        self._ranges[(mailboxes.protocol, mailboxes.round_number)] = (lo, hi)
+        super().publish(mailboxes)
+        # Base eviction pruned _store/_mailbox_counts; keep ranges aligned.
+        self._ranges = {
+            key: bounds for key, bounds in self._ranges.items() if key in self._mailbox_counts
+        }
+
+    def download_blob(
+        self, protocol: str, round_number: int, mailbox_id: int, client: str = "anonymous"
+    ) -> bytes | None:
+        key = (protocol, round_number)
+        if key not in self._store:
+            raise UnknownRoundError(
+                f"{self.name} has no published {protocol} mailboxes for round {round_number}"
+            )
+        lo, hi = self._ranges[key]
+        if not lo <= mailbox_id < hi:
+            raise ShardRoutingError(
+                f"mailbox {mailbox_id} is outside {self.name}'s range [{lo}, {hi}) "
+                f"for {protocol} round {round_number}"
+            )
+        return super().download_blob(protocol, round_number, mailbox_id, client=client)
+
+    def handle_rpc(self, request):
+        if request.method == "publish":
+            lo, hi = rpc.decode_shard_publish_range(request.payload)
+            self.publish_shard(request.obj, lo, hi)
+            return RpcResult()
+        return super().handle_rpc(request)

@@ -310,6 +310,29 @@ class AddFriendEngine:
         if prepared is not None:
             self._prepared_replies[queued.email.lower()] = prepared
 
+    def revoke_submission(self) -> None:
+        """Undo this round's submission *after* it was acknowledged.
+
+        A batched entry tier acknowledges submissions optimistically and
+        only learns at the end-of-stage flush that a batch was lost or an
+        envelope rejected -- by which point ``confirm_sent`` has already
+        cleared ``_last_sent``.  This rebuilds the same undo from
+        ``last_consumed`` (which survives the ack): the request returns to
+        the queue front, and a confirming reply's key material is restored
+        so a later copy carries identical keys.  The re-send path then works
+        exactly as for a lost envelope (the pending ephemeral is reused).
+        """
+        queued = self.last_consumed
+        if queued is None:
+            return
+        self.last_consumed = None
+        self._last_sent = None
+        self.queue.insert(0, queued)
+        if queued.is_reply:
+            prepared = self._sent_replies.pop(queued.email.lower(), None)
+            if prepared is not None:
+                self._prepared_replies[queued.email.lower()] = prepared
+
     # -- step 3: scan the mailbox ------------------------------------------------
     def scan_mailbox(
         self,

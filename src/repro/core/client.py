@@ -254,6 +254,12 @@ class Client:
         ``mailbox_count`` skips the CDN metadata round trip when the client
         already knows the count from the round's announcement; a client
         catching up on a round it did not participate in passes ``None``.
+
+        ``cdn`` is whatever fronts the CDN tier: the single
+        :class:`~repro.net.rpc.CdnStub`, or -- under a sharded deployment --
+        the :class:`~repro.cluster.router.ShardedCdnStub`, which routes the
+        download to the shard owning this client's mailbox per the round's
+        shard directory.  The client code is identical either way.
         """
         if mailbox_count is None:
             mailbox_count = cdn.mailbox_count("add-friend", round_number, client=self.email)

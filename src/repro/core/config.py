@@ -77,6 +77,30 @@ class AlpenhornConfig:
     # (which leaves retry to the application).
     addfriend_retry_horizon: int | None = None
 
+    # Dialing retry (ClientSession outbox): a call whose round aborted is
+    # re-dialed next round, up to this many total dials per CallHandle
+    # (deduped by (friend, intent) so an aborted round never produces two
+    # live dials for one intent).  None keeps the handle's terminal FAILED.
+    dialing_redial_attempts: int | None = None
+
+    # Sharded entry/CDN tier (repro.cluster).  entry_shards > 1 splits the
+    # front tier into that many EntryShard/CdnShard pairs, each owning a
+    # contiguous mailbox-ID range behind its own transport endpoints, with
+    # the ShardRouter as the coordinator-side control plane.  The default of
+    # 1 keeps the original single EntryServer/Cdn wiring byte-for-byte.
+    entry_shards: int = 1
+
+    # How many client envelopes each shard's ingress proxy coalesces into
+    # one SubmitBatch frame across its access link (cluster mode only; 1
+    # forwards every envelope in its own frame).
+    ingress_batch_size: int = 16
+
+    # Pin every round's mailbox count instead of sizing it from the queued
+    # load (choose_mailbox_count).  The paper's evaluation operates at fixed
+    # mailbox counts per operating point; the shard benchmarks pin it so
+    # mailbox->shard placement is stable across rounds.
+    fixed_mailbox_count: int | None = None
+
     def __post_init__(self) -> None:
         self.validate()
 
@@ -104,6 +128,14 @@ class AlpenhornConfig:
             )
         if self.addfriend_retry_horizon is not None and self.addfriend_retry_horizon < 1:
             raise ConfigurationError("addfriend_retry_horizon must be >= 1 (or None)")
+        if self.dialing_redial_attempts is not None and self.dialing_redial_attempts < 1:
+            raise ConfigurationError("dialing_redial_attempts must be >= 1 (or None)")
+        if self.entry_shards < 1:
+            raise ConfigurationError("need at least one entry shard")
+        if self.ingress_batch_size < 1:
+            raise ConfigurationError("ingress_batch_size must be >= 1")
+        if self.fixed_mailbox_count is not None and self.fixed_mailbox_count < 1:
+            raise ConfigurationError("fixed_mailbox_count must be >= 1 (or None)")
 
     @staticmethod
     def for_tests(num_mix_servers: int = 2, num_pkg_servers: int = 2, backend: str = "bn254") -> "AlpenhornConfig":

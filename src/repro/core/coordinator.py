@@ -86,7 +86,7 @@ class Deployment:
             MixServer(f"mix{i}", rng=DeterministicRng(f"{seed}/mix/{i}"))
             for i in range(self.config.num_mix_servers)
         ]
-        self.cdn = Cdn()
+        self.cdn = Cdn() if self.config.entry_shards == 1 else None
 
         # Bind every server to its transport endpoint, then build the
         # stubs everything else uses to reach them.
@@ -94,10 +94,22 @@ class Deployment:
             self.transport.register(pkg.name, pkg.handle_rpc)
         for mix in self.mix_servers:
             self.transport.register(mix.name, mix.handle_rpc)
-        self.transport.register("cdn", self.cdn.handle_rpc)
+        if self.cdn is not None:
+            self.transport.register("cdn", self.cdn.handle_rpc)
 
+        # With a sharded entry tier, round control runs in the coordinator
+        # process (the ShardRouter) instead of the entry server's, so the
+        # mix-chain and PKG round-lifecycle RPCs originate there.
+        sharded = self.config.entry_shards > 1
+        control_src = "coordinator" if sharded else "entry"
         self.pkg_stubs = [
-            PkgStub(self.transport, pkg.name, self._ibe_backend, pkg.bls_public_key)
+            PkgStub(
+                self.transport,
+                pkg.name,
+                self._ibe_backend,
+                pkg.bls_public_key,
+                control_src=control_src,
+            )
             for pkg in self.pkgs
         ]
         self.pkg_coordinator = PkgCoordinator(self.pkg_stubs)
@@ -106,11 +118,19 @@ class Deployment:
             noise_config=self.config.noise,
             transport=self.transport,
             server_names=[mix.name for mix in self.mix_servers],
+            driver_src=control_src,
         )
-        self.entry = EntryServer(self.mix_chain, self.pkg_coordinator)
-        self.transport.register("entry", self.entry.handle_rpc)
-        self.entry_stub = EntryStub(self.transport)
-        self.cdn_stub = CdnStub(self.transport)
+        if sharded:
+            self._build_shard_tier()
+        else:
+            self.entry = EntryServer(self.mix_chain, self.pkg_coordinator)
+            self.transport.register("entry", self.entry.handle_rpc)
+            self.entry_stub = EntryStub(self.transport)
+            self.cdn_stub = CdnStub(self.transport)
+            self.cluster = None
+            self.entry_shard_servers = []
+            self.ingress_proxies = []
+            self.cdn_shards = []
 
         # Clients, their sessions, and round counters.  The session registry
         # receives the round engines' lifecycle feed (see repro.api.session);
@@ -131,6 +151,55 @@ class Deployment:
             "add-friend": RoundEngine(self, AddFriendDriver(self)),
             "dialing": RoundEngine(self, DialingDriver(self)),
         }
+
+    # ------------------------------------------------------------------ #
+    # The sharded entry/CDN tier (repro.cluster)
+    # ------------------------------------------------------------------ #
+    def _build_shard_tier(self) -> None:
+        """Stand up N EntryShard/IngressProxy/CdnShard triples and the router.
+
+        The router doubles as both the operator surface (``self.entry``:
+        abort_round) and the round driver's stub (``self.entry_stub``:
+        announce/submit/submissions/close plus the batch flush hook), so
+        the round engine is oblivious to sharding.
+        """
+        from repro.cluster.directory import (
+            cdn_shard_name,
+            entry_shard_name,
+            ingress_proxy_name,
+        )
+        from repro.cluster.router import ShardedCdnStub, ShardRouter
+        from repro.cluster.shard import CdnShard, EntryShard, IngressProxy
+
+        shard_count = self.config.entry_shards
+        self.entry_shard_servers = []
+        self.ingress_proxies = []
+        self.cdn_shards = []
+        for index in range(shard_count):
+            shard = EntryShard(entry_shard_name(index), index)
+            proxy = IngressProxy(
+                ingress_proxy_name(index),
+                shard.name,
+                self.transport,
+                batch_size=self.config.ingress_batch_size,
+            )
+            cdn_shard = CdnShard(cdn_shard_name(index), index)
+            self.transport.register(shard.name, shard.handle_rpc)
+            self.transport.register(proxy.name, proxy.handle_rpc)
+            self.transport.register(cdn_shard.name, cdn_shard.handle_rpc)
+            self.entry_shard_servers.append(shard)
+            self.ingress_proxies.append(proxy)
+            self.cdn_shards.append(cdn_shard)
+
+        self.cluster = ShardRouter(
+            self.transport,
+            self.mix_chain,
+            self.pkg_coordinator,
+            shard_count=shard_count,
+        )
+        self.entry = self.cluster
+        self.entry_stub = self.cluster
+        self.cdn_stub = ShardedCdnStub(self.transport, self.cluster)
 
     # ------------------------------------------------------------------ #
     # Client management

@@ -112,6 +112,26 @@ class DialingEngine:
             self.placed_calls.remove(placed)
         self._sent_tokens.get(placed.round_number, set()).discard(token)
 
+    def revoke_submission(self) -> None:
+        """Undo this round's dial *after* it was acknowledged.
+
+        The batched entry tier's counterpart to :meth:`requeue_last`: by the
+        time a lost batch is reported, ``confirm_sent`` has cleared
+        ``_last_sent``, so the undo is rebuilt from ``last_built`` (which
+        survives the ack).  The token is re-derived from the keywheel --
+        still possible because wheels only advance at ``finish_round``.
+        """
+        if self.last_built is None:
+            return
+        call, placed = self.last_built
+        self.last_built = None
+        self._last_sent = None
+        self.queue.insert(0, call)
+        if placed in self.placed_calls:
+            self.placed_calls.remove(placed)
+        token = self.keywheel.dial_token(call.friend, placed.round_number, call.intent)
+        self._sent_tokens.get(placed.round_number, set()).discard(token)
+
     # -- step 2: scan the Bloom filter -----------------------------------------
     def scan_mailbox(self, round_number: int, mailbox: DialingMailbox) -> list[IncomingCall]:
         """Check every (friend, intent) token against the round's Bloom filter."""

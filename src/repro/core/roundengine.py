@@ -115,6 +115,18 @@ class ProtocolDriver:
         """The envelope never reached the entry server: undo client state."""
         raise NotImplementedError
 
+    def submit_revoked(self, client: Client, round_number: int) -> None:
+        """An *acknowledged* submission was reported lost or rejected later.
+
+        The batched entry tier acks optimistically; the end-of-stage flush
+        may then report the envelope gone, after ``confirm_sent`` already
+        ran -- so the undo must work from the engine state that survives
+        the ack (see the engines' ``revoke_submission``)."""
+        raise NotImplementedError
+
+    def _fixed_mailbox_count(self) -> int | None:
+        return self.dep.config.fixed_mailbox_count
+
     def scan(self, client: Client, round_number: int, mailbox_count: int) -> list:
         """Fetch and process one client's mailbox; returns its events."""
         raise NotImplementedError
@@ -141,6 +153,9 @@ class AddFriendDriver(ProtocolDriver):
         return self.dep.addfriend_round
 
     def mailbox_count(self, clients: list[Client]) -> int:
+        fixed = self._fixed_mailbox_count()
+        if fixed is not None:
+            return fixed
         # Size from the round's resolved participants: offline clients'
         # queued requests cannot enter this round, so counting them (as the
         # old driver did) inflates the shard count under churn.
@@ -183,6 +198,10 @@ class AddFriendDriver(ProtocolDriver):
         client.addfriend.requeue_last()
         client.addfriend.erase_round_keys(round_number)
 
+    def submit_revoked(self, client: Client, round_number: int) -> None:
+        client.addfriend.revoke_submission()
+        client.addfriend.erase_round_keys(round_number)
+
     def scan(self, client: Client, round_number: int, mailbox_count: int) -> list:
         return client.process_addfriend_mailbox(
             round_number,
@@ -215,6 +234,9 @@ class DialingDriver(ProtocolDriver):
         return self.dep.dialing_round
 
     def mailbox_count(self, clients: list[Client]) -> int:
+        fixed = self._fixed_mailbox_count()
+        if fixed is not None:
+            return fixed
         queued = sum(c.dialing.pending_in_queue() for c in clients)
         return choose_mailbox_count(queued, self.dep.config.dialing_target_per_mailbox)
 
@@ -240,6 +262,9 @@ class DialingDriver(ProtocolDriver):
         # The token never reached the entry server: withdraw the speculative
         # placed-call record and retry next round.
         client.dialing.requeue_last()
+
+    def submit_revoked(self, client: Client, round_number: int) -> None:
+        client.dialing.revoke_submission()
 
     def scan(self, client: Client, round_number: int, mailbox_count: int) -> list:
         return client.process_dialing_mailbox(
@@ -309,6 +334,7 @@ class RoundEngine:
         # included); clients act concurrently, so the phase's duration is
         # the slowest participant's, not the sum.
         sessions = self._sessions()
+        rejected: list = []
         with self.dep.transport.phase() as phase:
             for client in clients:
                 try:
@@ -319,6 +345,23 @@ class RoundEngine:
                 except NetworkError:
                     pending.failures += 1
                     driver.submit_failed(client, round_number)
+            # A batching entry tier (repro.cluster) acks submissions
+            # optimistically at the ingress proxies; drain the remainders
+            # inside the stage's phase and learn what was actually rejected.
+            flush = getattr(self.dep.entry_stub, "flush_submissions", None)
+            if flush is not None:
+                rejected = phase.run(lambda: flush(driver.protocol, round_number))
+        if rejected:
+            by_email = {client.email: client for client in pending.participated}
+            for client_id, _reason in rejected:
+                client = by_email.pop(client_id, None)
+                if client is None:
+                    continue
+                pending.participated.remove(client)
+                pending.failures += 1
+                driver.submit_revoked(client, round_number)
+                if sessions is not None:
+                    sessions.note_submission_revoked(driver.protocol, client, round_number)
         pending.submitted_at = self.dep.clock
         pending.bytes_accum = self.dep.transport.stats.bytes_sent - bytes_before
         return pending

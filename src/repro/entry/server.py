@@ -36,6 +36,10 @@ class RoundAnnouncement:
     pkg_public_keys: list
     mailbox_count: int
     request_body_length: int
+    #: With a sharded entry/CDN tier (see ``repro.cluster``), the per-round
+    #: routing table: which shard owns which contiguous mailbox-ID range.
+    #: ``None`` under the default single entry server / single CDN.
+    shard_directory: object = None
 
 
 @dataclass
@@ -181,6 +185,7 @@ class EntryServer:
                     announcement.mix_public_keys,
                     announcement.mailbox_count,
                     announcement.request_body_length,
+                    announcement.shard_directory,
                 ),
                 obj=announcement.pkg_public_keys,
                 size_hint=rpc.MASTER_PUBLIC_SIZE_HINT * len(announcement.pkg_public_keys),

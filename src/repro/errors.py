@@ -42,6 +42,22 @@ class RoundError(AlpenhornError):
     """A request referenced a round that is not open (or already closed)."""
 
 
+class UnknownRoundError(RoundError):
+    """The server holds no state at all for the referenced round.
+
+    Distinct from an *empty* result (e.g. a mailbox nobody wrote to, which
+    is returned as empty bytes): an unknown round means the caller asked the
+    wrong server or the round was never published, and must surface loudly
+    instead of reading as silent no-mail."""
+
+
+class ShardRoutingError(AlpenhornError):
+    """A request reached a shard that does not own its mailbox range.
+
+    Always a routing bug (stale directory, misconfigured client), never a
+    legitimate empty result -- so it is a distinct, loud error type."""
+
+
 class MixnetError(AlpenhornError):
     """The mixnet chain rejected or failed to process a batch."""
 

@@ -76,6 +76,7 @@ class MixChain:
         noise_config: NoiseConfig | None = None,
         transport=None,
         server_names: list[str] | None = None,
+        driver_src: str = "entry",
     ) -> None:
         self.servers = list(servers) if servers is not None else []
         self.noise_config = noise_config if noise_config is not None else NoiseConfig()
@@ -85,7 +86,10 @@ class MixChain:
             names = server_names if server_names is not None else [s.name for s in self.servers]
             if not names:
                 raise MixnetError("mix chain needs at least one server")
-            self._handles = [MixStub(transport, name) for name in names]
+            # driver_src names the process driving the chain: the entry
+            # server by default, the coordinator when the entry tier is
+            # sharded and round control moves to the ShardRouter.
+            self._handles = [MixStub(transport, name, src=driver_src) for name in names]
         else:
             if not self.servers:
                 raise MixnetError("mix chain needs at least one server")

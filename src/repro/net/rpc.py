@@ -64,19 +64,30 @@ def decode_announce_request(payload: bytes) -> tuple[str, int, int, int]:
 
 
 def encode_announce_response(
-    mix_public_keys: list[bytes], mailbox_count: int, request_body_length: int
+    mix_public_keys: list[bytes],
+    mailbox_count: int,
+    request_body_length: int,
+    shard_directory=None,
 ) -> bytes:
     packer = Packer().u32(mailbox_count).u32(request_body_length)
-    return pack_bytes_list(packer, mix_public_keys).pack()
+    pack_bytes_list(packer, mix_public_keys)
+    if shard_directory is None:
+        packer.u8(0)
+    else:
+        shard_directory.pack_into(packer.u8(1))
+    return packer.pack()
 
 
-def decode_announce_response(payload: bytes) -> tuple[list[bytes], int, int]:
+def decode_announce_response(payload: bytes) -> tuple[list[bytes], int, int, object]:
+    from repro.cluster.directory import ShardDirectory
+
     unpacker = Unpacker(payload)
     mailbox_count = unpacker.u32()
     request_body_length = unpacker.u32()
     mix_publics = unpack_bytes_list(unpacker)
+    directory = ShardDirectory.read_from(unpacker) if unpacker.u8() else None
     unpacker.done()
-    return mix_publics, mailbox_count, request_body_length
+    return mix_publics, mailbox_count, request_body_length, directory
 
 
 def encode_submit_request(
@@ -103,6 +114,126 @@ def decode_submit_request(payload: bytes) -> tuple[str, int, str, bytes, bytes |
     token = unpacker.bytes() if unpacker.u8() else None
     unpacker.done()
     return protocol, round_number, client_id, envelope, token
+
+
+# -- sharded entry tier (repro.cluster) ------------------------------------ #
+#: Per-envelope acceptance statuses an entry shard reports for a batch.
+SUBMIT_ACCEPTED = 0
+SUBMIT_DUPLICATE = 1  # dropped silently, like the single-shard entry server
+SUBMIT_RATE_LIMITED = 2
+SUBMIT_WRONG_SHARD = 3
+SUBMIT_ROUND_NOT_OPEN = 4
+
+SUBMIT_STATUS_REASONS = {
+    SUBMIT_RATE_LIMITED: "rate token rejected",
+    SUBMIT_WRONG_SHARD: "mailbox outside the shard's range",
+    SUBMIT_ROUND_NOT_OPEN: "round not open on the shard",
+}
+
+
+def encode_open_shard_round(request_body_length: int, directory) -> bytes:
+    """Round-open broadcast from the router to one entry shard.
+
+    The directory is self-describing (protocol, round, mailbox count,
+    every shard's range), so a shard can validate routing without any
+    other per-round state.
+    """
+    return directory.pack_into(Packer().u32(request_body_length)).pack()
+
+
+def decode_open_shard_round(payload: bytes):
+    from repro.cluster.directory import ShardDirectory
+
+    unpacker = Unpacker(payload)
+    request_body_length = unpacker.u32()
+    directory = ShardDirectory.read_from(unpacker)
+    unpacker.done()
+    return request_body_length, directory
+
+
+def encode_submit_batch_request(
+    protocol: str,
+    round_number: int,
+    entries: list[tuple[str, bytes, bytes | None]],
+) -> bytes:
+    """One ``SubmitBatch`` frame: many clients' envelopes, one frame overhead."""
+    packer = Packer().str(protocol).u64(round_number).u32(len(entries))
+    for client_id, envelope, token_bytes in entries:
+        packer.str(client_id).bytes(envelope)
+        if token_bytes is None:
+            packer.u8(0)
+        else:
+            packer.u8(1).bytes(token_bytes)
+    return packer.pack()
+
+
+def decode_submit_batch_request(
+    payload: bytes,
+) -> tuple[str, int, list[tuple[str, bytes, bytes | None]]]:
+    unpacker = Unpacker(payload)
+    protocol = unpacker.str()
+    round_number = unpacker.u64()
+    count = unpacker.u32()
+    entries = []
+    for _ in range(count):
+        client_id = unpacker.str()
+        envelope = unpacker.bytes()
+        token = unpacker.bytes() if unpacker.u8() else None
+        entries.append((client_id, envelope, token))
+    unpacker.done()
+    return protocol, round_number, entries
+
+
+def encode_submit_batch_response(statuses: list[int]) -> bytes:
+    packer = Packer().u32(len(statuses))
+    for status in statuses:
+        packer.u8(status)
+    return packer.pack()
+
+
+def decode_submit_batch_response(payload: bytes) -> list[int]:
+    unpacker = Unpacker(payload)
+    statuses = [unpacker.u8() for _ in range(unpacker.u32())]
+    unpacker.done()
+    return statuses
+
+
+def encode_rejects(rejects: list[tuple[str, str]]) -> bytes:
+    """An ingress proxy's flush response: (client id, reason) per reject."""
+    packer = Packer().u32(len(rejects))
+    for client_id, reason in rejects:
+        packer.str(client_id).str(reason)
+    return packer.pack()
+
+
+def decode_rejects(payload: bytes) -> list[tuple[str, str]]:
+    unpacker = Unpacker(payload)
+    rejects = [(unpacker.str(), unpacker.str()) for _ in range(unpacker.u32())]
+    unpacker.done()
+    return rejects
+
+
+def encode_collect_response(envelopes: list[bytes]) -> bytes:
+    """An entry shard's close_round response: its collected envelopes."""
+    return pack_bytes_list(Packer(), envelopes).pack()
+
+
+def decode_collect_response(payload: bytes) -> list[bytes]:
+    unpacker = Unpacker(payload)
+    envelopes = unpack_bytes_list(unpacker)
+    unpacker.done()
+    return envelopes
+
+
+def encode_shard_publish_range(lo: int, hi: int) -> bytes:
+    return Packer().u32(lo).u32(hi).pack()
+
+
+def decode_shard_publish_range(payload: bytes) -> tuple[int, int]:
+    unpacker = Unpacker(payload)
+    out = (unpacker.u32(), unpacker.u32())
+    unpacker.done()
+    return out
 
 
 def encode_process_batch_request(
@@ -232,7 +363,9 @@ class EntryStub:
             "announce_round",
             encode_announce_request(protocol, round_number, mailbox_count, request_body_length),
         )
-        mix_publics, final_mailbox_count, body_length = decode_announce_response(result.payload)
+        mix_publics, final_mailbox_count, body_length, directory = decode_announce_response(
+            result.payload
+        )
         return RoundAnnouncement(
             protocol=protocol,
             round_number=round_number,
@@ -240,6 +373,7 @@ class EntryStub:
             pkg_public_keys=list(result.obj) if result.obj is not None else [],
             mailbox_count=final_mailbox_count,
             request_body_length=body_length,
+            shard_directory=directory,
         )
 
     def submit(
@@ -324,17 +458,27 @@ class PkgStub:
     """Fronts one PKG server for clients and for the PKG coordinator.
 
     Registration and extraction calls originate from the client whose email
-    appears in the request; round-lifecycle calls originate from the entry
-    server (which runs the commit-reveal coordinator).  The ``ibe`` backend
-    reference and the long-term ``bls_public_key`` mirror what a real client
-    ships with in its configuration.
+    appears in the request; round-lifecycle calls originate from
+    ``control_src`` -- the entry server by default (which runs the
+    commit-reveal coordinator), or the coordinator process when a sharded
+    entry tier moves round control there.  The ``ibe`` backend reference and
+    the long-term ``bls_public_key`` mirror what a real client ships with in
+    its configuration.
     """
 
-    def __init__(self, transport: Transport, name: str, ibe, bls_public_key) -> None:
+    def __init__(
+        self,
+        transport: Transport,
+        name: str,
+        ibe,
+        bls_public_key,
+        control_src: str = "entry",
+    ) -> None:
         self.transport = transport
         self.name = name
         self.ibe = ibe
         self._bls_public_key = bls_public_key
+        self.control_src = control_src
 
     @property
     def bls_public_key(self):
@@ -369,25 +513,27 @@ class PkgStub:
         )
         return result.obj
 
-    # -- round lifecycle (src = the entry/coordinator) ---------------------
+    # -- round lifecycle (src = the control plane, see ``control_src``) ----
     def open_round(self, round_number: int):
         result = self.transport.call(
-            "entry", self.name, "open_round", Packer().u64(round_number).pack()
+            self.control_src, self.name, "open_round", Packer().u64(round_number).pack()
         )
         return result.obj
 
     def round_public_key(self, round_number: int):
         result = self.transport.call(
-            "entry", self.name, "round_public_key", Packer().u64(round_number).pack()
+            self.control_src, self.name, "round_public_key", Packer().u64(round_number).pack()
         )
         return result.obj
 
     def close_round(self, round_number: int) -> None:
-        self.transport.call("entry", self.name, "close_round", Packer().u64(round_number).pack())
+        self.transport.call(
+            self.control_src, self.name, "close_round", Packer().u64(round_number).pack()
+        )
 
     def has_master_secret(self, round_number: int) -> bool:
         result = self.transport.call(
-            "entry", self.name, "has_master_secret", Packer().u64(round_number).pack()
+            self.control_src, self.name, "has_master_secret", Packer().u64(round_number).pack()
         )
         return bool(Unpacker(result.payload).u8())
 

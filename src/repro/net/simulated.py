@@ -20,6 +20,7 @@ keeping handler execution single-threaded and deterministic.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import NetworkError, PartitionError
@@ -40,6 +41,27 @@ DEFAULT_MAX_ATTEMPTS = 5
 
 #: Nominal payload of an error reply (frames.KIND_ERROR): a short message.
 ERROR_REPLY_BODY_SIZE = 64
+
+
+@dataclass
+class _AccessQueue:
+    """A capacity-limited access link: a serial resource shared by all flows.
+
+    Per-pair :class:`LinkSpec` bandwidth models each flow's own path in
+    isolation -- N concurrent uploads to one server never contend there.  An
+    access queue adds the missing shared bottleneck: every frame entering
+    (``ingress``) or leaving (``egress``) the endpoint serializes through a
+    single busy timeline, so concurrent senders queue behind each other
+    exactly as they would at a server's uplink.  Zero bps disables a
+    direction.  ``busy_until`` timestamps are monotonic and deliberately
+    survive phase rewinds -- logically concurrent tasks contending for the
+    same access link is precisely what the model is for.
+    """
+
+    ingress_bps: float = 0.0
+    egress_bps: float = 0.0
+    ingress_busy_until: float = 0.0
+    egress_busy_until: float = 0.0
 
 
 class _SimulatedPhase(Phase):
@@ -78,6 +100,41 @@ class SimulatedNetwork(Transport):
         self.rng = DeterministicRng(seed)
         self.retry_timeout_s = retry_timeout_s
         self.max_attempts = max_attempts
+        self._access: dict[str, _AccessQueue] = {}
+
+    # -- access-link capacity ------------------------------------------------
+    def set_access_link(self, name: str, ingress_mbps: float = 0.0, egress_mbps: float = 0.0) -> None:
+        """Give ``name`` a capacity-limited access link (0 = uncapped).
+
+        Unlike per-pair :class:`LinkSpec` bandwidth (each flow in
+        isolation), an access link is *shared*: concurrent frames to (or
+        from) the endpoint serialize through it, which is what makes a
+        single entry server a measurable ingress bottleneck -- and sharding
+        the tier a measurable win.
+        """
+        self._access[name] = _AccessQueue(
+            ingress_bps=ingress_mbps * 1e6, egress_bps=egress_mbps * 1e6
+        )
+
+    def clear_access_link(self, name: str) -> None:
+        self._access.pop(name, None)
+
+    def _access_delay(self, src: str, dst: str, num_bytes: int, link_delay: float) -> float:
+        """Total delay including access-queue waits at both endpoints."""
+        now = self.scheduler.now
+        departure = now
+        queue = self._access.get(src)
+        if queue is not None and queue.egress_bps > 0.0:
+            start = max(departure, queue.egress_busy_until)
+            queue.egress_busy_until = start + num_bytes * 8.0 / queue.egress_bps
+            departure = queue.egress_busy_until
+        arrival = departure + link_delay
+        queue = self._access.get(dst)
+        if queue is not None and queue.ingress_bps > 0.0:
+            start = max(arrival, queue.ingress_busy_until)
+            queue.ingress_busy_until = start + num_bytes * 8.0 / queue.ingress_bps
+            arrival = queue.ingress_busy_until
+        return arrival - now
 
     # -- delay model --------------------------------------------------------
     def _delivery_delay(self, link: LinkSpec, num_bytes: int) -> tuple[float, bool]:
@@ -106,6 +163,8 @@ class SimulatedNetwork(Transport):
         if self.topology.is_partitioned(src, dst):
             raise PartitionError(f"link {src} <-> {dst} is partitioned")
         delay, delivered = self._delivery_delay(link, num_bytes)
+        if delivered and self._access:
+            delay = self._access_delay(src, dst, num_bytes, delay)
         self._wait(delay)
         if not delivered:
             raise NetworkError(

@@ -20,7 +20,13 @@ from repro.sim.scenario import (
     with_overrides,
 )
 from repro.sim.scenarios import SCENARIOS, make_scenario, run_scenario, scenario_names
-from repro.sim.sweep import SweepPoint, SweepResult, run_sweep
+from repro.sim.sweep import (
+    ShardSweepResult,
+    SweepPoint,
+    SweepResult,
+    run_shard_sweep,
+    run_sweep,
+)
 
 __all__ = [
     "RoundStats",
@@ -28,10 +34,12 @@ __all__ = [
     "Scenario",
     "ScenarioResult",
     "ScenarioSpec",
+    "ShardSweepResult",
     "SweepPoint",
     "SweepResult",
     "make_scenario",
     "run_scenario",
+    "run_shard_sweep",
     "run_sweep",
     "scenario_names",
     "with_overrides",

@@ -7,11 +7,15 @@ Examples::
     python -m repro.sim --scenario straggler_mix --clients 100 --json out.json
     python -m repro.sim --scenario pipelined_rounds --clients 100
     python -m repro.sim --sweep --sweep-clients 40,80 --sweep-latency-ms 40,200
+    python -m repro.sim --scenario sharded_entry --shards 4 --zipf 1.2
+    python -m repro.sim --sweep-shards --sweep-zipf 0,1.2
 
 ``--sweep`` runs the scenario over a clients x link-latency grid, once with
 the sequential round driver and once pipelined, and writes the comparison
 (round throughput and speedup per grid point) to ``BENCH_sweep.json`` for
-trend tracking across PRs.
+trend tracking across PRs.  ``--sweep-shards`` runs the sharded entry tier
+over a shard-count x Zipf-skew grid (plus an ingress batch comparison) and
+writes ``BENCH_shard.json``.
 """
 
 from __future__ import annotations
@@ -64,6 +68,42 @@ def build_parser() -> argparse.ArgumentParser:
         help="how clients issue per-PKG RPCs (default: the scenario's, normally parallel)",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the entry/CDN tier into N mailbox-range shards (1 = classic)",
+    )
+    parser.add_argument(
+        "--ingress-batch",
+        type=int,
+        default=None,
+        metavar="B",
+        help="envelopes per SubmitBatch frame at each shard's ingress proxy",
+    )
+    parser.add_argument(
+        "--zipf",
+        type=float,
+        default=None,
+        metavar="A",
+        help="Zipf(A) mailbox-skew for the client population (sharded runs)",
+    )
+    parser.add_argument(
+        "--access-mbps",
+        type=float,
+        default=None,
+        metavar="MBPS",
+        help="shared ingress capacity of each entry endpoint's access link",
+    )
+    parser.add_argument(
+        "--redial-attempts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="dialing outbox: total dials per call before giving up "
+        "(0 disables; calls of aborted rounds then fail terminally)",
+    )
+    parser.add_argument(
         "--sweep",
         action="store_true",
         help="run a clients x link-latency grid (sequential vs pipelined) "
@@ -95,6 +135,35 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="PKG count for the sequential-vs-parallel fan-out comparison "
         "in --sweep (0 skips it; default: 4)",
+    )
+    parser.add_argument(
+        "--sweep-shards",
+        nargs="?",
+        const="1,2,4",
+        default=None,
+        metavar="N,N,...",
+        help="run the sharded_entry scenario over these shard counts (and the "
+        "--sweep-zipf skews) and write BENCH_shard.json; default grid 1,2,4",
+    )
+    parser.add_argument(
+        "--sweep-zipf",
+        default="0,1.2",
+        metavar="A,A,...",
+        help="Zipf mailbox-skew axis for --sweep-shards (default: 0,1.2)",
+    )
+    parser.add_argument(
+        "--sweep-batch",
+        default="1,16",
+        metavar="B,B,...",
+        help="ingress batch sizes compared at the largest shard count in "
+        "--sweep-shards (empty string skips; default: 1,16)",
+    )
+    parser.add_argument(
+        "--sweep-access-mbps",
+        type=float,
+        default=0.5,
+        metavar="MBPS",
+        help="per-shard access-link ingress capacity for --sweep-shards",
     )
     return parser
 
@@ -129,7 +198,19 @@ def main(argv: list[str] | None = None) -> int:
         overrides["retry_horizon"] = args.retry_horizon or None
     if args.pkg_fanout is not None:
         overrides["pkg_fanout"] = args.pkg_fanout
+    if args.shards is not None:
+        overrides["entry_shards"] = args.shards
+    if args.ingress_batch is not None:
+        overrides["ingress_batch_size"] = args.ingress_batch
+    if args.zipf is not None:
+        overrides["zipf_alpha"] = args.zipf
+    if args.access_mbps is not None:
+        overrides["shard_access_mbps"] = args.access_mbps
+    if args.redial_attempts is not None:
+        overrides["redial_attempts"] = args.redial_attempts or None
 
+    if args.sweep_shards is not None:
+        return run_shard_sweep_cli(args, overrides)
     if args.sweep:
         return run_sweep_cli(args, overrides)
 
@@ -177,6 +258,57 @@ def main(argv: list[str] | None = None) -> int:
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(result.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def run_shard_sweep_cli(args, overrides: dict) -> int:
+    from repro.sim.sweep import emit_shard_report, run_shard_sweep
+
+    ignored = [
+        flag
+        for flag, key in (
+            ("--shards", "entry_shards"),
+            ("--zipf", "zipf_alpha"),
+            ("--ingress-batch", "ingress_batch_size"),
+            ("--access-mbps", "shard_access_mbps"),
+            ("--pipelined", "pipelined"),
+            ("--retry-horizon", "retry_horizon"),
+        )
+        if overrides.pop(key, None) is not None
+    ]
+    if ignored:
+        print(
+            f"note: {', '.join(ignored)} ignored with --sweep-shards "
+            "(the grid supplies shard counts, skews, batch sizes, and capacity)"
+        )
+    clients = overrides.pop("num_clients", None) or 80
+    try:
+        shard_counts = [int(v) for v in args.sweep_shards.split(",") if v.strip()]
+        zipf_alphas = [float(v) for v in args.sweep_zipf.split(",") if v.strip()]
+        batch_sizes = [int(v) for v in args.sweep_batch.split(",") if v.strip()]
+    except ValueError:
+        print(
+            "error: --sweep-shards / --sweep-zipf / --sweep-batch must be "
+            "comma-separated numbers",
+            file=sys.stderr,
+        )
+        return 2
+    result = run_shard_sweep(
+        shard_counts=shard_counts,
+        zipf_alphas=zipf_alphas,
+        clients=clients,
+        access_mbps=args.sweep_access_mbps,
+        batch_sizes=batch_sizes,
+        progress=print,
+        **overrides,
+    )
+    path = emit_shard_report(result)
+    print(f"wrote {path}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_report(), handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.json}")
     return 0

@@ -69,6 +69,24 @@ class ScenarioSpec:
     #: fan-out phase) or "sequential" (the historical loop, kept so the
     #: fan-out speedup stays measurable).
     pkg_fanout: str = "parallel"
+    #: Sharded entry/CDN tier (repro.cluster): number of mailbox-range
+    #: shards.  1 keeps the classic single EntryServer/Cdn wiring.
+    entry_shards: int = 1
+    #: Envelopes per SubmitBatch frame at each shard's ingress proxy.
+    ingress_batch_size: int = 16
+    #: Zipf exponent for the mailbox-skew client population (0 = uniform;
+    #: only meaningful with entry_shards > 1 and a fixed mailbox count).
+    zipf_alpha: float = 0.0
+    #: Shared ingress capacity of each entry endpoint's access link in
+    #: Mbit/s (0 = uncapped).  Applied to every entry shard -- or to the
+    #: single "entry" endpoint when unsharded, so shard-count sweeps
+    #: compare equal per-shard capacity.
+    shard_access_mbps: float = 0.0
+    #: Pin every round's mailbox count (required for stable Zipf skew).
+    fixed_mailbox_count: int | None = None
+    #: Dialing outbox: total dials allowed per CallHandle when its round
+    #: aborts (None = a dead round's calls fail terminally).
+    redial_attempts: int | None = None
 
     def resolved_friend_pairs(self) -> int:
         if self.friend_pairs is not None:
@@ -153,6 +171,12 @@ class ScenarioResult:
     #: scenario keeps always-online -- the liveness population the retry
     #: machinery is judged on).
     friend_requests: dict = field(default_factory=dict)
+    #: Per-shard submission loads and imbalance (sharded runs only; see
+    #: :meth:`repro.cluster.router.ShardRouter.load_report`).
+    shard_loads: dict = field(default_factory=dict)
+    #: Snapshot of ``TransportStats.calls_by_method`` -- how many frames of
+    #: each RPC rode the wire (the ingress-batching measurement).
+    calls_by_method: dict = field(default_factory=dict)
 
     def rounds_for(self, protocol: str) -> list[RoundStats]:
         return [r for r in self.rounds if r.protocol == protocol]
@@ -187,9 +211,15 @@ class ScenarioResult:
             "pipelined": self.spec.pipelined,
             "retry_horizon": self.spec.retry_horizon,
             "pkg_fanout": self.spec.pkg_fanout,
+            "entry_shards": self.spec.entry_shards,
+            "ingress_batch_size": self.spec.ingress_batch_size,
+            "zipf_alpha": self.spec.zipf_alpha,
+            "shard_access_mbps": self.spec.shard_access_mbps,
             "addfriend_submit_stage_s": round(self.mean_submit_stage("add-friend"), 6),
             "throughput": self.throughput,
             "friend_requests": self.friend_requests,
+            "shard_loads": self.shard_loads,
+            "calls_by_method": self.calls_by_method,
         }
 
     def table(self) -> tuple[list[str], list[list]]:
@@ -256,9 +286,26 @@ class Scenario:
         # "coordinator" is the round driver, which runs in the entry
         # server's process: its control RPCs ride the server mesh, not a
         # client WAN link (otherwise every round's measured latency would
-        # carry phantom announce/close round-trips).
+        # carry phantom announce/close round-trips).  With a sharded entry
+        # tier the front endpoints are the per-shard entry/ingress/cdn
+        # triples instead of the single entry/cdn pair.
+        if self.spec.entry_shards > 1:
+            from repro.cluster.directory import (
+                cdn_shard_name,
+                entry_shard_name,
+                ingress_proxy_name,
+            )
+
+            front = [
+                name(index)
+                for index in range(self.spec.entry_shards)
+                for name in (entry_shard_name, ingress_proxy_name, cdn_shard_name)
+            ]
+        else:
+            front = ["entry", "cdn"]
         return (
-            ["entry", "cdn", "coordinator"]
+            front
+            + ["coordinator"]
             + [f"mix{i}" for i in range(self.spec.num_mix_servers)]
             + [f"pkg{i}" for i in range(self.spec.num_pkg_servers)]
         )
@@ -285,9 +332,32 @@ class Scenario:
             num_intents=3,
             pkg_fanout=spec.pkg_fanout,
             addfriend_retry_horizon=spec.retry_horizon,
+            dialing_redial_attempts=spec.redial_attempts,
+            entry_shards=spec.entry_shards,
+            ingress_batch_size=spec.ingress_batch_size,
+            fixed_mailbox_count=spec.fixed_mailbox_count,
         )
         deployment = Deployment(config, seed=f"{spec.seed}/{spec.name}", transport=net)
+        self._apply_access_links(net)
         return deployment, net
+
+    def _apply_access_links(self, net: SimulatedNetwork) -> None:
+        """Cap each entry endpoint's shared ingress at the spec'd rate.
+
+        Applied to every shard -- or to the single "entry" endpoint when
+        unsharded -- so a shard-count sweep holds per-shard access capacity
+        constant and measures pure horizontal scaling.
+        """
+        mbps = self.spec.shard_access_mbps
+        if mbps <= 0:
+            return
+        if self.spec.entry_shards > 1:
+            from repro.cluster.directory import entry_shard_name
+
+            for index in range(self.spec.entry_shards):
+                net.set_access_link(entry_shard_name(index), ingress_mbps=mbps)
+        else:
+            net.set_access_link("entry", ingress_mbps=mbps)
 
     # -- population --------------------------------------------------------
     def client_email(self, index: int) -> str:
@@ -343,6 +413,10 @@ class Scenario:
         result.friend_requests = self._friend_request_stats()
         result.total_bytes_sent = net.stats.bytes_sent
         result.total_messages_sent = net.stats.messages_sent
+        result.calls_by_method = dict(net.stats.calls_by_method)
+        cluster = getattr(deployment, "cluster", None)
+        if cluster is not None:
+            result.shard_loads = cluster.load_report()
         result.wall_seconds = time.perf_counter() - started
         return result
 

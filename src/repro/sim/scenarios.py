@@ -24,6 +24,11 @@ answered with EC2 machines:
   sum of stages.  Run it with ``pipelined=False`` for the sequential
   baseline the speedup is measured against (``python -m repro.sim --sweep``
   does both and reports the ratio).
+* ``sharded_entry`` -- the ``repro.cluster`` tier: N mailbox-range entry/CDN
+  shards behind capacity-limited access links, ingress envelope batching,
+  and an optional Zipf(α) mailbox-skewed client population.  The
+  ``--sweep-shards`` grid measures submit-stage scaling with shard count
+  and per-shard load imbalance under skew (``BENCH_shard.json``).
 
 ``run_scenario("name", num_clients=500)`` is the programmatic entry point;
 ``python -m repro.sim`` is the CLI (``--sweep`` runs a clients x latency
@@ -163,6 +168,53 @@ class PipelinedRoundsScenario(Scenario):
     """
 
 
+class ShardedEntryScenario(Scenario):
+    """The sharded entry/CDN tier under a capacity-limited access link.
+
+    Every entry endpoint's ingress is capped at ``spec.shard_access_mbps``
+    (the shared uplink a real front-end has), so the submit stage queues
+    behind it: with one entry server the whole population serializes
+    through one access link, with N shards through N.  Submit-stage
+    latency then scales down with the shard count -- the measurement
+    ``--sweep-shards`` tracks -- while ingress batching (``SubmitBatch``
+    frames of ``spec.ingress_batch_size`` envelopes) amortizes per-frame
+    overhead on that contended link.
+
+    ``spec.zipf_alpha > 0`` skews the client population's mailbox placement
+    (see :class:`~repro.bench.workloads.ZipfMailboxWorkload`), producing the
+    per-shard load imbalance the paper's skew experiment (§8.4) studies at
+    the mailbox level.  Requires ``spec.fixed_mailbox_count`` so placement
+    is stable across rounds.
+    """
+
+    def __init__(self, spec: ScenarioSpec) -> None:
+        super().__init__(spec)
+        self._emails: dict[int, str] = {}
+        self._workload = None
+        if spec.entry_shards > 1 and spec.zipf_alpha > 0:
+            from repro.bench.workloads import ZipfMailboxWorkload
+
+            if spec.fixed_mailbox_count is None:
+                raise ValueError(
+                    "zipf_alpha > 0 needs fixed_mailbox_count: mailbox placement "
+                    "must be stable across rounds for the skew to mean anything"
+                )
+            self._workload = ZipfMailboxWorkload(
+                shard_count=spec.entry_shards,
+                mailbox_count=spec.fixed_mailbox_count,
+                alpha=spec.zipf_alpha,
+                seed=f"{spec.seed}/{spec.name}/zipf",
+            )
+
+    def client_email(self, index: int) -> str:
+        if self._workload is None:
+            return super().client_email(index)
+        email = self._emails.get(index)
+        if email is None:
+            email = self._emails[index] = self._workload.email_for(index)
+        return email
+
+
 class GeoDistributedScenario(Scenario):
     """Clients in three regions; all servers hosted in ``us-east``."""
 
@@ -218,6 +270,21 @@ SCENARIOS: dict[str, tuple[type[Scenario], ScenarioSpec]] = {
     "geo_distributed": (
         GeoDistributedScenario,
         ScenarioSpec(name="geo_distributed", description="clients across three regions"),
+    ),
+    "sharded_entry": (
+        ShardedEntryScenario,
+        ScenarioSpec(
+            name="sharded_entry",
+            description="mailbox-range sharded entry/CDN tier behind capped access links",
+            num_clients=120,
+            addfriend_rounds=2,
+            dialing_rounds=2,
+            client_link=LinkSpec.of(latency_ms=200, bandwidth_mbps=50, jitter_ms=10),
+            entry_shards=4,
+            ingress_batch_size=16,
+            shard_access_mbps=1.0,
+            fixed_mailbox_count=8,
+        ),
     ),
     "pipelined_rounds": (
         PipelinedRoundsScenario,

@@ -17,6 +17,12 @@ Two further axes ride the same report:
   client's per-PKG RPCs issued sequentially vs fanned out in one concurrent
   phase, and records the add-friend submit-stage speedup.
 
+A second, independent sweep covers the sharded entry tier
+(:func:`run_shard_sweep`, CLI ``--sweep-shards``): the ``sharded_entry``
+scenario over a shard-count x Zipf-skew grid plus an ingress-batch-size
+comparison, written to ``BENCH_shard.json`` -- submit-stage throughput
+scaling, per-shard load imbalance, and SubmitBatch frame counts.
+
 ``python -m repro.sim --sweep`` is the CLI; :func:`run_sweep` the API.
 """
 
@@ -179,6 +185,230 @@ class SweepResult:
 def sweep_link(latency_ms: float) -> LinkSpec:
     """The client link used at one latency grid point."""
     return LinkSpec.of(latency_ms=latency_ms, bandwidth_mbps=50, jitter_ms=10)
+
+
+# --------------------------------------------------------------------------- #
+# The shard sweep (repro.cluster): shard count x Zipf skew, plus batching
+# --------------------------------------------------------------------------- #
+@dataclass
+class ShardPoint:
+    """One grid cell: the sharded_entry scenario at (shards, zipf alpha)."""
+
+    entry_shards: int
+    zipf_alpha: float
+    result: ScenarioResult
+
+    def submit_stage(self) -> float:
+        return self.result.mean_submit_stage("add-friend")
+
+    def submit_throughput(self) -> float:
+        """Envelopes per second through the add-friend submit stage."""
+        rounds = [
+            r
+            for r in self.result.rounds_for("add-friend")
+            if not r.aborted and r.submit_stage_s > 0
+        ]
+        if not rounds:
+            return 0.0
+        return sum(r.submissions for r in rounds) / sum(r.submit_stage_s for r in rounds)
+
+    def imbalance(self) -> float:
+        return self.result.shard_loads.get("imbalance", 1.0)
+
+    def row(self, baseline_stage: float | None) -> list:
+        speedup = baseline_stage / self.submit_stage() if baseline_stage and self.submit_stage() else 0.0
+        return [
+            self.entry_shards,
+            f"{self.zipf_alpha:g}",
+            f"{self.submit_stage():.3f}",
+            f"{speedup:.2f}x" if speedup else "-",
+            f"{self.submit_throughput():.1f}",
+            f"{self.imbalance():.2f}",
+            f"{self.result.total_bytes_sent / 2**20:.2f}",
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "entry_shards": self.entry_shards,
+            "zipf_alpha": self.zipf_alpha,
+            "addfriend_submit_stage_s": round(self.submit_stage(), 6),
+            "submit_throughput_envelopes_per_s": round(self.submit_throughput(), 3),
+            "imbalance": self.imbalance(),
+            "result": self.result.to_dict(),
+        }
+
+
+@dataclass
+class BatchPoint:
+    """One batching cell: the same sharded workload at one batch size."""
+
+    batch_size: int
+    result: ScenarioResult
+
+    def submit_frames(self) -> int:
+        """Wire messages (both directions) carrying submissions shard-ward."""
+        return self.result.calls_by_method.get("submit_batch", 0)
+
+    def row(self) -> list:
+        return [
+            self.batch_size,
+            self.submit_frames(),
+            f"{self.result.mean_submit_stage('add-friend'):.3f}",
+            f"{self.result.total_bytes_sent / 2**20:.3f}",
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "batch_size": self.batch_size,
+            "submit_batch_frames": self.submit_frames(),
+            "addfriend_submit_stage_s": round(self.result.mean_submit_stage("add-friend"), 6),
+            "total_bytes_sent": self.result.total_bytes_sent,
+            "calls_by_method": self.result.calls_by_method,
+        }
+
+
+@dataclass
+class ShardSweepResult:
+    """Everything one shard sweep produced (lands in BENCH_shard.json)."""
+
+    points: list[ShardPoint] = field(default_factory=list)
+    batch_points: list[BatchPoint] = field(default_factory=list)
+
+    HEADERS = [
+        "shards", "zipf a", "af submit s", "speedup",
+        "submit env/s", "imbalance", "MiB",
+    ]
+    BATCH_HEADERS = ["batch", "submit frames", "af submit s", "MiB"]
+
+    def baseline_stage(self, zipf_alpha: float) -> float | None:
+        """The single-shard submit stage the speedups are measured against."""
+        for point in self.points:
+            if point.entry_shards == 1 and point.zipf_alpha == zipf_alpha:
+                return point.submit_stage()
+        for point in self.points:  # no exact baseline: use the uniform one
+            if point.entry_shards == 1:
+                return point.submit_stage()
+        return None
+
+    def speedup_at_max_shards(self) -> float:
+        """Submit-stage speedup of the largest uniform grid point vs 1 shard."""
+        uniform = [p for p in self.points if p.zipf_alpha == 0]
+        if not uniform:
+            uniform = self.points
+        best = max(uniform, key=lambda p: p.entry_shards, default=None)
+        if best is None:
+            return 0.0
+        baseline = self.baseline_stage(best.zipf_alpha)
+        stage = best.submit_stage()
+        return baseline / stage if baseline and stage else 0.0
+
+    def table(self) -> tuple[list[str], list[list]]:
+        rows = [point.row(self.baseline_stage(point.zipf_alpha)) for point in self.points]
+        return list(self.HEADERS), rows
+
+    def batch_table(self) -> tuple[list[str], list[list]]:
+        return list(self.BATCH_HEADERS), [point.row() for point in self.batch_points]
+
+    def to_report(self) -> dict:
+        headers, rows = self.table()
+        report = table_report(
+            headers, rows, title="sharded entry tier: submit-stage scaling and load imbalance"
+        )
+        report["points"] = [point.to_dict() for point in self.points]
+        report["batching"] = [point.to_dict() for point in self.batch_points]
+        report["submit_stage_speedup_at_max_shards"] = round(self.speedup_at_max_shards(), 4)
+        return report
+
+
+def run_shard_sweep(
+    shard_counts: list[int] | None = None,
+    zipf_alphas: list[float] | None = None,
+    clients: int = 80,
+    latency_ms: float = 200.0,
+    access_mbps: float = 0.5,
+    batch_size: int = 16,
+    batch_sizes: list[int] | None = None,
+    progress=None,
+    **overrides,
+) -> ShardSweepResult:
+    """Run ``sharded_entry`` over a shard-count x Zipf-alpha grid.
+
+    Every point shares the client count, the 200 ms-class links, and the
+    *per-shard* access capacity, so the shard axis measures horizontal
+    scaling of the submit stage and the alpha axis measures how skewed
+    mailbox placement unbalances per-shard load.  One caveat on the shard
+    axis: the 1-shard baseline is the classic tier (no ingress proxy, one
+    frame per envelope), so multi-shard points fold ingress batching's
+    frame amortization into their speedup.  The ``batch_sizes`` section
+    (run at the largest shard count, uniform placement) isolates exactly
+    that batching share -- compare its ``batch=1`` row against the grid to
+    separate the two effects; at the default operating point batching
+    contributes ~0.1 s of the ~1.1 s stage, the rest is sharding.
+    """
+    from repro.sim.scenarios import run_scenario
+
+    shard_counts = shard_counts if shard_counts else [1, 2, 4]
+    zipf_alphas = zipf_alphas if zipf_alphas is not None else [0.0, 1.2]
+    seed = overrides.pop("seed", "shard-sweep")
+    overrides.setdefault("addfriend_rounds", 2)
+    overrides.setdefault("dialing_rounds", 1)
+    # Placement must be stable and resolvable for every shard count on the
+    # grid: pin one mailbox count >= the largest shard count for all points.
+    mailbox_count = overrides.pop("fixed_mailbox_count", max(8, 2 * max(shard_counts)))
+    result = ShardSweepResult()
+
+    def run_point(num_shards: int, alpha: float, batch: int) -> ScenarioResult:
+        return run_scenario(
+            "sharded_entry",
+            num_clients=clients,
+            client_link=sweep_link(latency_ms),
+            entry_shards=num_shards,
+            zipf_alpha=alpha if num_shards > 1 else 0.0,
+            shard_access_mbps=access_mbps,
+            ingress_batch_size=batch,
+            fixed_mailbox_count=mailbox_count,
+            seed=f"{seed}/s{num_shards}/a{alpha:g}",
+            **overrides,
+        )
+
+    for num_shards in shard_counts:
+        for alpha in zipf_alphas:
+            if num_shards == 1 and alpha > 0:
+                continue  # one shard has no placement to skew
+            if progress:
+                progress(f"shard sweep: {num_shards} shards @ zipf {alpha:g}")
+            result.points.append(
+                ShardPoint(
+                    entry_shards=num_shards,
+                    zipf_alpha=alpha,
+                    result=run_point(num_shards, alpha, batch_size),
+                )
+            )
+
+    batch_shards = max(shard_counts)
+    for batch in batch_sizes or []:
+        if progress:
+            progress(f"shard sweep: ingress batch {batch} @ {batch_shards} shards")
+        result.batch_points.append(
+            BatchPoint(batch_size=batch, result=run_point(batch_shards, 0.0, batch))
+        )
+    return result
+
+
+def emit_shard_report(result: ShardSweepResult, name: str = "shard") -> str:
+    """Print the shard tables and write ``BENCH_<name>.json``; returns the path."""
+    headers, rows = result.table()
+    print(format_table(headers, rows, title="sharded entry tier: shard count x zipf skew"))
+    if result.batch_points:
+        headers, rows = result.batch_table()
+        print(
+            format_table(
+                headers, rows, title="ingress envelope batching (SubmitBatch frames on the wire)"
+            )
+        )
+    print(f"submit-stage speedup at max shards: {result.speedup_at_max_shards():.2f}x")
+    path = write_json_report(name, result.to_report())
+    return str(path)
 
 
 def run_sweep(
