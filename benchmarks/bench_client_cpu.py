@@ -17,10 +17,12 @@ import time
 
 import pytest
 
-from repro.bench.reporting import write_json_report
+from repro.bench.reporting import emit_table, write_json_report
 from repro.core.keywheel import Keywheel
+from repro.crypto.engine import available_backends
 from repro.crypto.ibe import AnytrustIbe, BonehFranklinIbe
 from repro.primitives.bloom import BloomFilter
+from repro.sim.crypto_sweep import measure_per_op
 from repro.utils.rng import DeterministicRng
 
 
@@ -91,6 +93,47 @@ def test_dialing_scan_rate_report(capsys):
     assert len(expected) == 10_000
     assert hits == 0
     assert elapsed < 5.0
+
+
+@pytest.mark.figure("§8.2 CPU")
+def test_crypto_engine_per_op_report(capsys):
+    """Per-op symmetric/X25519 cost through the engine registry.
+
+    The paper's servers live on cheap symmetric crypto; this table records
+    what each registered backend pays per AEAD seal/open and per X25519
+    exchange, so backend wins (the optional ``cryptography`` package, the
+    multiprocessing fan-out) land in ``benchmarks/results`` next to the
+    paper-figure data.
+    """
+    entries = [measure_per_op(name) for name in available_backends()]
+    emit_table(
+        capsys,
+        "client_cpu_crypto_engine",
+        headers=[
+            "backend", "seal µs", "open µs", "x25519 µs",
+            "batch seal µs", "batch open µs",
+        ],
+        rows=[
+            [
+                e["backend"],
+                f"{e['seal_us']:.1f}",
+                f"{e['open_us']:.1f}",
+                f"{e['shared_secret_us']:.1f}",
+                f"{e['seal_many_us_per_op']:.1f}",
+                f"{e['open_many_us_per_op']:.1f}",
+            ]
+            for e in entries
+        ],
+        title="§8.2 CPU: crypto engine per-op cost (640-byte requests)",
+        extra={"per_op": entries},
+    )
+    by_name = {e["backend"]: e for e in entries}
+    assert "pure" in by_name  # the stdlib reference is always available
+    if "accelerated" in by_name:
+        # The headline the engine exists for: an order-of-magnitude-class
+        # AEAD win over the pure-Python reference (≥5x is the floor).
+        assert by_name["pure"]["seal_us"] / by_name["accelerated"]["seal_us"] >= 5
+        assert by_name["pure"]["open_us"] / by_name["accelerated"]["open_us"] >= 5
 
 
 def _scan_tokens(wheel, bloom):

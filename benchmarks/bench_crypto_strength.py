@@ -73,6 +73,43 @@ def test_crypto_strength_sweep_report(capsys):
 
 
 @pytest.mark.figure("§8.6")
+def test_symmetric_engine_cost_report(capsys):
+    """The other direction of §8.6's sensitivity claim, measured live.
+
+    §8.6 argues Alpenhorn's costs scale linearly with the per-op price of
+    the crypto; the engine registry lets us measure that with *real*
+    substitutions instead of multipliers: the same RFC 8439/7748 operations
+    under every registered backend, and the speedup a deployment gains by
+    flipping ``AlpenhornConfig.crypto_backend``.
+    """
+    from repro.crypto.engine import available_backends
+    from repro.sim.crypto_sweep import measure_per_op
+
+    entries = [measure_per_op(name) for name in available_backends()]
+    by_name = {e["backend"]: e for e in entries}
+    pure = by_name["pure"]
+    rows = [
+        [
+            e["backend"],
+            f"{e['seal_us']:.1f}",
+            f"{e['shared_secret_us']:.1f}",
+            f"{pure['seal_us'] / e['seal_us']:.1f}x",
+            f"{pure['shared_secret_us'] / e['shared_secret_us']:.1f}x",
+        ]
+        for e in entries
+    ]
+    emit_table(
+        capsys,
+        "crypto_engine_backends",
+        headers=["backend", "seal µs", "x25519 µs", "seal speedup", "x25519 speedup"],
+        rows=rows,
+        title="§8.6: measured cost of swapping the symmetric/X25519 engine",
+        extra={"per_op": entries},
+    )
+    assert pure["seal_us"] > 0
+
+
+@pytest.mark.figure("§8.6")
 def test_pure_python_pairing_cost_report(capsys):
     """The concrete 'slower curve' data point: this implementation's pairing."""
     g1, g2 = g1_generator(), g2_generator()

@@ -37,9 +37,16 @@ def main() -> None:
     print(f"  friendship established: {alice_app.session.friends()} / {bob_app.session.friends()}")
 
     print("\n== /call bob@example.org ==")
+    # Drive rounds off the session bus (call_delivered) instead of polling
+    # the client's dialing queue: the app reacts, it never introspects.
+    dialed = []
+    alice_app.session.events.subscribe("call_delivered", dialed.append)
     call = alice_app.call("bob@example.org", intent=0)
-    while alice_app.client.dialing.pending_in_queue():
+    for _ in range(6):
+        if dialed:
+            break
         deployment.run_dialing_round()
+    assert dialed, "call never delivered"
     conversation = alice_app.adopt_call_handle(call)
     print(f"  call placed in dialing round {call.placed.round_number}; "
           f"conversation key {conversation.session_key.hex()[:16]}...")

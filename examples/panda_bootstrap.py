@@ -26,13 +26,24 @@ def main() -> None:
     bob = deployment.session("bob@example.org")
 
     print("== Alpenhorn bootstrap ==")
+    # Both legs run off the session event bus: friend_confirmed gates the
+    # add-friend rounds, call_received on bob's side gates the dialing
+    # rounds -- no polling of client queue internals.
+    confirmed, incoming = [], []
+    alice.events.subscribe("friend_confirmed", confirmed.append)
+    bob.events.subscribe("call_received", incoming.append)
     request = alice.add_friend("bob@example.org")
-    deployment.run_addfriend_round()
-    deployment.run_addfriend_round()
-    assert request.confirmed
+    for _ in range(4):
+        if confirmed:
+            break
+        deployment.run_addfriend_round()
+    assert request.confirmed, "friend request never confirmed"
     call = alice.call("bob@example.org", intent=2)
-    while alice.client.dialing.pending_in_queue():
+    for _ in range(6):
+        if incoming:
+            break
         deployment.run_dialing_round()
+    assert incoming, "call never delivered"
     received = bob.received_calls()[-1]
     print(f"  call delivered with intent {received.intent}; shared secret "
           f"{call.session_key.hex()[:24]}... (both sides)")

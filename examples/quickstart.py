@@ -55,11 +55,18 @@ def main() -> None:
           f"{[e.type for e in alice_session.events.history()]}")
 
     print("\n== Call (Call) ==")
+    # Event-driven, not queue-polling: the session bus announces when the
+    # dialing round carrying our token completes (call_delivered).
+    dialed = []
+    alice_session.events.subscribe("call_delivered", dialed.append)
     call = alice_session.call("bob@example.org", intent=0)
-    while alice.dialing.pending_in_queue():
+    for _ in range(6):
+        if dialed:
+            break
         summary = deployment.run_dialing_round()
         print(f"  dialing round {summary.round_number} ran "
               f"({summary.mix_result.noise_added} noise tokens); call state {call.state.value}")
+    assert dialed, "call never delivered"
     received = bob_session.received_calls()[-1]
     print(f"  alice's session key: {call.session_key.hex()[:32]}...")
     print(f"  bob's session key:   {received.session_key.hex()[:32]}...")

@@ -76,9 +76,16 @@ def main() -> None:
     print(f"  confirmed after {handle.attempts} submissions ({retries} retry)")
 
     print("\n== the established friends can now dial ==")
+    # The bus drives the dial too: run rounds until bob's session reports
+    # the incoming call (no polling of the client's dialing queue).
+    incoming = []
+    bob.events.subscribe("call_received", incoming.append)
     call = alice.call("bob@example.org")
-    while alice.client.dialing.pending_in_queue():
+    for _ in range(6):
+        if incoming:
+            break
         deployment.run_dialing_round()
+    assert incoming, "call never delivered"
     received = bob.received_calls()[-1]
     assert call.session_key == received.session_key
     print(f"  call handle: {call}")

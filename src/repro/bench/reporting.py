@@ -87,10 +87,23 @@ def table_report(headers: list[str], rows: list[list], title: str | None = None)
     return report
 
 
-def emit_table(capsys, name: str, headers: list[str], rows: list[list], title: str | None = None) -> Path:
+def emit_table(
+    capsys,
+    name: str,
+    headers: list[str],
+    rows: list[list],
+    title: str | None = None,
+    extra: dict | None = None,
+) -> Path:
     """What every benchmark report does: print the paper-style table to the
-    live terminal and write its JSON counterpart as ``BENCH_<name>.json``."""
+    live terminal and write its JSON counterpart as ``BENCH_<name>.json``.
+
+    ``extra`` merges additional machine-readable keys (raw measurements,
+    derived ratios) into the JSON next to the table."""
     with capsys.disabled():
         print()
         print(format_table(headers, rows, title=title))
-    return write_json_report(name, table_report(headers, rows, title))
+    report = table_report(headers, rows, title)
+    if extra:
+        report.update(extra)
+    return write_json_report(name, report)

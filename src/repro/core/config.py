@@ -3,9 +3,11 @@
 The knobs mirror the parameters the paper's evaluation varies: number of mix
 servers and PKGs, round durations, noise volumes, mailbox sizing targets,
 the Bloom filter false-positive rate, and the number of dialing intents the
-application uses (§5.3).  ``crypto_backend`` selects between the real
+application uses (§5.3).  ``ibe_backend`` selects between the real
 pairing-based IBE and the oracle-based simulation backend used for
-large-scale benchmarks (see DESIGN.md §2).
+large-scale benchmarks (see DESIGN.md §2); ``crypto_backend`` selects the
+symmetric/X25519 engine every hot path runs on (see
+:mod:`repro.crypto.engine`).
 """
 
 from __future__ import annotations
@@ -31,9 +33,17 @@ class AlpenhornConfig:
     num_mix_servers: int = 3
     num_pkg_servers: int = 3
 
-    # Crypto backend: "bn254" (real Boneh-Franklin over the pairing) or
+    # IBE backend: "bn254" (real Boneh-Franklin over the pairing) or
     # "simulated" (oracle backend for large-scale protocol simulation).
-    crypto_backend: str = "bn254"
+    # (Named crypto_backend before the engine existed; that spelling is
+    # still accepted for those two values and migrated with a warning.)
+    ibe_backend: str = "bn254"
+
+    # Crypto engine for the symmetric/X25519 hot path (onion layers, AEAD
+    # seals, key exchange): "pure" (stdlib-only reference, the default),
+    # "accelerated" (optional `cryptography` package), or "parallel"
+    # (multiprocessing fan-out for the batch APIs).  See repro.crypto.engine.
+    crypto_backend: str = "pure"
 
     # Round durations in seconds (§8.2: hours for add-friend, minutes for
     # dialing).  Only used by the latency/bandwidth models and the logical
@@ -102,17 +112,38 @@ class AlpenhornConfig:
     fixed_mailbox_count: int | None = None
 
     def __post_init__(self) -> None:
+        if self.crypto_backend in ("bn254", "simulated"):
+            # Pre-engine configs used crypto_backend for the IBE selection;
+            # migrate them so every old call site keeps working.
+            import warnings
+
+            warnings.warn(
+                f"crypto_backend={self.crypto_backend!r} now spells the IBE "
+                "selection as ibe_backend; the crypto_backend field selects "
+                "the symmetric/X25519 engine ('pure', 'accelerated', ...)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            self.ibe_backend = self.crypto_backend
+            self.crypto_backend = "pure"
         self.validate()
 
     def validate(self) -> None:
+        from repro.crypto.engine import registered_backends
+
         if self.num_mix_servers < 1:
             raise ConfigurationError("need at least one mix server")
         if self.num_pkg_servers < 1:
             raise ConfigurationError("need at least one PKG server")
-        if self.crypto_backend not in ("bn254", "simulated"):
+        if self.ibe_backend not in ("bn254", "simulated"):
+            raise ConfigurationError(
+                f"unknown IBE backend {self.ibe_backend!r}; "
+                "expected 'bn254' or 'simulated'"
+            )
+        if self.crypto_backend not in registered_backends():
             raise ConfigurationError(
                 f"unknown crypto backend {self.crypto_backend!r}; "
-                "expected 'bn254' or 'simulated'"
+                f"registered: {registered_backends()}"
             )
         if self.num_intents < 1:
             raise ConfigurationError("need at least one dialing intent")
@@ -143,7 +174,7 @@ class AlpenhornConfig:
         return AlpenhornConfig(
             num_mix_servers=num_mix_servers,
             num_pkg_servers=num_pkg_servers,
-            crypto_backend=backend,
+            ibe_backend=backend,
             noise=NoiseConfig(2, 0, 2, 0),
             addfriend_target_per_mailbox=16,
             dialing_target_per_mailbox=16,

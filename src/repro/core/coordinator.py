@@ -61,14 +61,29 @@ class Deployment:
         self.seed = seed
         self.transport = transport if transport is not None else DirectTransport()
 
-        # Crypto backend shared by PKGs and clients.
-        if self.config.crypto_backend == "bn254":
+        # IBE backend shared by PKGs and clients.
+        if self.config.ibe_backend == "bn254":
             self._ibe_backend = BonehFranklinIbe()
-        elif self.config.crypto_backend == "simulated":
+        elif self.config.ibe_backend == "simulated":
             self._ibe_backend = SimulatedIbe(SimulatedPkgOracle())
         else:  # pragma: no cover - guarded by config validation
-            raise ConfigurationError(f"unknown backend {self.config.crypto_backend!r}")
+            raise ConfigurationError(f"unknown backend {self.config.ibe_backend!r}")
         self.ibe = AnytrustIbe(self._ibe_backend)
+
+        # The symmetric/X25519 engine every hot path runs on.  Resolving it
+        # here surfaces an unavailable selection (e.g. "accelerated" without
+        # the optional `cryptography` package) at construction; installing
+        # it as the process-wide active backend routes the module-level
+        # entry points (aead.seal, the onion helpers, keywheel/session
+        # seals) through the same backend without threading it everywhere.
+        # Because the active backend is process-wide, every driving entry
+        # point below re-asserts it (_activate_engine): two coexisting
+        # deployments with different backends each run their own rounds on
+        # their own selection instead of whichever was constructed last.
+        from repro.crypto.engine import get_backend, set_active_backend
+
+        self.crypto = get_backend(self.config.crypto_backend)
+        set_active_backend(self.crypto)
 
         # Substrates.  The email network is out-of-band (registration
         # confirmations), so it is not routed over the Alpenhorn transport.
@@ -83,7 +98,7 @@ class Deployment:
             for i in range(self.config.num_pkg_servers)
         ]
         self.mix_servers = [
-            MixServer(f"mix{i}", rng=DeterministicRng(f"{seed}/mix/{i}"))
+            MixServer(f"mix{i}", rng=DeterministicRng(f"{seed}/mix/{i}"), engine=self.crypto)
             for i in range(self.config.num_mix_servers)
         ]
         self.cdn = Cdn() if self.config.entry_shards == 1 else None
@@ -204,6 +219,16 @@ class Deployment:
     # ------------------------------------------------------------------ #
     # Client management
     # ------------------------------------------------------------------ #
+    def _activate_engine(self) -> None:
+        """Make this deployment's crypto backend the active one.
+
+        Called by every driving entry point so interleaved deployments with
+        different backends each execute on their own selection.
+        """
+        from repro.crypto.engine import set_active_backend
+
+        set_active_backend(self.crypto)
+
     def create_client(
         self,
         email: str,
@@ -212,6 +237,7 @@ class Deployment:
         register: bool = True,
     ) -> Client:
         """Create (and by default register) a client for an email address."""
+        self._activate_engine()
         email = email.lower()
         if email in self.clients:
             raise ConfigurationError(f"a client for {email} already exists")
@@ -284,10 +310,12 @@ class Deployment:
 
     def run_addfriend_round(self, participants=None) -> RoundSummary:
         """Drive one complete add-friend round across the online clients."""
+        self._activate_engine()
         return self._engines["add-friend"].run_round(participants)
 
     def run_dialing_round(self, participants=None) -> RoundSummary:
         """Drive one complete dialing round across the online clients."""
+        self._activate_engine()
         return self._engines["dialing"].run_round(participants)
 
     def run_rounds(
@@ -324,6 +352,7 @@ class Deployment:
         is already in flight at that point, so effects the callback applies
         (healing, load changes) reach the round after the in-flight one.
         """
+        self._activate_engine()
         engine = self.round_engine(protocol)
         summaries: list[RoundSummary] = []
 

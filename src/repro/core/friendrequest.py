@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto import bls, ed25519
+from repro.crypto.engine import active_backend
 from repro.crypto.bn254.curve import G1Point, G2Point
 from repro.errors import SerializationError
 from repro.pkg.server import pkg_statement
@@ -79,7 +80,7 @@ class FriendRequest:
         is_confirmation: bool = False,
     ) -> "FriendRequest":
         statement = sender_statement(sender_email, dialing_key, dialing_round, is_confirmation)
-        sender_sig = ed25519.sign(sender_signing_private, statement)
+        sender_sig = active_backend().ed25519_sign(sender_signing_private, statement)
         aggregated = bls.aggregate_signatures(pkg_attestations)
         return FriendRequest(
             sender_email=sender_email.lower(),
@@ -156,4 +157,4 @@ class FriendRequest:
         statement = sender_statement(
             self.sender_email, self.dialing_key, self.dialing_round, self.is_confirmation
         )
-        return ed25519.verify(self.sender_key, statement, self.sender_sig)
+        return active_backend().ed25519_verify(self.sender_key, statement, self.sender_sig)

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto import ed25519
+from repro.crypto.engine import active_backend
 from repro.errors import ConfigurationError
 
 
@@ -29,15 +30,15 @@ class UserIdentity:
             raise ConfigurationError(f"malformed email address: {email!r}")
         if seed is not None:
             private = seed
-            public = ed25519.public_key(seed)
         else:
-            private, public = ed25519.generate_keypair()
+            private = ed25519.generate_private_key()
+        public = active_backend().ed25519_public_key(private)
         return UserIdentity(
             email=email.lower(), signing_private=private, signing_public=public
         )
 
     def sign(self, message: bytes) -> bytes:
-        return ed25519.sign(self.signing_private, message)
+        return active_backend().ed25519_sign(self.signing_private, message)
 
     def rotate(self) -> "UserIdentity":
         """Generate a fresh key pair for the same email (compromise recovery, §9)."""

@@ -19,8 +19,26 @@ from repro.crypto.hashing import (
 from repro.crypto.aead import seal, open_sealed, AEAD_OVERHEAD, KEY_SIZE, NONCE_SIZE
 from repro.crypto import x25519
 from repro.crypto import ed25519
+from repro.crypto import engine
+from repro.crypto.engine import (
+    CryptoBackend,
+    active_backend,
+    available_backends,
+    get_backend,
+    registered_backends,
+    set_active_backend,
+    use_backend,
+)
 
 __all__ = [
+    "engine",
+    "CryptoBackend",
+    "active_backend",
+    "available_backends",
+    "get_backend",
+    "registered_backends",
+    "set_active_backend",
+    "use_backend",
     "sha256",
     "sha512",
     "hmac_sha256",

@@ -8,10 +8,20 @@ This is the authenticated encryption used throughout the system:
   encryption), and
 * the example Vuvuzela-style conversation protocol seals its messages with
   keywheel-derived session keys.
+
+The module-level :func:`seal` / :func:`open_sealed` are *engine-backed*
+entry points: they dispatch to the active
+:class:`~repro.crypto.engine.CryptoBackend`, so every existing caller
+(keywheel/session seals, the IBE hybrid layer, the apps) transparently
+rides whichever backend the deployment selected.  :func:`pure_seal` /
+:func:`pure_open_sealed` are the stdlib-only reference implementation the
+``"pure"`` backend wraps; every other backend must be byte-identical to
+them for fixed keys and nonces.
 """
 
 from __future__ import annotations
 
+import hmac
 import struct
 
 from repro.crypto.chacha20 import chacha20_encrypt, chacha20_stream, KEY_SIZE, NONCE_SIZE
@@ -38,8 +48,13 @@ def _auth_input(associated_data: bytes, ciphertext: bytes) -> bytes:
     )
 
 
-def seal(key: bytes, plaintext: bytes, associated_data: bytes = b"", nonce: bytes | None = None) -> bytes:
-    """Encrypt and authenticate ``plaintext``; returns nonce || ciphertext || tag."""
+def pure_seal(
+    key: bytes, plaintext: bytes, associated_data: bytes = b"", nonce: bytes | None = None
+) -> bytes:
+    """Encrypt and authenticate ``plaintext``; returns nonce || ciphertext || tag.
+
+    The stdlib-only RFC 8439 reference path (no engine dispatch).
+    """
     if len(key) != KEY_SIZE:
         raise CryptoError(f"AEAD key must be {KEY_SIZE} bytes, got {len(key)}")
     if nonce is None:
@@ -52,8 +67,8 @@ def seal(key: bytes, plaintext: bytes, associated_data: bytes = b"", nonce: byte
     return nonce + ciphertext + tag
 
 
-def open_sealed(key: bytes, sealed: bytes, associated_data: bytes = b"") -> bytes:
-    """Verify and decrypt a box produced by :func:`seal`.
+def pure_open_sealed(key: bytes, sealed: bytes, associated_data: bytes = b"") -> bytes:
+    """Verify and decrypt a box produced by :func:`seal` (stdlib-only path).
 
     Raises :class:`~repro.errors.DecryptionError` if the key is wrong or the
     message was tampered with.
@@ -67,8 +82,23 @@ def open_sealed(key: bytes, sealed: bytes, associated_data: bytes = b"") -> byte
     ciphertext = sealed[NONCE_SIZE:-TAG_SIZE]
     one_time_key = chacha20_stream(key, nonce, 32, initial_counter=0)
     expected_tag = poly1305_mac(one_time_key, _auth_input(associated_data, ciphertext))
-    import hmac
-
     if not hmac.compare_digest(expected_tag, tag):
         raise DecryptionError("authentication tag mismatch")
     return chacha20_encrypt(key, nonce, ciphertext, initial_counter=1)
+
+
+def seal(
+    key: bytes, plaintext: bytes, associated_data: bytes = b"", nonce: bytes | None = None
+) -> bytes:
+    """Encrypt and authenticate via the active crypto backend."""
+    return _engine.active_backend().seal(key, plaintext, associated_data, nonce)
+
+
+def open_sealed(key: bytes, sealed: bytes, associated_data: bytes = b"") -> bytes:
+    """Verify and decrypt via the active crypto backend."""
+    return _engine.active_backend().open_sealed(key, sealed, associated_data)
+
+
+# Bound late so repro.crypto.engine can import the pure reference functions
+# above while this module dispatches through it at call time.
+from repro.crypto import engine as _engine  # noqa: E402  (intentional tail import)

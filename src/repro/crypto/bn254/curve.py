@@ -31,6 +31,54 @@ G1_ENCODED_SIZE = 64
 G2_ENCODED_SIZE = 128
 
 
+def _jacobian_double(X1: int, Y1: int, Z1: int) -> tuple[int, int, int]:
+    """One Jacobian doubling on ``y^2 = x^3 + b`` (dbl-2009-l, a = 0)."""
+    A = X1 * X1 % _P
+    B = Y1 * Y1 % _P
+    C = B * B % _P
+    D = 2 * ((X1 + B) * (X1 + B) - A - C) % _P
+    E = 3 * A % _P
+    X3 = (E * E - 2 * D) % _P
+    Y3 = (E * (D - X3) - 8 * C) % _P
+    return X3, Y3, 2 * Y1 * Z1 % _P
+
+
+def _jacobian_scalar_mul(x2: int, y2: int, scalar: int) -> tuple[int, int, int]:
+    """MSB-first double-and-add over Jacobian coordinates.
+
+    ``(x2, y2)`` is the affine base point; returns the Jacobian result
+    (``Z = 0`` encodes the identity).  Mixed additions are madd-2007-bl.
+    """
+    X1 = Y1 = Z1 = 0
+    for bit in bin(scalar)[2:]:
+        if Z1:
+            X1, Y1, Z1 = _jacobian_double(X1, Y1, Z1)
+        if bit == "1":
+            if not Z1:
+                X1, Y1, Z1 = x2, y2, 1
+                continue
+            Z1Z1 = Z1 * Z1 % _P
+            U2 = x2 * Z1Z1 % _P
+            S2 = y2 * Z1 * Z1Z1 % _P
+            H = (U2 - X1) % _P
+            r = 2 * (S2 - Y1) % _P
+            if H == 0:
+                if r == 0:  # adding the accumulator to itself
+                    X1, Y1, Z1 = _jacobian_double(X1, Y1, Z1)
+                else:  # P + (-P)
+                    X1 = Y1 = Z1 = 0
+                continue
+            HH = H * H % _P
+            I = 4 * HH % _P
+            J = H * I % _P
+            V = X1 * I % _P
+            X3 = (r * r - J - 2 * V) % _P
+            Y3 = (r * (V - X3) - 2 * Y1 * J) % _P
+            Z3 = ((Z1 + H) * (Z1 + H) - Z1Z1 - HH) % _P
+            X1, Y1, Z1 = X3, Y3, Z3
+    return X1, Y1, Z1
+
+
 class G1Point:
     """Affine point on G1 (or the point at infinity)."""
 
@@ -102,15 +150,26 @@ class G1Point:
         return G1Point(x3, y3)
 
     def scalar_mul(self, scalar: int) -> "G1Point":
+        """Scalar multiplication in Jacobian coordinates.
+
+        Affine double/add pays one modular inversion (a ~256-bit ``pow``)
+        per step -- ~500 inversions per multiplication -- which made BLS
+        signing the single hottest line of a large scenario.  The Jacobian
+        ladder defers to exactly one inversion at the end (~20x faster);
+        the affine group law above stays as the readable reference and the
+        serialization is untouched.
+        """
         scalar %= CURVE_ORDER
-        result = G1Point.identity()
-        addend = self
-        while scalar:
-            if scalar & 1:
-                result = result + addend
-            addend = addend.double()
-            scalar >>= 1
-        return result
+        if scalar == 0 or self.infinity:
+            return G1Point.identity()
+        # MSB-first double-and-add: the accumulator stays Jacobian, the base
+        # stays affine so every addition is a cheap mixed addition.
+        X1, Y1, Z1 = _jacobian_scalar_mul(self.x, self.y, scalar)
+        if not Z1:
+            return G1Point.identity()
+        z_inv = pow(Z1, _P - 2, _P)
+        z_inv2 = z_inv * z_inv % _P
+        return G1Point(X1 * z_inv2 % _P, Y1 * z_inv2 * z_inv % _P)
 
     __mul__ = scalar_mul
     __rmul__ = scalar_mul
@@ -134,6 +193,18 @@ class G1Point:
         if not point.is_on_curve():
             raise CryptoError("decoded G1 point is not on the curve")
         return point
+
+
+def _jacobian_double_fq2(X1: Fq2, Y1: Fq2, Z1: Fq2) -> tuple[Fq2, Fq2, Fq2]:
+    """One Jacobian doubling on the twist (dbl-2009-l, a = 0) over Fq2."""
+    A = X1.square()
+    B = Y1.square()
+    C = B.square()
+    D = ((X1 + B).square() - A - C) * 2
+    E = A * 3
+    X3 = E.square() - D * 2
+    Y3 = E * (D - X3) - C * 8
+    return X3, Y3, Y1 * Z1 * 2
 
 
 class G2Point:
@@ -204,15 +275,47 @@ class G2Point:
         return G2Point(x3, y3)
 
     def scalar_mul(self, scalar: int) -> "G2Point":
+        """Scalar multiplication in Jacobian coordinates over Fq2.
+
+        Same shape as :meth:`G1Point.scalar_mul`: one field inversion at
+        the end instead of one per double/add.
+        """
         scalar %= CURVE_ORDER
-        result = G2Point.identity()
-        addend = self
-        while scalar:
-            if scalar & 1:
-                result = result + addend
-            addend = addend.double()
-            scalar >>= 1
-        return result
+        if scalar == 0 or self.infinity:
+            return G2Point.identity()
+        X1 = Y1 = Z1 = None  # identity (Z = None)
+        x2, y2 = self.x, self.y
+        for bit in bin(scalar)[2:]:
+            if Z1 is not None:
+                X1, Y1, Z1 = _jacobian_double_fq2(X1, Y1, Z1)
+            if bit == "1":
+                if Z1 is None:
+                    X1, Y1, Z1 = x2, y2, Fq2.one()
+                    continue
+                Z1Z1 = Z1.square()
+                U2 = x2 * Z1Z1
+                S2 = y2 * Z1 * Z1Z1
+                H = U2 - X1
+                r = (S2 - Y1) * 2
+                if H.is_zero():
+                    if r.is_zero():
+                        X1, Y1, Z1 = _jacobian_double_fq2(X1, Y1, Z1)
+                    else:
+                        X1 = Y1 = Z1 = None
+                    continue
+                HH = H.square()
+                I = HH * 4
+                J = H * I
+                V = X1 * I
+                X3 = r.square() - J - V * 2
+                Y3 = r * (V - X3) - Y1 * J * 2
+                Z3 = (Z1 + H).square() - Z1Z1 - HH
+                X1, Y1, Z1 = X3, Y3, Z3
+        if Z1 is None or Z1.is_zero():
+            return G2Point.identity()
+        z_inv = Z1.inverse()
+        z_inv2 = z_inv.square()
+        return G2Point(X1 * z_inv2, Y1 * z_inv2 * z_inv)
 
     __mul__ = scalar_mul
     __rmul__ = scalar_mul

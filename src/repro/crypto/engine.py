@@ -1,0 +1,570 @@
+"""The pluggable crypto engine: backend registry and batch seal/peel APIs.
+
+Alpenhorn's throughput rests on cheap symmetric crypto on the hot path --
+the paper's servers peel hundreds of thousands of onion layers per round.
+Our reference primitives are deliberately pure Python (readable, spec-true,
+stdlib-only), which caps scenario scale; this module makes that cost a
+*choice* instead of a ceiling:
+
+* ``"pure"`` -- the stdlib-only reference implementation (the default, and
+  the byte-exactness oracle every other backend is tested against),
+* ``"accelerated"`` -- the optional ``cryptography`` package's ChaCha20-
+  Poly1305 and X25519 (OpenSSL-backed) when importable; never a hard
+  dependency, selecting it without the package installed is a
+  :class:`~repro.errors.ConfigurationError`,
+* ``"parallel"`` -- a multiprocessing wrapper that fans the *batch* calls
+  across cores (the mix peel is embarrassingly parallel); single-item calls
+  delegate to its inner backend (accelerated when available, else pure).
+
+All backends are byte-identical for fixed keys and nonces: ``seal`` is the
+RFC 8439 AEAD returning ``nonce || ciphertext || tag``, ``shared_secret``
+is RFC 7748 X25519, so tier-1 passes -- and deployments interoperate --
+under any of them.
+
+A :class:`CryptoBackend` adds batch variants (``seal_many``, ``open_many``,
+``shared_secret_many``, ``public_key_many``) that the hot paths feed whole
+rounds through: :meth:`~repro.mixnet.server.MixServer.process_batch` peels
+its envelopes via ``open_many`` (see :func:`repro.mixnet.onion.unwrap_layers`),
+noise generation wraps via :func:`repro.mixnet.onion.wrap_onion_many`, and
+the engine-backed entry points in :mod:`repro.crypto.aead` route every
+keywheel/session seal through the active backend.
+
+Selection is ``AlpenhornConfig.crypto_backend``; a :class:`Deployment`
+resolves it via :func:`get_backend`, threads the instance through the mix
+tier, and installs it as the process-wide active backend so module-level
+helpers follow along.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+from contextlib import contextmanager
+from typing import Callable, Iterable, Sequence
+
+from repro.crypto import ed25519, x25519
+from repro.crypto.chacha20 import KEY_SIZE, NONCE_SIZE
+from repro.errors import ConfigurationError, CryptoError, DecryptionError
+from repro.utils.rng import random_bytes
+
+#: (key, plaintext, associated_data, nonce-or-None) -- one ``seal`` call.
+SealItem = tuple[bytes, bytes, bytes, "bytes | None"]
+#: (key, sealed, associated_data) -- one ``open_sealed`` call.
+OpenItem = tuple[bytes, bytes, bytes]
+#: (private_key, peer_public_key) -- one ``shared_secret`` call.
+SecretItem = tuple[bytes, bytes]
+
+
+def _fill_nonces(items: Iterable[SealItem]) -> list[SealItem]:
+    """Draw the missing nonces up front, from the parent process's CSPRNG.
+
+    Batch sealing must produce the same boxes no matter which backend -- or
+    which worker process -- executes it, so randomness never happens inside
+    a fan-out.
+    """
+    return [
+        (key, plaintext, associated_data, nonce if nonce is not None else random_bytes(NONCE_SIZE))
+        for key, plaintext, associated_data, nonce in items
+    ]
+
+
+class CryptoBackend:
+    """The protocol every engine backend implements.
+
+    Single-item operations raise (:class:`CryptoError` on malformed inputs,
+    :class:`DecryptionError` on authentication failure); the batch variants
+    map per-item *crypto* failures to ``None`` in the result list instead,
+    because their callers (the mix peel) drop bad envelopes rather than
+    aborting a round.  The default batch implementations are plain loops, so
+    a backend only overrides what it can actually make faster.
+    """
+
+    name: str = "abstract"
+
+    # -- single-item operations -------------------------------------------
+    def shared_secret(self, private_key: bytes, peer_public_key: bytes) -> bytes:
+        """RFC 7748 X25519 Diffie-Hellman (raises on the all-zero point)."""
+        raise NotImplementedError
+
+    def public_key(self, private_key: bytes) -> bytes:
+        """Derive the X25519 public key for a private key."""
+        raise NotImplementedError
+
+    def seal(
+        self,
+        key: bytes,
+        plaintext: bytes,
+        associated_data: bytes = b"",
+        nonce: bytes | None = None,
+    ) -> bytes:
+        """RFC 8439 AEAD seal; returns ``nonce || ciphertext || tag``."""
+        raise NotImplementedError
+
+    def open_sealed(self, key: bytes, sealed: bytes, associated_data: bytes = b"") -> bytes:
+        """Verify and decrypt a box produced by :meth:`seal`."""
+        raise NotImplementedError
+
+    # Ed25519 rides the same backend: friend-request SenderSigs and PKG
+    # authentication run once per client per round, which at 10k clients is
+    # as hot as the onion layers.  Signatures are deterministic (RFC 8032),
+    # so the byte-identical contract holds here too.
+    def ed25519_sign(self, private_key: bytes, message: bytes) -> bytes:
+        raise NotImplementedError
+
+    def ed25519_verify(self, public_key: bytes, message: bytes, signature: bytes) -> bool:
+        raise NotImplementedError
+
+    def ed25519_public_key(self, private_key: bytes) -> bytes:
+        raise NotImplementedError
+
+    # -- batch variants ----------------------------------------------------
+    def seal_many(self, items: Sequence[SealItem]) -> list[bytes]:
+        return [
+            self.seal(key, plaintext, associated_data, nonce)
+            for key, plaintext, associated_data, nonce in _fill_nonces(items)
+        ]
+
+    def open_many(self, items: Sequence[OpenItem]) -> list[bytes | None]:
+        results: list[bytes | None] = []
+        for key, sealed, associated_data in items:
+            try:
+                results.append(self.open_sealed(key, sealed, associated_data))
+            except (DecryptionError, CryptoError):
+                results.append(None)
+        return results
+
+    def shared_secret_many(self, pairs: Sequence[SecretItem]) -> list[bytes | None]:
+        results: list[bytes | None] = []
+        for private_key, peer_public_key in pairs:
+            try:
+                results.append(self.shared_secret(private_key, peer_public_key))
+            except CryptoError:
+                results.append(None)
+        return results
+
+    def public_key_many(self, private_keys: Sequence[bytes]) -> list[bytes]:
+        return [self.public_key(private_key) for private_key in private_keys]
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Release backend resources (worker pools); idempotent."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class PureBackend(CryptoBackend):
+    """The stdlib-only reference implementation (today's code, the default)."""
+
+    name = "pure"
+
+    def __init__(self) -> None:
+        # Bound once at construction: importing at engine-module level would
+        # cycle with aead.py's tail import, and a function-body import would
+        # tax every call on the hot path.
+        from repro.crypto.aead import pure_open_sealed, pure_seal
+
+        self._seal = pure_seal
+        self._open = pure_open_sealed
+
+    def shared_secret(self, private_key: bytes, peer_public_key: bytes) -> bytes:
+        return x25519.shared_secret(private_key, peer_public_key)
+
+    def public_key(self, private_key: bytes) -> bytes:
+        return x25519.public_key(private_key)
+
+    def seal(
+        self,
+        key: bytes,
+        plaintext: bytes,
+        associated_data: bytes = b"",
+        nonce: bytes | None = None,
+    ) -> bytes:
+        return self._seal(key, plaintext, associated_data, nonce)
+
+    def open_sealed(self, key: bytes, sealed: bytes, associated_data: bytes = b"") -> bytes:
+        return self._open(key, sealed, associated_data)
+
+    def ed25519_sign(self, private_key: bytes, message: bytes) -> bytes:
+        return ed25519.sign(private_key, message)
+
+    def ed25519_verify(self, public_key: bytes, message: bytes, signature: bytes) -> bool:
+        return ed25519.verify(public_key, message, signature)
+
+    def ed25519_public_key(self, private_key: bytes) -> bytes:
+        return ed25519.public_key(private_key)
+
+
+def _load_cryptography():
+    """The optional ``cryptography`` primitives, or ``None`` when absent."""
+    try:
+        from cryptography.exceptions import InvalidTag
+        from cryptography.hazmat.primitives import serialization
+        from cryptography.hazmat.primitives.asymmetric.ed25519 import (
+            Ed25519PrivateKey,
+            Ed25519PublicKey,
+        )
+        from cryptography.hazmat.primitives.asymmetric.x25519 import (
+            X25519PrivateKey,
+            X25519PublicKey,
+        )
+        from cryptography.hazmat.primitives.ciphers.aead import ChaCha20Poly1305
+    except ImportError:
+        return None
+    return {
+        "InvalidTag": InvalidTag,
+        "serialization": serialization,
+        "Ed25519PrivateKey": Ed25519PrivateKey,
+        "Ed25519PublicKey": Ed25519PublicKey,
+        "X25519PrivateKey": X25519PrivateKey,
+        "X25519PublicKey": X25519PublicKey,
+        "ChaCha20Poly1305": ChaCha20Poly1305,
+    }
+
+
+def accelerated_available() -> bool:
+    """Whether the optional ``cryptography`` package is importable."""
+    return _load_cryptography() is not None
+
+
+class AcceleratedBackend(CryptoBackend):
+    """OpenSSL-backed primitives via the optional ``cryptography`` package.
+
+    Byte-identical to :class:`PureBackend` for fixed keys/nonces: both sides
+    implement the same RFCs, this one in C.  Never a hard dependency --
+    constructing it without the package raises :class:`ConfigurationError`
+    (the registry reports it unavailable instead of surprising callers).
+    """
+
+    name = "accelerated"
+
+    def __init__(self) -> None:
+        primitives = _load_cryptography()
+        if primitives is None:
+            raise ConfigurationError(
+                "the 'accelerated' crypto backend needs the optional "
+                "'cryptography' package (pip install cryptography); "
+                "use 'pure' for the stdlib-only default"
+            )
+        self._aead = primitives["ChaCha20Poly1305"]
+        self._invalid_tag = primitives["InvalidTag"]
+        self._private_key = primitives["X25519PrivateKey"]
+        self._public_key = primitives["X25519PublicKey"]
+        self._ed_private_key = primitives["Ed25519PrivateKey"]
+        self._ed_public_key = primitives["Ed25519PublicKey"]
+        serialization = primitives["serialization"]
+        self._raw_encoding = serialization.Encoding.Raw
+        self._raw_format = serialization.PublicFormat.Raw
+        # Bound once: a function-body import would tax every open on the
+        # hot path (same reason PureBackend binds its functions).
+        from repro.crypto.aead import AEAD_OVERHEAD
+
+        self._aead_overhead = AEAD_OVERHEAD
+
+    def shared_secret(self, private_key: bytes, peer_public_key: bytes) -> bytes:
+        if len(private_key) != x25519.KEY_SIZE:
+            raise CryptoError(f"X25519 scalar must be {x25519.KEY_SIZE} bytes, got {len(private_key)}")
+        if len(peer_public_key) != x25519.KEY_SIZE:
+            raise CryptoError(f"X25519 point must be {x25519.KEY_SIZE} bytes, got {len(peer_public_key)}")
+        try:
+            return self._private_key.from_private_bytes(private_key).exchange(
+                self._public_key.from_public_bytes(peer_public_key)
+            )
+        except ValueError as exc:  # OpenSSL refuses the all-zero shared point
+            raise CryptoError("X25519 produced the all-zero shared secret") from exc
+
+    def public_key(self, private_key: bytes) -> bytes:
+        if len(private_key) != x25519.KEY_SIZE:
+            raise CryptoError(f"X25519 scalar must be {x25519.KEY_SIZE} bytes, got {len(private_key)}")
+        return (
+            self._private_key.from_private_bytes(private_key)
+            .public_key()
+            .public_bytes(self._raw_encoding, self._raw_format)
+        )
+
+    def seal(
+        self,
+        key: bytes,
+        plaintext: bytes,
+        associated_data: bytes = b"",
+        nonce: bytes | None = None,
+    ) -> bytes:
+        if len(key) != KEY_SIZE:
+            raise CryptoError(f"AEAD key must be {KEY_SIZE} bytes, got {len(key)}")
+        if nonce is None:
+            nonce = random_bytes(NONCE_SIZE)
+        elif len(nonce) != NONCE_SIZE:
+            raise CryptoError(f"AEAD nonce must be {NONCE_SIZE} bytes, got {len(nonce)}")
+        return nonce + self._aead(key).encrypt(nonce, plaintext, associated_data)
+
+    def open_sealed(self, key: bytes, sealed: bytes, associated_data: bytes = b"") -> bytes:
+        if len(key) != KEY_SIZE:
+            raise CryptoError(f"AEAD key must be {KEY_SIZE} bytes, got {len(key)}")
+        if len(sealed) < self._aead_overhead:
+            raise DecryptionError("sealed box too short")
+        nonce, box = sealed[:NONCE_SIZE], sealed[NONCE_SIZE:]
+        try:
+            return self._aead(key).decrypt(nonce, box, associated_data)
+        except self._invalid_tag as exc:
+            raise DecryptionError("authentication tag mismatch") from exc
+
+    def ed25519_sign(self, private_key: bytes, message: bytes) -> bytes:
+        if len(private_key) != ed25519.KEY_SIZE:
+            raise CryptoError(
+                f"Ed25519 secret must be {ed25519.KEY_SIZE} bytes, got {len(private_key)}"
+            )
+        return self._ed_private_key.from_private_bytes(private_key).sign(message)
+
+    def ed25519_verify(self, public_key: bytes, message: bytes, signature: bytes) -> bool:
+        if len(public_key) != ed25519.KEY_SIZE or len(signature) != ed25519.SIGNATURE_SIZE:
+            return False
+        try:
+            self._ed_public_key.from_public_bytes(public_key).verify(signature, message)
+            return True
+        except Exception:  # InvalidSignature or a malformed point encoding
+            return False
+
+    def ed25519_public_key(self, private_key: bytes) -> bytes:
+        if len(private_key) != ed25519.KEY_SIZE:
+            raise CryptoError(
+                f"Ed25519 secret must be {ed25519.KEY_SIZE} bytes, got {len(private_key)}"
+            )
+        return (
+            self._ed_private_key.from_private_bytes(private_key)
+            .public_key()
+            .public_bytes(self._raw_encoding, self._raw_format)
+        )
+
+
+# ---------------------------------------------------------------------------
+# The parallel backend: fan batch calls across a worker pool.
+#
+# Workers are plain module-level functions (picklable) operating on a
+# per-process backend instance built once by the pool initializer.
+# ---------------------------------------------------------------------------
+_WORKER_BACKEND: CryptoBackend | None = None
+
+
+def _parallel_worker_init(inner_name: str) -> None:
+    global _WORKER_BACKEND
+    _WORKER_BACKEND = get_backend(inner_name)
+
+
+def _worker_seal_chunk(chunk: list[SealItem]) -> list[bytes]:
+    return _WORKER_BACKEND.seal_many(chunk)
+
+
+def _worker_open_chunk(chunk: list[OpenItem]) -> list[bytes | None]:
+    return _WORKER_BACKEND.open_many(chunk)
+
+
+def _worker_secret_chunk(chunk: list[SecretItem]) -> list[bytes | None]:
+    return _WORKER_BACKEND.shared_secret_many(chunk)
+
+
+def _worker_public_chunk(chunk: list[bytes]) -> list[bytes]:
+    return _WORKER_BACKEND.public_key_many(chunk)
+
+
+def _chunked(items: list, chunks: int) -> list[list]:
+    """Split ``items`` into at most ``chunks`` contiguous, near-even slices."""
+    chunks = max(1, min(chunks, len(items)))
+    base, extra = divmod(len(items), chunks)
+    out, lo = [], 0
+    for index in range(chunks):
+        hi = lo + base + (1 if index < extra else 0)
+        out.append(items[lo:hi])
+        lo = hi
+    return out
+
+
+class ParallelBackend(CryptoBackend):
+    """Fan the batch APIs across cores; delegate single ops to an inner backend.
+
+    The mix peel is embarrassingly parallel: every envelope decrypts under
+    its own derived key.  Nonces for ``seal_many`` are drawn in the parent
+    (see :func:`_fill_nonces`), so results are byte-identical to running the
+    inner backend serially.  Batches smaller than ``min_batch`` -- and any
+    batch on a single-core host -- skip the pool entirely, keeping IPC
+    overhead off small deployments.
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        inner: str | None = None,
+        workers: int | None = None,
+        min_batch: int = 64,
+    ) -> None:
+        if inner is None:
+            inner = "accelerated" if accelerated_available() else "pure"
+        self.inner_name = inner
+        self._inner = get_backend(inner)
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.min_batch = min_batch
+        self._pool = None
+
+    # -- single ops: the pool buys nothing ---------------------------------
+    def shared_secret(self, private_key: bytes, peer_public_key: bytes) -> bytes:
+        return self._inner.shared_secret(private_key, peer_public_key)
+
+    def public_key(self, private_key: bytes) -> bytes:
+        return self._inner.public_key(private_key)
+
+    def seal(self, key, plaintext, associated_data=b"", nonce=None) -> bytes:
+        return self._inner.seal(key, plaintext, associated_data, nonce)
+
+    def open_sealed(self, key, sealed, associated_data=b"") -> bytes:
+        return self._inner.open_sealed(key, sealed, associated_data)
+
+    def ed25519_sign(self, private_key: bytes, message: bytes) -> bytes:
+        return self._inner.ed25519_sign(private_key, message)
+
+    def ed25519_verify(self, public_key: bytes, message: bytes, signature: bytes) -> bool:
+        return self._inner.ed25519_verify(public_key, message, signature)
+
+    def ed25519_public_key(self, private_key: bytes) -> bytes:
+        return self._inner.ed25519_public_key(private_key)
+
+    # -- batch ops: fan out ------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            import multiprocessing
+
+            self._pool = multiprocessing.get_context().Pool(
+                processes=self.workers,
+                initializer=_parallel_worker_init,
+                initargs=(self.inner_name,),
+            )
+            atexit.register(self.close)
+        return self._pool
+
+    def _fan_out(self, worker: Callable, items: list, serial: Callable):
+        if len(items) < self.min_batch or self.workers <= 1:
+            return serial(items)
+        chunks = _chunked(items, self.workers * 2)
+        results = self._ensure_pool().map(worker, chunks)
+        return [value for chunk in results for value in chunk]
+
+    def seal_many(self, items: Sequence[SealItem]) -> list[bytes]:
+        return self._fan_out(_worker_seal_chunk, _fill_nonces(items), self._inner.seal_many)
+
+    def open_many(self, items: Sequence[OpenItem]) -> list[bytes | None]:
+        return self._fan_out(_worker_open_chunk, list(items), self._inner.open_many)
+
+    def shared_secret_many(self, pairs: Sequence[SecretItem]) -> list[bytes | None]:
+        return self._fan_out(_worker_secret_chunk, list(pairs), self._inner.shared_secret_many)
+
+    def public_key_many(self, private_keys: Sequence[bytes]) -> list[bytes]:
+        return self._fan_out(_worker_public_chunk, list(private_keys), self._inner.public_key_many)
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+
+# ---------------------------------------------------------------------------
+# Registry and the process-wide active backend
+# ---------------------------------------------------------------------------
+_FACTORIES: dict[str, Callable[[], CryptoBackend]] = {}
+_AVAILABILITY: dict[str, Callable[[], bool]] = {}
+_INSTANCES: dict[str, CryptoBackend] = {}
+_ACTIVE: CryptoBackend | None = None
+
+DEFAULT_BACKEND = "pure"
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], CryptoBackend],
+    available: Callable[[], bool] | None = None,
+) -> None:
+    """Register a backend factory under ``name`` (replacing any previous one).
+
+    ``available`` is an optional predicate gating optional dependencies; an
+    unavailable backend stays listed by :func:`registered_backends` but
+    :func:`get_backend` refuses it with a clear error.
+    """
+    _FACTORIES[name] = factory
+    if available is not None:
+        _AVAILABILITY[name] = available
+    else:
+        _AVAILABILITY.pop(name, None)
+    _INSTANCES.pop(name, None)
+
+
+def registered_backends() -> list[str]:
+    """Every registered backend name, available or not."""
+    return sorted(_FACTORIES)
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` is registered and its optional deps are importable."""
+    if name not in _FACTORIES:
+        return False
+    predicate = _AVAILABILITY.get(name)
+    return True if predicate is None else bool(predicate())
+
+
+def available_backends() -> list[str]:
+    """The registered backends whose dependencies are importable right now."""
+    return [name for name in registered_backends() if backend_available(name)]
+
+
+def get_backend(name: str | CryptoBackend) -> CryptoBackend:
+    """Resolve a backend name (or pass an instance through) to an instance.
+
+    Instances are process-wide singletons so the parallel backend's worker
+    pool is shared by everything that selects it.
+    """
+    if isinstance(name, CryptoBackend):
+        return name
+    if name not in _FACTORIES:
+        raise ConfigurationError(
+            f"unknown crypto backend {name!r}; registered: {registered_backends()}"
+        )
+    if not backend_available(name):
+        raise ConfigurationError(
+            f"crypto backend {name!r} is registered but unavailable (its "
+            "optional dependency is not importable); available: "
+            f"{available_backends()}"
+        )
+    instance = _INSTANCES.get(name)
+    if instance is None:
+        instance = _INSTANCES[name] = _FACTORIES[name]()
+    return instance
+
+
+def active_backend() -> CryptoBackend:
+    """The backend module-level helpers (``aead.seal``, onion ops) dispatch to."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = get_backend(DEFAULT_BACKEND)
+    return _ACTIVE
+
+
+def set_active_backend(backend: str | CryptoBackend) -> CryptoBackend:
+    """Install ``backend`` as the process-wide active backend; returns it."""
+    global _ACTIVE
+    _ACTIVE = get_backend(backend)
+    return _ACTIVE
+
+
+@contextmanager
+def use_backend(backend: str | CryptoBackend):
+    """Temporarily switch the active backend (tests, sweeps)."""
+    global _ACTIVE
+    previous = active_backend()
+    _ACTIVE = get_backend(backend)
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+register_backend("pure", PureBackend)
+register_backend("accelerated", AcceleratedBackend, available=accelerated_available)
+register_backend("parallel", ParallelBackend)

@@ -16,7 +16,7 @@ This is NOT public-key cryptography -- an encryptor holding only the master
 *public* handle could not do this outside a single process -- and it is
 clearly labelled as such.  Every security-relevant test in the repository
 uses the real Boneh-Franklin backend; the simulated backend is only wired
-into the benchmark deployments (see ``AlpenhornConfig.crypto_backend``).
+into the benchmark deployments (see ``AlpenhornConfig.ibe_backend``).
 """
 
 from __future__ import annotations

@@ -12,12 +12,12 @@ was added) are kept for the latency model and for failure-injection tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.mixnet.mailbox import COVER_MAILBOX_ID
+from repro.crypto.engine import CryptoBackend, active_backend
 from repro.mixnet.noise import NoiseConfig, noise_counts_per_mailbox
-from repro.mixnet.onion import OnionKeyPair, unwrap_layer, wrap_onion
-from repro.errors import MixnetError, RoundError
+from repro.mixnet.onion import OnionKeyPair, unwrap_layers, wrap_onion_many
+from repro.errors import RoundError
 from repro.utils.rng import DeterministicRng, random_bytes
 from repro.utils.serialization import Packer
 
@@ -55,9 +55,17 @@ class MixServer:
     neither may touch the other's onion keys.
     """
 
-    def __init__(self, name: str, rng: DeterministicRng | None = None) -> None:
+    def __init__(
+        self,
+        name: str,
+        rng: DeterministicRng | None = None,
+        engine: CryptoBackend | None = None,
+    ) -> None:
         self.name = name
         self.rng = rng if rng is not None else DeterministicRng(random_bytes(32))
+        #: The crypto backend this server peels and wraps with (None = the
+        #: process-wide active backend, resolved per batch).
+        self.engine = engine
         self._round_keys: dict[tuple[str, int], OnionKeyPair] = {}
         self.last_stats: MixServerStats = MixServerStats()
         # Failure-injection switches used by the test suite.
@@ -69,7 +77,7 @@ class MixServer:
         """Generate the round's onion key pair; returns the public key."""
         key = (protocol, round_number)
         if key not in self._round_keys:
-            self._round_keys[key] = OnionKeyPair.generate()
+            self._round_keys[key] = OnionKeyPair.generate(self.engine)
         return self._round_keys[key].public
 
     def round_public_key(self, protocol: str, round_number: int) -> bytes:
@@ -100,18 +108,21 @@ class MixServer:
         noise_config: NoiseConfig,
         noise_body_length: int,
     ) -> list[bytes]:
-        """Peel one layer from a batch, add noise, shuffle, and return it."""
+        """Peel one layer from a batch, add noise, shuffle, and return it.
+
+        Both the peel and the noise wrap go through the engine's batch APIs
+        (``open_many`` underneath :func:`unwrap_layers`, ``seal_many``
+        underneath :func:`wrap_onion_many`), so an accelerated or multi-core
+        backend processes the whole round's envelopes in a handful of calls.
+        """
         keypair = self._round_keys.get((protocol, round_number))
         if keypair is None:
             raise RoundError(f"{protocol} round {round_number} is not open on {self.name}")
+        engine = self.engine if self.engine is not None else active_backend()
 
         stats = MixServerStats(received=len(envelopes))
-        peeled: list[bytes] = []
-        for envelope in envelopes:
-            try:
-                peeled.append(unwrap_layer(envelope, keypair))
-            except MixnetError:
-                stats.dropped += 1
+        peeled = [item for item in unwrap_layers(envelopes, keypair, engine) if item is not None]
+        stats.dropped = len(envelopes) - len(peeled)
 
         if self.drop_fraction > 0.0:
             keep = []
@@ -124,13 +135,15 @@ class MixServer:
 
         if not self.drop_all_noise:
             counts = noise_counts_per_mailbox(noise_config, protocol, mailbox_count, self.rng)
-            for mailbox_id, count in enumerate(counts):
-                for _ in range(count):
-                    payload = self._make_noise_payload(protocol, mailbox_id, noise_body_length)
-                    if downstream_publics:
-                        payload = wrap_onion(payload, downstream_publics)
-                    peeled.append(payload)
-                    stats.noise_added += 1
+            noise_payloads = [
+                self._make_noise_payload(protocol, mailbox_id, noise_body_length)
+                for mailbox_id, count in enumerate(counts)
+                for _ in range(count)
+            ]
+            if downstream_publics:
+                noise_payloads = wrap_onion_many(noise_payloads, downstream_publics, engine)
+            peeled.extend(noise_payloads)
+            stats.noise_added = len(noise_payloads)
 
         self.rng.shuffle(peeled)
         self.last_stats = stats

@@ -19,7 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.crypto import bls, ed25519
+from repro.crypto import bls
+from repro.crypto.engine import active_backend
 from repro.crypto.ibe.interface import IbeScheme
 from repro.emailsim.provider import EmailNetwork
 from repro.errors import ExtractionError, NetworkError, RoundError
@@ -100,7 +101,7 @@ class PkgServer:
         if record is None:
             raise ExtractionError(f"{email} is not registered")
         statement = Packer().str("alpenhorn/deregister").str(email.lower()).pack()
-        if not ed25519.verify(record.signing_key, statement, signature):
+        if not active_backend().ed25519_verify(record.signing_key, statement, signature):
             raise ExtractionError("deregistration signature invalid")
         self.registration.deregister(email, now)
 
@@ -151,7 +152,7 @@ class PkgServer:
         if record is None or record.deregistered_at is not None:
             raise ExtractionError(f"{email} is not registered with {self.name}")
         statement = extraction_request_statement(email, round_number)
-        if not ed25519.verify(record.signing_key, statement, request_signature):
+        if not active_backend().ed25519_verify(record.signing_key, statement, request_signature):
             raise ExtractionError("extraction request signature invalid")
         master = self._round_masters.get(round_number)
         if master is None:

@@ -9,13 +9,18 @@ Examples::
     python -m repro.sim --sweep --sweep-clients 40,80 --sweep-latency-ms 40,200
     python -m repro.sim --scenario sharded_entry --shards 4 --zipf 1.2
     python -m repro.sim --sweep-shards --sweep-zipf 0,1.2
+    python -m repro.sim --sweep-shards 1,2,4 --sweep-cdn-egress 0,1
+    python -m repro.sim --scenario metropolis          # 10k clients, accelerated
+    python -m repro.sim --sweep-crypto pure,accelerated --sweep-crypto-clients 100,400
 
 ``--sweep`` runs the scenario over a clients x link-latency grid, once with
 the sequential round driver and once pipelined, and writes the comparison
 (round throughput and speedup per grid point) to ``BENCH_sweep.json`` for
 trend tracking across PRs.  ``--sweep-shards`` runs the sharded entry tier
-over a shard-count x Zipf-skew grid (plus an ingress batch comparison) and
-writes ``BENCH_shard.json``.
+over a shard-count x Zipf-skew grid (plus an ingress batch comparison and an
+optional ``--sweep-cdn-egress`` axis) and writes ``BENCH_shard.json``.
+``--sweep-crypto`` microbenchmarks every available crypto backend and runs a
+backend x client-count scenario grid into ``BENCH_crypto.json``.
 """
 
 from __future__ import annotations
@@ -104,6 +109,21 @@ def build_parser() -> argparse.ArgumentParser:
         "(0 disables; calls of aborted rounds then fail terminally)",
     )
     parser.add_argument(
+        "--crypto-backend",
+        default=None,
+        metavar="NAME",
+        help="crypto engine for the symmetric/X25519 hot path "
+        "(pure, accelerated, parallel; default: the scenario's, normally pure)",
+    )
+    parser.add_argument(
+        "--cdn-egress-mbps",
+        type=float,
+        default=None,
+        metavar="MBPS",
+        help="shared egress capacity of each CDN endpoint's access link "
+        "(0 = uncapped)",
+    )
+    parser.add_argument(
         "--sweep",
         action="store_true",
         help="run a clients x link-latency grid (sequential vs pipelined) "
@@ -165,6 +185,32 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="MBPS",
         help="per-shard access-link ingress capacity for --sweep-shards",
     )
+    parser.add_argument(
+        "--sweep-cdn-egress",
+        nargs="?",
+        const="0,1",
+        default=None,
+        metavar="MBPS,MBPS,...",
+        help="add a CDN-egress axis to --sweep-shards: per-CDN-shard egress "
+        "caps whose scan-stage latency is compared across the shard grid "
+        "(0 = uncapped baseline; default caps 0,1)",
+    )
+    parser.add_argument(
+        "--sweep-crypto",
+        nargs="?",
+        const="pure,accelerated,parallel",
+        default=None,
+        metavar="NAME,NAME,...",
+        help="run the crypto-engine sweep (per-op microbenchmarks plus a "
+        "backend x client grid) and write BENCH_crypto.json; unavailable "
+        "backends are skipped",
+    )
+    parser.add_argument(
+        "--sweep-crypto-clients",
+        default="100,400",
+        metavar="N,N,...",
+        help="client counts for the --sweep-crypto grid (default: 100,400)",
+    )
     return parser
 
 
@@ -208,8 +254,14 @@ def main(argv: list[str] | None = None) -> int:
         overrides["shard_access_mbps"] = args.access_mbps
     if args.redial_attempts is not None:
         overrides["redial_attempts"] = args.redial_attempts or None
+    if args.crypto_backend is not None:
+        overrides["crypto_backend"] = args.crypto_backend
+    if args.cdn_egress_mbps is not None:
+        overrides["cdn_egress_mbps"] = args.cdn_egress_mbps
 
-    if args.sweep_shards is not None:
+    if args.sweep_crypto is not None:
+        return run_crypto_sweep_cli(args, overrides)
+    if args.sweep_shards is not None or args.sweep_cdn_egress is not None:
         return run_shard_sweep_cli(args, overrides)
     if args.sweep:
         return run_sweep_cli(args, overrides)
@@ -263,6 +315,53 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def run_crypto_sweep_cli(args, overrides: dict) -> int:
+    from repro.sim.crypto_sweep import emit_crypto_report, run_crypto_sweep
+
+    ignored = [
+        flag
+        for flag, key in (
+            ("--clients", "num_clients"),
+            ("--crypto-backend", "crypto_backend"),
+            ("--pipelined", "pipelined"),
+        )
+        if overrides.pop(key, None) is not None
+    ]
+    if ignored:
+        print(
+            f"note: {', '.join(ignored)} ignored with --sweep-crypto "
+            "(the grid supplies backends and client counts)"
+        )
+    try:
+        backends = [v.strip() for v in args.sweep_crypto.split(",") if v.strip()]
+        clients = [int(v) for v in args.sweep_crypto_clients.split(",") if v.strip()]
+    except ValueError:
+        print(
+            "error: --sweep-crypto-clients must be comma-separated integers",
+            file=sys.stderr,
+        )
+        return 2
+    if args.scenario:
+        overrides["scenario"] = args.scenario
+    from repro.errors import ConfigurationError
+
+    try:
+        result = run_crypto_sweep(
+            backends=backends, clients=clients, progress=print, **overrides
+        )
+    except (ConfigurationError, KeyError) as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    path = emit_crypto_report(result)
+    print(f"wrote {path}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_report(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def run_shard_sweep_cli(args, overrides: dict) -> int:
     from repro.sim.sweep import emit_shard_report, run_shard_sweep
 
@@ -273,6 +372,7 @@ def run_shard_sweep_cli(args, overrides: dict) -> int:
             ("--zipf", "zipf_alpha"),
             ("--ingress-batch", "ingress_batch_size"),
             ("--access-mbps", "shard_access_mbps"),
+            ("--cdn-egress-mbps", "cdn_egress_mbps"),
             ("--pipelined", "pipelined"),
             ("--retry-horizon", "retry_horizon"),
         )
@@ -285,13 +385,19 @@ def run_shard_sweep_cli(args, overrides: dict) -> int:
         )
     clients = overrides.pop("num_clients", None) or 80
     try:
-        shard_counts = [int(v) for v in args.sweep_shards.split(",") if v.strip()]
+        # --sweep-cdn-egress alone implies the default shard grid.
+        shard_counts = [
+            int(v) for v in (args.sweep_shards or "1,2,4").split(",") if v.strip()
+        ]
         zipf_alphas = [float(v) for v in args.sweep_zipf.split(",") if v.strip()]
         batch_sizes = [int(v) for v in args.sweep_batch.split(",") if v.strip()]
+        cdn_egress = [
+            float(v) for v in (args.sweep_cdn_egress or "").split(",") if v.strip()
+        ]
     except ValueError:
         print(
-            "error: --sweep-shards / --sweep-zipf / --sweep-batch must be "
-            "comma-separated numbers",
+            "error: --sweep-shards / --sweep-zipf / --sweep-batch / "
+            "--sweep-cdn-egress must be comma-separated numbers",
             file=sys.stderr,
         )
         return 2
@@ -301,6 +407,7 @@ def run_shard_sweep_cli(args, overrides: dict) -> int:
         clients=clients,
         access_mbps=args.sweep_access_mbps,
         batch_sizes=batch_sizes,
+        cdn_egress_mbps=cdn_egress,
         progress=print,
         **overrides,
     )

@@ -14,9 +14,12 @@ Subclasses customize behavior through four hooks:
 * :meth:`Scenario.before_round` / :meth:`Scenario.after_round` -- per-round
   fault injection (partitions, load spikes) and measurements.
 
-Scenarios always use the ``simulated`` crypto backend: they measure the
+Scenarios always use the ``simulated`` IBE backend: they measure the
 *system* (round structure, batching, links), not the pairing arithmetic,
 exactly like the paper separates protocol-scale from crypto microbenchmarks.
+The symmetric/X25519 hot path still runs for real, on whichever engine
+``spec.crypto_backend`` selects (see :mod:`repro.crypto.engine`) -- that
+cost *is* part of the system under test.
 """
 
 from __future__ import annotations
@@ -87,6 +90,16 @@ class ScenarioSpec:
     #: Dialing outbox: total dials allowed per CallHandle when its round
     #: aborts (None = a dead round's calls fail terminally).
     redial_attempts: int | None = None
+    #: Crypto engine for the symmetric/X25519 hot path ("pure",
+    #: "accelerated", "parallel"; see repro.crypto.engine) -- the knob the
+    #: --sweep-crypto grid varies.
+    crypto_backend: str = "pure"
+    #: Shared egress capacity of each CDN endpoint's access link in Mbit/s
+    #: (0 = uncapped).  Applied to every CDN shard -- or to the single
+    #: "cdn" endpoint when unsharded -- so the scan stage queues behind the
+    #: CDN tier the same measurable way the submit stage queues behind the
+    #: entry tier.
+    cdn_egress_mbps: float = 0.0
 
     def resolved_friend_pairs(self) -> int:
         if self.friend_pairs is not None:
@@ -188,6 +201,19 @@ class ScenarioResult:
         ]
         return sum(stages) / len(stages) if stages else 0.0
 
+    def mean_scan_stage(self, protocol: str = "add-friend") -> float:
+        """Mean mix+scan share of round latency over the live rounds.
+
+        Everything after the submit stage: the mix run plus the clients'
+        mailbox downloads -- the part a capped CDN egress link stretches.
+        """
+        stages = [
+            max(0.0, r.latency_s - r.submit_stage_s)
+            for r in self.rounds
+            if r.protocol == protocol and not r.aborted
+        ]
+        return sum(stages) / len(stages) if stages else 0.0
+
     def round_latencies(self, protocol: str | None = None) -> list[float]:
         return [
             r.latency_s
@@ -215,7 +241,10 @@ class ScenarioResult:
             "ingress_batch_size": self.spec.ingress_batch_size,
             "zipf_alpha": self.spec.zipf_alpha,
             "shard_access_mbps": self.spec.shard_access_mbps,
+            "cdn_egress_mbps": self.spec.cdn_egress_mbps,
+            "crypto_backend": self.spec.crypto_backend,
             "addfriend_submit_stage_s": round(self.mean_submit_stage("add-friend"), 6),
+            "addfriend_scan_stage_s": round(self.mean_scan_stage("add-friend"), 6),
             "throughput": self.throughput,
             "friend_requests": self.friend_requests,
             "shard_loads": self.shard_loads,
@@ -324,7 +353,8 @@ class Scenario:
         config = AlpenhornConfig(
             num_mix_servers=spec.num_mix_servers,
             num_pkg_servers=spec.num_pkg_servers,
-            crypto_backend="simulated",
+            ibe_backend="simulated",
+            crypto_backend=spec.crypto_backend,
             noise=NoiseConfig(spec.noise_mu, spec.noise_b, spec.noise_mu, spec.noise_b),
             addfriend_target_per_mailbox=spec.addfriend_target_per_mailbox,
             dialing_target_per_mailbox=spec.dialing_target_per_mailbox,
@@ -342,22 +372,32 @@ class Scenario:
         return deployment, net
 
     def _apply_access_links(self, net: SimulatedNetwork) -> None:
-        """Cap each entry endpoint's shared ingress at the spec'd rate.
+        """Cap entry ingress and CDN egress at the spec'd per-endpoint rates.
 
-        Applied to every shard -- or to the single "entry" endpoint when
-        unsharded -- so a shard-count sweep holds per-shard access capacity
-        constant and measures pure horizontal scaling.
+        Applied to every shard -- or to the single "entry"/"cdn" endpoint
+        when unsharded -- so a shard-count sweep holds per-shard access
+        capacity constant and measures pure horizontal scaling (of the
+        submit stage behind entry ingress, and of the scan stage behind CDN
+        egress).
         """
         mbps = self.spec.shard_access_mbps
-        if mbps <= 0:
-            return
-        if self.spec.entry_shards > 1:
-            from repro.cluster.directory import entry_shard_name
+        if mbps > 0:
+            if self.spec.entry_shards > 1:
+                from repro.cluster.directory import entry_shard_name
 
-            for index in range(self.spec.entry_shards):
-                net.set_access_link(entry_shard_name(index), ingress_mbps=mbps)
-        else:
-            net.set_access_link("entry", ingress_mbps=mbps)
+                for index in range(self.spec.entry_shards):
+                    net.set_access_link(entry_shard_name(index), ingress_mbps=mbps)
+            else:
+                net.set_access_link("entry", ingress_mbps=mbps)
+        egress = self.spec.cdn_egress_mbps
+        if egress > 0:
+            if self.spec.entry_shards > 1:
+                from repro.cluster.directory import cdn_shard_name
+
+                for index in range(self.spec.entry_shards):
+                    net.set_access_link(cdn_shard_name(index), egress_mbps=egress)
+            else:
+                net.set_access_link("cdn", egress_mbps=egress)
 
     # -- population --------------------------------------------------------
     def client_email(self, index: int) -> str:

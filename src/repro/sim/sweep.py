@@ -21,7 +21,13 @@ A second, independent sweep covers the sharded entry tier
 (:func:`run_shard_sweep`, CLI ``--sweep-shards``): the ``sharded_entry``
 scenario over a shard-count x Zipf-skew grid plus an ingress-batch-size
 comparison, written to ``BENCH_shard.json`` -- submit-stage throughput
-scaling, per-shard load imbalance, and SubmitBatch frame counts.
+scaling, per-shard load imbalance, and SubmitBatch frame counts.  Its
+``cdn_egress_mbps`` axis (CLI ``--sweep-cdn-egress``) caps every CDN
+shard's shared egress link and records scan-stage latency per shard count
+-- the download-side mirror of the entry-ingress measurement.
+
+The crypto-engine sweep lives in :mod:`repro.sim.crypto_sweep`
+(CLI ``--sweep-crypto``, ``BENCH_crypto.json``).
 
 ``python -m repro.sim --sweep`` is the CLI; :func:`run_sweep` the API.
 """
@@ -268,17 +274,54 @@ class BatchPoint:
 
 
 @dataclass
+class CdnEgressPoint:
+    """One CDN-egress cell: (shards, per-CDN-shard egress cap in Mbit/s)."""
+
+    entry_shards: int
+    cdn_egress_mbps: float
+    result: ScenarioResult
+
+    def scan_stage(self) -> float:
+        return self.result.mean_scan_stage("add-friend")
+
+    def row(self, baseline_stage: float | None) -> list:
+        stage = self.scan_stage()
+        speedup = baseline_stage / stage if baseline_stage and stage else 0.0
+        return [
+            self.entry_shards,
+            f"{self.cdn_egress_mbps:g}" if self.cdn_egress_mbps else "uncapped",
+            f"{stage:.3f}",
+            f"{speedup:.2f}x" if speedup else "-",
+            f"{self.result.mean_submit_stage('add-friend'):.3f}",
+            f"{self.result.total_bytes_sent / 2**20:.2f}",
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "entry_shards": self.entry_shards,
+            "cdn_egress_mbps": self.cdn_egress_mbps,
+            "addfriend_scan_stage_s": round(self.scan_stage(), 6),
+            "addfriend_submit_stage_s": round(
+                self.result.mean_submit_stage("add-friend"), 6
+            ),
+            "result": self.result.to_dict(),
+        }
+
+
+@dataclass
 class ShardSweepResult:
     """Everything one shard sweep produced (lands in BENCH_shard.json)."""
 
     points: list[ShardPoint] = field(default_factory=list)
     batch_points: list[BatchPoint] = field(default_factory=list)
+    cdn_egress_points: list[CdnEgressPoint] = field(default_factory=list)
 
     HEADERS = [
         "shards", "zipf a", "af submit s", "speedup",
         "submit env/s", "imbalance", "MiB",
     ]
     BATCH_HEADERS = ["batch", "submit frames", "af submit s", "MiB"]
+    CDN_HEADERS = ["shards", "cdn egress", "af scan s", "speedup", "af submit s", "MiB"]
 
     def baseline_stage(self, zipf_alpha: float) -> float | None:
         """The single-shard submit stage the speedups are measured against."""
@@ -309,6 +352,20 @@ class ShardSweepResult:
     def batch_table(self) -> tuple[list[str], list[list]]:
         return list(self.BATCH_HEADERS), [point.row() for point in self.batch_points]
 
+    def cdn_baseline_stage(self, cdn_egress_mbps: float) -> float | None:
+        """The 1-shard scan stage the CDN-egress speedups compare against."""
+        for point in self.cdn_egress_points:
+            if point.entry_shards == 1 and point.cdn_egress_mbps == cdn_egress_mbps:
+                return point.scan_stage()
+        return None
+
+    def cdn_egress_table(self) -> tuple[list[str], list[list]]:
+        rows = [
+            point.row(self.cdn_baseline_stage(point.cdn_egress_mbps))
+            for point in self.cdn_egress_points
+        ]
+        return list(self.CDN_HEADERS), rows
+
     def to_report(self) -> dict:
         headers, rows = self.table()
         report = table_report(
@@ -316,6 +373,7 @@ class ShardSweepResult:
         )
         report["points"] = [point.to_dict() for point in self.points]
         report["batching"] = [point.to_dict() for point in self.batch_points]
+        report["cdn_egress"] = [point.to_dict() for point in self.cdn_egress_points]
         report["submit_stage_speedup_at_max_shards"] = round(self.speedup_at_max_shards(), 4)
         return report
 
@@ -328,6 +386,7 @@ def run_shard_sweep(
     access_mbps: float = 0.5,
     batch_size: int = 16,
     batch_sizes: list[int] | None = None,
+    cdn_egress_mbps: list[float] | None = None,
     progress=None,
     **overrides,
 ) -> ShardSweepResult:
@@ -357,7 +416,15 @@ def run_shard_sweep(
     mailbox_count = overrides.pop("fixed_mailbox_count", max(8, 2 * max(shard_counts)))
     result = ShardSweepResult()
 
-    def run_point(num_shards: int, alpha: float, batch: int) -> ScenarioResult:
+    def run_point(
+        num_shards: int, alpha: float, batch: int, cdn_egress: float = 0.0
+    ) -> ScenarioResult:
+        # The seed only grows the egress suffix for capped points so every
+        # pre-existing grid cell keeps its historical seed (and stays
+        # comparable across PRs in BENCH_shard.json).
+        point_seed = f"{seed}/s{num_shards}/a{alpha:g}"
+        if cdn_egress > 0:
+            point_seed += f"/e{cdn_egress:g}"
         return run_scenario(
             "sharded_entry",
             num_clients=clients,
@@ -365,9 +432,10 @@ def run_shard_sweep(
             entry_shards=num_shards,
             zipf_alpha=alpha if num_shards > 1 else 0.0,
             shard_access_mbps=access_mbps,
+            cdn_egress_mbps=cdn_egress,
             ingress_batch_size=batch,
             fixed_mailbox_count=mailbox_count,
-            seed=f"{seed}/s{num_shards}/a{alpha:g}",
+            seed=point_seed,
             **overrides,
         )
 
@@ -392,6 +460,22 @@ def run_shard_sweep(
         result.batch_points.append(
             BatchPoint(batch_size=batch, result=run_point(batch_shards, 0.0, batch))
         )
+
+    # The CDN-egress axis: cap every CDN shard's shared egress and watch the
+    # scan stage (mailbox downloads) queue behind it -- then scale with the
+    # shard count the same way the submit stage scales behind entry ingress.
+    for cdn_egress in cdn_egress_mbps or []:
+        for num_shards in shard_counts:
+            if progress:
+                cap = f"{cdn_egress:g} Mbps" if cdn_egress else "uncapped"
+                progress(f"shard sweep: cdn egress {cap} @ {num_shards} shards")
+            result.cdn_egress_points.append(
+                CdnEgressPoint(
+                    entry_shards=num_shards,
+                    cdn_egress_mbps=cdn_egress,
+                    result=run_point(num_shards, 0.0, batch_size, cdn_egress),
+                )
+            )
     return result
 
 
@@ -404,6 +488,13 @@ def emit_shard_report(result: ShardSweepResult, name: str = "shard") -> str:
         print(
             format_table(
                 headers, rows, title="ingress envelope batching (SubmitBatch frames on the wire)"
+            )
+        )
+    if result.cdn_egress_points:
+        headers, rows = result.cdn_egress_table()
+        print(
+            format_table(
+                headers, rows, title="CDN egress capacity: scan-stage scaling with CDN shard count"
             )
         )
     print(f"submit-stage speedup at max shards: {result.speedup_at_max_shards():.2f}x")
