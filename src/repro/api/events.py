@@ -62,6 +62,21 @@ class SessionEvent:
 EventHandler = Callable[[SessionEvent], None]
 
 
+class _Subscription:
+    """One registration of a handler.
+
+    A distinct wrapper object per ``subscribe`` call (compared by identity)
+    is what makes unsubscribe exact: subscribing the same handler twice
+    yields two independent registrations, and each unsubscribe callable
+    removes only its own.
+    """
+
+    __slots__ = ("handler",)
+
+    def __init__(self, handler: EventHandler) -> None:
+        self.handler = handler
+
+
 class EventBus:
     """Multi-subscriber event dispatch with a queryable history.
 
@@ -73,32 +88,40 @@ class EventBus:
     DEFAULT_MAX_HISTORY = 10_000
 
     def __init__(self, max_history: int = DEFAULT_MAX_HISTORY) -> None:
-        self._subscribers: dict[str, list[EventHandler]] = {}
-        self._all: list[EventHandler] = []
+        self._subscribers: dict[str, list[_Subscription]] = {}
+        self._all: list[_Subscription] = []
         self._history: deque[SessionEvent] = deque(maxlen=max_history)
 
     # -- subscription ------------------------------------------------------
     def subscribe(self, event_type: str, handler: EventHandler) -> Callable[[], None]:
         """Invoke ``handler(event)`` for every event of ``event_type``.
 
-        Returns an unsubscribe callable (idempotent).
+        Returns an unsubscribe callable (idempotent, and scoped to this
+        subscription: a handler subscribed twice keeps its other
+        registration).
         """
         handlers = self._subscribers.setdefault(event_type, [])
-        handlers.append(handler)
+        entry = _Subscription(handler)
+        handlers.append(entry)
 
         def unsubscribe() -> None:
-            if handler in handlers:
-                handlers.remove(handler)
+            try:
+                handlers.remove(entry)
+            except ValueError:
+                pass
 
         return unsubscribe
 
     def subscribe_all(self, handler: EventHandler) -> Callable[[], None]:
         """Invoke ``handler`` for every event regardless of type."""
-        self._all.append(handler)
+        entry = _Subscription(handler)
+        self._all.append(entry)
 
         def unsubscribe() -> None:
-            if handler in self._all:
-                self._all.remove(handler)
+            try:
+                self._all.remove(entry)
+            except ValueError:
+                pass
 
         return unsubscribe
 
@@ -115,10 +138,10 @@ class EventBus:
             type=event_type, email=email, round_number=round_number, data=data
         )
         self._history.append(event)
-        for handler in list(self._subscribers.get(event_type, ())):
-            handler(event)
-        for handler in list(self._all):
-            handler(event)
+        for entry in list(self._subscribers.get(event_type, ())):
+            entry.handler(event)
+        for entry in list(self._all):
+            entry.handler(event)
         return event
 
     # -- history (what tests and simple applications poll) ------------------

@@ -421,6 +421,17 @@ class SessionRegistry:
     def __init__(self, deployment) -> None:
         self.dep = deployment
         self._by_email: dict[str, ClientSession] = {}
+        self._taps: list[Callable] = []
+
+    def add_tap(self, handler: Callable) -> None:
+        """Subscribe ``handler(event)`` to every session's bus, including
+        sessions created later.  This is the hook the observability layer
+        (dashboard monitors, ``--log-level`` event logging) uses to watch a
+        whole deployment's EventBus activity without enumerating sessions.
+        """
+        self._taps.append(handler)
+        for session in self._by_email.values():
+            session.events.subscribe_all(handler)
 
     # -- session management -------------------------------------------------
     def ensure(self, client: Client, **kwargs) -> ClientSession:
@@ -439,6 +450,8 @@ class SessionRegistry:
             if config.require_rate_tokens:
                 kwargs.setdefault("max_attempts", config.rate_tokens_per_day)
             session = ClientSession(client, **kwargs)
+            for tap in self._taps:
+                session.events.subscribe_all(tap)
             self._by_email[client.email] = session
         return session
 

@@ -38,6 +38,7 @@ from repro.errors import NetworkError, RoundError, UnknownRoundError
 from repro.mixnet.mailbox import MailboxSet
 from repro.net import rpc
 from repro.net.transport import Transport, concurrent_calls
+from repro.obs.trace import active_tracer
 from repro.utils.serialization import Unpacker
 
 
@@ -124,15 +125,23 @@ class ShardRouter:
         self._directories[key] = directory
         payload = rpc.encode_open_shard_round(request_body_length, directory)
         try:
-            concurrent_calls(
-                self.transport,
-                [
-                    lambda shard=shard: self.transport.call(
-                        self.src, shard.entry, "open_round", payload
-                    )
-                    for shard in directory.ranges
-                ],
-            )
+            with active_tracer().span(
+                "shard.open_broadcast",
+                category="cluster",
+                track=self.src,
+                protocol=protocol,
+                round=round_number,
+                shards=self.shard_count,
+            ):
+                concurrent_calls(
+                    self.transport,
+                    [
+                        lambda shard=shard: self.transport.call(
+                            self.src, shard.entry, "open_round", payload
+                        )
+                        for shard in directory.ranges
+                    ],
+                )
         except NetworkError:
             # A shard that cannot learn about the round would silently
             # reject its clients all round long; abort instead.
@@ -221,10 +230,20 @@ class ShardRouter:
                 return []
             return rpc.decode_rejects(result.payload)
 
-        results = concurrent_calls(
-            self.transport, [lambda shard=shard: drain(shard) for shard in directory.ranges]
-        )
-        return [reject for rejects in results for reject in rejects]
+        with active_tracer().span(
+            "shard.flush_drain",
+            category="cluster",
+            track=self.src,
+            protocol=protocol,
+            round=round_number,
+            shards=self.shard_count,
+        ) as span:
+            results = concurrent_calls(
+                self.transport, [lambda shard=shard: drain(shard) for shard in directory.ranges]
+            )
+            rejected = [reject for rejects in results for reject in rejects]
+            span.set(rejected=len(rejected))
+        return rejected
 
     def submissions(self, protocol: str, round_number: int) -> int:
         directory = self.directory_or_none(protocol, round_number)
@@ -251,17 +270,26 @@ class ShardRouter:
             raise RoundError(f"{protocol} round {round_number} is not open")
         directory = self._directories[key]
         payload = rpc.encode_round_ref(protocol, round_number)
-        per_shard = concurrent_calls(
-            self.transport,
-            [
-                lambda shard=shard: rpc.decode_collect_response(
-                    self.transport.call(self.src, shard.entry, "close_round", payload).payload
-                )
-                for shard in directory.ranges
-            ],
-        )
-        self.load_by_round[key] = [len(envelopes) for envelopes in per_shard]
-        merged = [envelope for envelopes in per_shard for envelope in envelopes]
+        with active_tracer().span(
+            "shard.collect",
+            category="cluster",
+            track=self.src,
+            protocol=protocol,
+            round=round_number,
+            shards=self.shard_count,
+        ) as span:
+            per_shard = concurrent_calls(
+                self.transport,
+                [
+                    lambda shard=shard: rpc.decode_collect_response(
+                        self.transport.call(self.src, shard.entry, "close_round", payload).payload
+                    )
+                    for shard in directory.ranges
+                ],
+            )
+            self.load_by_round[key] = [len(envelopes) for envelopes in per_shard]
+            merged = [envelope for envelopes in per_shard for envelope in envelopes]
+            span.set(envelopes=len(merged))
 
         self._announcements.pop(key, None)
         result = self.mix_chain.run_round(

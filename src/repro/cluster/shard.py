@@ -44,6 +44,7 @@ from repro.errors import (
 from repro.mixnet.mailbox import mailbox_for_identity
 from repro.net import rpc
 from repro.net.transport import RpcRequest, RpcResult, Transport
+from repro.obs.trace import active_tracer
 from repro.utils.serialization import Packer
 
 
@@ -276,26 +277,40 @@ class IngressProxy:
         if not batch:
             return
         rejects = self._rejects.setdefault(key, [])
+        span = active_tracer().start(
+            "ingress.flush_batch",
+            category="cluster",
+            track=self.name,
+            protocol=protocol,
+            round=round_number,
+            proxy=self.name,
+            envelopes=len(batch),
+        )
         try:
-            result = self.transport.call(
-                self.name,
-                self.shard_endpoint,
-                "submit_batch",
-                rpc.encode_submit_batch_request(protocol, round_number, batch),
-            )
-        except NetworkError as exc:
-            if getattr(exc, "request_delivered", False):
-                # Ack lost: the shard holds the envelopes; the batch stands.
-                self.batches_sent += 1
+            try:
+                result = self.transport.call(
+                    self.name,
+                    self.shard_endpoint,
+                    "submit_batch",
+                    rpc.encode_submit_batch_request(protocol, round_number, batch),
+                )
+            except NetworkError as exc:
+                if getattr(exc, "request_delivered", False):
+                    # Ack lost: the shard holds the envelopes; the batch stands.
+                    self.batches_sent += 1
+                    return
+                rejects.extend((client_id, "batch lost in transit") for client_id, _, _ in batch)
                 return
-            rejects.extend((client_id, "batch lost in transit") for client_id, _, _ in batch)
-            return
-        self.batches_sent += 1
-        statuses = rpc.decode_submit_batch_response(result.payload)
-        for (client_id, _, _), status in zip(batch, statuses):
-            if status in (rpc.SUBMIT_ACCEPTED, rpc.SUBMIT_DUPLICATE):
-                continue
-            rejects.append((client_id, rpc.SUBMIT_STATUS_REASONS.get(status, f"status {status}")))
+            self.batches_sent += 1
+            statuses = rpc.decode_submit_batch_response(result.payload)
+            for (client_id, _, _), status in zip(batch, statuses):
+                if status in (rpc.SUBMIT_ACCEPTED, rpc.SUBMIT_DUPLICATE):
+                    continue
+                rejects.append(
+                    (client_id, rpc.SUBMIT_STATUS_REASONS.get(status, f"status {status}"))
+                )
+        finally:
+            active_tracer().end(span, rejected=len(rejects))
 
     def flush(self, protocol: str, round_number: int) -> list[tuple[str, str]]:
         """Flush the round's remainder; return and clear its rejects."""

@@ -81,8 +81,20 @@ class Deployment:
         # deployments with different backends each run their own rounds on
         # their own selection instead of whichever was constructed last.
         from repro.crypto.engine import get_backend, set_active_backend
+        from repro.obs.trace import active_tracer
 
         self.crypto = get_backend(self.config.crypto_backend)
+        # Under an active tracer (python -m repro.sim --trace) the engine is
+        # wrapped so every op feeds wall-clock attribution and batch calls
+        # become trace spans; the tracer's simulated clock is this
+        # deployment's transport clock from here on.  Untraced runs skip
+        # both, keeping the crypto hot path at zero overhead.
+        tracer = active_tracer()
+        if tracer.enabled:
+            from repro.obs.instrument import InstrumentedCryptoBackend
+
+            tracer.bind_clock(self.transport.now)
+            self.crypto = InstrumentedCryptoBackend(self.crypto)
         set_active_backend(self.crypto)
 
         # Substrates.  The email network is out-of-band (registration

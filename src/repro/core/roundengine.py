@@ -37,6 +37,7 @@ from repro.core.dialtoken import DIAL_TOKEN_SIZE
 from repro.errors import NetworkError
 from repro.mixnet.chain import RoundResult
 from repro.mixnet.mailbox import choose_mailbox_count
+from repro.obs.trace import active_tracer
 
 
 @dataclass
@@ -52,8 +53,15 @@ class RoundSummary:
     # Transport-level measurements for the round (simulated time and bytes).
     latency_s: float = 0.0
     #: Time the announce+submit stage took (the stage the per-PKG fan-out
-    #: shortens); the remainder of ``latency_s`` is mix+publish+scan.
+    #: shortens).
     submit_stage_s: float = 0.0
+    #: Time the mix+publish slice took (close_round through the CDN publish
+    #: -- the stage the crypto engine accelerates).
+    mix_stage_s: float = 0.0
+    #: Time the client scan/download slice took (the stage a capped CDN
+    #: egress link stretches).  ``submit + mix + scan`` tiles ``latency_s``
+    #: exactly under the sequential driver.
+    scan_stage_s: float = 0.0
     bytes_sent: int = 0
     failures: int = 0
     participants: int = 0
@@ -307,6 +315,7 @@ class RoundEngine:
         the failure so a pipelined driver can keep the previous round alive.
         """
         driver = self.driver
+        tracer = active_tracer()
         clients = self.dep._resolve_participants(participants)
         round_number = driver.allocate_round()
         bytes_before = self.dep.transport.stats.bytes_sent
@@ -315,6 +324,13 @@ class RoundEngine:
             clients=clients,
             mailbox_count=driver.mailbox_count(clients),
             started_at=self.dep.clock,
+        )
+        announce_span = tracer.start(
+            "announce",
+            category="stage",
+            track=driver.protocol,
+            protocol=driver.protocol,
+            round=round_number,
         )
         try:
             pending.announcement = self.dep.entry_stub.announce_round(
@@ -328,42 +344,63 @@ class RoundEngine:
             pending.failure = exc
             pending.submitted_at = self.dep.clock
             pending.bytes_accum = self.dep.transport.stats.bytes_sent - bytes_before
+            tracer.end(announce_span, bytes=pending.bytes_accum, aborted=True)
             return pending
+        tracer.end(
+            announce_span, bytes=self.dep.transport.stats.bytes_sent - bytes_before
+        )
 
         # Every online client participates every round (cover traffic
         # included); clients act concurrently, so the phase's duration is
         # the slowest participant's, not the sum.
         sessions = self._sessions()
         rejected: list = []
-        with self.dep.transport.phase() as phase:
-            for client in clients:
-                try:
-                    phase.run(lambda c=client: driver.submit(c, pending.announcement))
-                    pending.participated.append(client)
-                    if sessions is not None:
-                        sessions.note_submitted(driver.protocol, client, round_number)
-                except NetworkError:
+        submit_bytes_before = self.dep.transport.stats.bytes_sent
+        submit_span = tracer.start(
+            "submit",
+            category="stage",
+            track=driver.protocol,
+            protocol=driver.protocol,
+            round=round_number,
+            clients=len(clients),
+        )
+        try:
+            with self.dep.transport.phase() as phase:
+                for client in clients:
+                    try:
+                        phase.run(lambda c=client: driver.submit(c, pending.announcement))
+                        pending.participated.append(client)
+                        if sessions is not None:
+                            sessions.note_submitted(driver.protocol, client, round_number)
+                    except NetworkError:
+                        pending.failures += 1
+                        driver.submit_failed(client, round_number)
+                # A batching entry tier (repro.cluster) acks submissions
+                # optimistically at the ingress proxies; drain the remainders
+                # inside the stage's phase and learn what was actually rejected.
+                flush = getattr(self.dep.entry_stub, "flush_submissions", None)
+                if flush is not None:
+                    rejected = phase.run(lambda: flush(driver.protocol, round_number))
+            if rejected:
+                by_email = {client.email: client for client in pending.participated}
+                for client_id, _reason in rejected:
+                    client = by_email.pop(client_id, None)
+                    if client is None:
+                        continue
+                    pending.participated.remove(client)
                     pending.failures += 1
-                    driver.submit_failed(client, round_number)
-            # A batching entry tier (repro.cluster) acks submissions
-            # optimistically at the ingress proxies; drain the remainders
-            # inside the stage's phase and learn what was actually rejected.
-            flush = getattr(self.dep.entry_stub, "flush_submissions", None)
-            if flush is not None:
-                rejected = phase.run(lambda: flush(driver.protocol, round_number))
-        if rejected:
-            by_email = {client.email: client for client in pending.participated}
-            for client_id, _reason in rejected:
-                client = by_email.pop(client_id, None)
-                if client is None:
-                    continue
-                pending.participated.remove(client)
-                pending.failures += 1
-                driver.submit_revoked(client, round_number)
-                if sessions is not None:
-                    sessions.note_submission_revoked(driver.protocol, client, round_number)
-        pending.submitted_at = self.dep.clock
-        pending.bytes_accum = self.dep.transport.stats.bytes_sent - bytes_before
+                    driver.submit_revoked(client, round_number)
+                    if sessions is not None:
+                        sessions.note_submission_revoked(driver.protocol, client, round_number)
+            pending.submitted_at = self.dep.clock
+            pending.bytes_accum = self.dep.transport.stats.bytes_sent - bytes_before
+        finally:
+            tracer.end(
+                submit_span,
+                bytes=self.dep.transport.stats.bytes_sent - submit_bytes_before,
+                submitted=len(pending.participated),
+                failures=pending.failures,
+            )
         return pending
 
     # -- stages 2+3: close the round, publish, scan ------------------------
@@ -372,8 +409,17 @@ class RoundEngine:
         if pending.failure is not None:
             raise pending.failure
         driver = self.driver
+        tracer = active_tracer()
         round_number = pending.round_number
         bytes_before = self.dep.transport.stats.bytes_sent
+        mix_started = self.dep.clock
+        mix_span = tracer.start(
+            "mix",
+            category="stage",
+            track=driver.protocol,
+            protocol=driver.protocol,
+            round=round_number,
+        )
         try:
             submissions = self.dep.entry_stub.submissions(driver.protocol, round_number)
             result = self.dep.entry_stub.close_round(driver.protocol, round_number)
@@ -390,33 +436,59 @@ class RoundEngine:
             if sessions is not None:
                 sessions.round_aborted(driver.protocol, round_number, pending.participated)
             pending.bytes_accum += self.dep.transport.stats.bytes_sent - bytes_before
+            tracer.end(
+                mix_span,
+                bytes=self.dep.transport.stats.bytes_sent - bytes_before,
+                aborted=True,
+            )
             raise
+        mix_done = self.dep.clock
+        tracer.end(
+            mix_span,
+            bytes=self.dep.transport.stats.bytes_sent - bytes_before,
+            submissions=submissions,
+        )
 
         # Clients fetch and scan their mailboxes concurrently; the announced
         # mailbox count spares them the CDN metadata round trip.
         events_by_client: dict[str, list] = {}
-        with self.dep.transport.phase() as phase:
-            for client in pending.participated:
-                try:
-                    events = phase.run(
-                        lambda c=client: driver.scan(
-                            c, round_number, pending.announcement.mailbox_count
+        scan_bytes_before = self.dep.transport.stats.bytes_sent
+        scan_span = tracer.start(
+            "scan",
+            category="stage",
+            track=driver.protocol,
+            protocol=driver.protocol,
+            round=round_number,
+            clients=len(pending.participated),
+        )
+        try:
+            with self.dep.transport.phase() as phase:
+                for client in pending.participated:
+                    try:
+                        events = phase.run(
+                            lambda c=client: driver.scan(
+                                c, round_number, pending.announcement.mailbox_count
+                            )
                         )
-                    )
-                except NetworkError:
-                    pending.failures += 1
-                    driver.scan_failed(client, round_number)
-                    continue
-                if events:
-                    events_by_client[client.email] = events
-        driver.after_scan(round_number)
-        sessions = self._sessions()
-        if sessions is not None:
-            # Feed the session layer: handles submitted into this round are
-            # now delivered, scan events may confirm them, and the retry
-            # pass re-enqueues what stayed unconfirmed past the horizon.
-            sessions.round_finished(
-                driver.protocol, round_number, pending.participated, events_by_client
+                    except NetworkError:
+                        pending.failures += 1
+                        driver.scan_failed(client, round_number)
+                        continue
+                    if events:
+                        events_by_client[client.email] = events
+            driver.after_scan(round_number)
+            sessions = self._sessions()
+            if sessions is not None:
+                # Feed the session layer: handles submitted into this round are
+                # now delivered, scan events may confirm them, and the retry
+                # pass re-enqueues what stayed unconfirmed past the horizon.
+                sessions.round_finished(
+                    driver.protocol, round_number, pending.participated, events_by_client
+                )
+        finally:
+            tracer.end(
+                scan_span,
+                bytes=self.dep.transport.stats.bytes_sent - scan_bytes_before,
             )
         pending.bytes_accum += self.dep.transport.stats.bytes_sent - bytes_before
 
@@ -429,6 +501,8 @@ class RoundEngine:
             events_by_client=events_by_client,
             latency_s=self.dep.clock - pending.started_at,
             submit_stage_s=pending.submitted_at - pending.started_at,
+            mix_stage_s=mix_done - mix_started,
+            scan_stage_s=self.dep.clock - mix_done,
             bytes_sent=pending.bytes_accum,
             failures=pending.failures,
             participants=len(pending.clients),

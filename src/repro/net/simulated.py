@@ -173,14 +173,14 @@ class SimulatedNetwork(Transport):
         self.stats.record(src, dst, method, num_bytes)
 
     # -- the Transport surface ----------------------------------------------
-    def call(
+    def _call(
         self,
         src: str,
         dst: str,
         method: str,
-        payload: bytes = b"",
-        obj: object = None,
-        size_hint: int = 0,
+        payload: bytes,
+        obj: object,
+        size_hint: int,
     ) -> RpcResult:
         handler = self._handler_for(dst)
         start = self.scheduler.now

@@ -32,6 +32,7 @@ from typing import Callable
 
 from repro.errors import NetworkError
 from repro.net.frames import Frame, KIND_REQUEST, frame_overhead
+from repro.obs.trace import active_tracer
 
 
 @dataclass
@@ -79,6 +80,9 @@ class TransportStats:
     messages_dropped: int = 0
     bytes_by_endpoint: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     calls_by_method: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    #: Bytes on the wire per RPC method, so bandwidth attribution reads
+    #: directly instead of multiplying call counts by assumed frame sizes.
+    bytes_by_method: dict[str, int] = field(default_factory=lambda: defaultdict(int))
 
     def record(self, src: str, dst: str, method: str, num_bytes: int) -> None:
         self.messages_sent += 1
@@ -86,6 +90,7 @@ class TransportStats:
         self.bytes_by_endpoint[src] += num_bytes
         self.bytes_by_endpoint[dst] += num_bytes
         self.calls_by_method[method] += 1
+        self.bytes_by_method[method] += num_bytes
 
 
 class Phase:
@@ -176,7 +181,6 @@ class Transport(ABC):
         return frame
 
     # -- the RPC surface ----------------------------------------------------
-    @abstractmethod
     def call(
         self,
         src: str,
@@ -186,7 +190,33 @@ class Transport(ABC):
         obj: object = None,
         size_hint: int = 0,
     ) -> RpcResult:
-        """Send one request and block until the response arrives."""
+        """Send one request and block until the response arrives.
+
+        When tracing is active every RPC is measured as a ``transport``-
+        category span (attribution only, not kept in the trace -- a round
+        moves thousands of frames); disabled, the cost is one global read
+        and an attribute check.
+        """
+        tracer = active_tracer()
+        if not tracer.enabled:
+            return self._call(src, dst, method, payload, obj, size_hint)
+        span = tracer.start(method, category="transport", keep=False)
+        try:
+            return self._call(src, dst, method, payload, obj, size_hint)
+        finally:
+            tracer.end(span)
+
+    @abstractmethod
+    def _call(
+        self,
+        src: str,
+        dst: str,
+        method: str,
+        payload: bytes,
+        obj: object,
+        size_hint: int,
+    ) -> RpcResult:
+        """Transport-specific delivery of one request/response exchange."""
 
     @abstractmethod
     def now(self) -> float:
@@ -217,14 +247,14 @@ class DirectTransport(Transport):
         super().__init__()
         self._clock = 0.0
 
-    def call(
+    def _call(
         self,
         src: str,
         dst: str,
         method: str,
-        payload: bytes = b"",
-        obj: object = None,
-        size_hint: int = 0,
+        payload: bytes,
+        obj: object,
+        size_hint: int,
     ) -> RpcResult:
         handler = self._handler_for(dst)
         # Round-trip the request through the frame codec so that malformed

@@ -1,0 +1,52 @@
+"""repro.obs: the unified observability layer (tracing, metrics, dashboard).
+
+Three concerns, one package, threaded through every tier:
+
+* :mod:`repro.obs.trace` -- per-stage round tracing.  A :class:`Tracer`
+  records spans over *two* clocks (the deployment's simulated clock and the
+  host's wall clock) and exports them as JSONL plus Chrome/Perfetto
+  ``trace_event`` JSON, so a scenario round renders as a flame chart and
+  wall time is attributable to transport vs crypto vs plain Python churn.
+* :mod:`repro.obs.metrics` -- a lightweight counter/gauge/histogram
+  registry that subsumes the harness's ad-hoc accounting
+  (``TransportStats``, shard loads, outbox depth, per-op crypto timings)
+  into one snapshot that lands in ``ScenarioResult`` and ``BENCH_*.json``.
+* :mod:`repro.obs.dashboard` -- a stdlib-only live dashboard
+  (``http.server`` + Server-Sent Events) streaming round/stage/shard stats
+  and EventBus activity to a single-file web UI with run/pause/step.
+
+The tracer follows the crypto engine's activation pattern: a process-wide
+active tracer (:func:`active_tracer`) that defaults to a no-op
+:class:`NullTracer`, so instrumented hot paths cost one attribute check
+when tracing is off.  ``python -m repro.sim --trace PATH`` enables it for a
+scenario run; ``python -m repro.obs validate PATH`` checks an emitted trace
+against the trace-event schema (CI does both).
+"""
+
+from repro.obs.logging import configure_logging, get_logger
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    NullTracer,
+    Span,
+    Tracer,
+    active_tracer,
+    set_active_tracer,
+    validate_trace_events,
+    validate_trace_file,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "configure_logging",
+    "get_logger",
+    "set_active_tracer",
+    "validate_trace_events",
+    "validate_trace_file",
+]

@@ -1,0 +1,42 @@
+"""``python -m repro.obs`` -- observability utilities.
+
+``validate PATH...`` checks emitted Chrome/Perfetto trace files against the
+trace-event schema (well-formed JSON, known phases, balanced begin/end
+pairs, monotonic per-track timestamps, non-negative durations).  CI runs it
+on the scenario smoke's ``--trace`` output; exit status 1 means problems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.trace import validate_trace_file
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__.splitlines()[0]
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    validate = sub.add_parser("validate", help="validate trace-event files")
+    validate.add_argument("paths", nargs="+", help="trace JSON files to check")
+    args = parser.parse_args(argv)
+
+    status = 0
+    for path in args.paths:
+        problems = validate_trace_file(path)
+        if problems:
+            status = 1
+            print(f"{path}: INVALID ({len(problems)} problem(s))")
+            for problem in problems[:20]:
+                print(f"  - {problem}")
+            if len(problems) > 20:
+                print(f"  ... and {len(problems) - 20} more")
+        else:
+            print(f"{path}: ok")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

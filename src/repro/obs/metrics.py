@@ -1,0 +1,138 @@
+"""A lightweight cross-tier metrics registry: counters, gauges, histograms.
+
+This subsumes the harness's scattered ad-hoc accounting — transport byte
+totals, per-shard loads, session outbox depth, per-op crypto timings — into
+one :class:`MetricsRegistry` whose :meth:`~MetricsRegistry.snapshot` is a
+plain JSON-safe dict.  The scenario harness snapshots a registry into
+``ScenarioResult.metrics`` at the end of every run, and benchmark reports
+embed the same shape in ``BENCH_*.json``.
+
+Metric names are dotted paths, e.g. ``transport.bytes.submit_batch`` or
+``cluster.shard_load.3``; see the README "Observability" section for the
+full catalogue.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing total (floats allowed, e.g. seconds)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (got {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value that can move in either direction."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Streaming summary of observed values: count / sum / min / max / mean."""
+
+    __slots__ = ("name", "count", "total", "minimum", "maximum")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create accessors over named counters/gauges/histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = Counter(name)
+        return metric
+
+    def gauge(self, name: str) -> Gauge:
+        metric = self._gauges.get(name)
+        if metric is None:
+            metric = self._gauges[name] = Gauge(name)
+        return metric
+
+    def histogram(self, name: str) -> Histogram:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = Histogram(name)
+        return metric
+
+    # convenience shorthands -------------------------------------------------
+
+    def count(self, name: str, amount: float = 1) -> None:
+        self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def count_mapping(self, prefix: str, mapping: dict[str, float]) -> None:
+        """Bulk-import a ``{suffix: amount}`` dict as ``prefix.suffix`` counters."""
+        for suffix, amount in mapping.items():
+            self.counter(f"{prefix}.{suffix}").inc(amount)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "counters": {name: metric.value for name, metric in sorted(self._counters.items())},
+            "gauges": {name: metric.value for name, metric in sorted(self._gauges.items())},
+            "histograms": {
+                name: metric.to_dict() for name, metric in sorted(self._histograms.items())
+            },
+        }

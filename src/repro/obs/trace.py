@@ -1,0 +1,537 @@
+"""Per-stage round tracing over two clocks, exportable to Perfetto.
+
+A :class:`Span` measures one operation on both the deployment's *simulated*
+clock (what the discrete-event scheduler says the operation took) and the
+host's *wall* clock (what it actually cost to execute).  The two disagree
+on purpose: under :class:`~repro.net.simulated.SimulatedNetwork` a server
+handler runs at a single simulated instant yet burns real CPU, and
+concurrent phase tasks share one simulated interval while executing
+sequentially in wall time.  That sequential execution is what makes the
+wall-clock side of the trace a proper *stack*: spans nest, so each span's
+self time (wall minus children) attributes cleanly to a category —
+``transport`` (frame codec + RPC bookkeeping), ``crypto`` (engine calls),
+``mix`` / ``cluster`` (server-side batch work), or ``other`` (Python object
+churn in the stage body itself).
+
+Span categories:
+
+* ``stage`` -- the four round stages emitted by ``RoundEngine``
+  (``announce`` / ``submit`` / ``mix`` / ``scan``), one track per protocol.
+  Their simulated durations tile ``RoundSummary.latency_s`` exactly in
+  sequential mode.
+* ``transport`` -- one (unkept) span per RPC; feeds attribution only.
+* ``crypto`` -- engine ops via ``InstrumentedCryptoBackend``; batch calls
+  are kept as real spans, single ops feed attribution only.
+* ``mix`` / ``cluster`` -- ``MixServer.process_batch``, shard-router
+  broadcasts/collects, and ``IngressProxy`` flushes.
+
+Exports: :meth:`Tracer.write_jsonl` (one span dict per line),
+:meth:`Tracer.write_chrome_trace` (Chrome/Perfetto ``trace_event`` JSON
+with a simulated-time timeline and a wall-clock flame chart as two
+processes), and :meth:`Tracer.report` (the attribution summary that lands
+in ``BENCH_trace.json``).  :func:`validate_trace_events` checks an emitted
+trace for schema problems; CI runs it via ``python -m repro.obs validate``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+__all__ = [
+    "CATEGORY_CRYPTO",
+    "CATEGORY_STAGE",
+    "CATEGORY_TRANSPORT",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "active_tracer",
+    "set_active_tracer",
+    "validate_trace_events",
+    "validate_trace_file",
+]
+
+CATEGORY_STAGE = "stage"
+CATEGORY_TRANSPORT = "transport"
+CATEGORY_CRYPTO = "crypto"
+CATEGORY_MIX = "mix"
+CATEGORY_CLUSTER = "cluster"
+CATEGORY_OTHER = "other"
+
+#: Trace-event process ids: simulated-time timeline vs wall-clock flame chart.
+SIM_PID = 1
+WALL_PID = 2
+
+#: Key used when a non-stage span ends with no enclosing stage span.
+UNSTAGED = "unstaged"
+
+
+class Span:
+    """One traced operation, measured on the simulated and wall clocks."""
+
+    __slots__ = (
+        "name",
+        "category",
+        "track",
+        "sim_start",
+        "sim_end",
+        "wall_start",
+        "wall_end",
+        "args",
+        "keep",
+        "depth",
+        "child_wall",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        category: str,
+        track: str,
+        sim_start: float,
+        wall_start: float,
+        args: dict[str, Any],
+        keep: bool,
+        depth: int,
+    ) -> None:
+        self.name = name
+        self.category = category
+        self.track = track
+        self.sim_start = sim_start
+        self.sim_end = sim_start
+        self.wall_start = wall_start
+        self.wall_end = wall_start
+        self.args = args
+        self.keep = keep
+        self.depth = depth
+        self.child_wall = 0.0
+
+    @property
+    def sim_duration(self) -> float:
+        return max(0.0, self.sim_end - self.sim_start)
+
+    @property
+    def wall_duration(self) -> float:
+        return max(0.0, self.wall_end - self.wall_start)
+
+    @property
+    def self_wall(self) -> float:
+        """Wall time spent in this span excluding enclosed child spans."""
+        return max(0.0, self.wall_duration - self.child_wall)
+
+    def set(self, **args: Any) -> "Span":
+        """Attach extra attributes; chainable inside a ``with`` block."""
+        self.args.update(args)
+        return self
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "cat": self.category,
+            "track": self.track,
+            "sim_start": self.sim_start,
+            "sim_dur": self.sim_duration,
+            "wall_start": self.wall_start,
+            "wall_dur": self.wall_duration,
+            "self_wall": self.self_wall,
+            "depth": self.depth,
+            "args": _json_safe(self.args),
+        }
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+    name = ""
+    category = CATEGORY_OTHER
+    track = ""
+    sim_start = sim_end = 0.0
+    wall_start = wall_end = 0.0
+    sim_duration = wall_duration = self_wall = 0.0
+    depth = 0
+    child_wall = 0.0
+    keep = False
+    args: dict[str, Any] = {}
+
+    def set(self, **args: Any) -> "_NullSpan":
+        return self
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Records spans; one instance per traced run.
+
+    The simulated clock is injected as a zero-arg callable so the tracer can
+    be constructed before the deployment exists; ``Deployment`` calls
+    :meth:`bind_clock` with ``transport.now`` once the network is built.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self.clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
+        self.spans: list[Span] = []
+        self.wall_epoch = time.perf_counter()
+        self._stack: list[Span] = []
+        # (protocol/stage) key -> category -> self-wall seconds.
+        self._attribution: dict[str, dict[str, float]] = {}
+        # (protocol/stage) key -> aggregate sim/wall/bytes/count totals.
+        self._stage_totals: dict[str, dict[str, float]] = {}
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        self.clock = clock
+
+    # ------------------------------------------------------------------
+    # span lifecycle
+
+    def start(
+        self,
+        name: str,
+        category: str = CATEGORY_OTHER,
+        track: str | None = None,
+        keep: bool = True,
+        **args: Any,
+    ) -> Span:
+        span = Span(
+            name,
+            category,
+            track if track is not None else name,
+            self.clock(),
+            time.perf_counter(),
+            args,
+            keep,
+            len(self._stack),
+        )
+        self._stack.append(span)
+        return span
+
+    def end(self, span: Span, **args: Any) -> Span:
+        if args:
+            span.args.update(args)
+        span.sim_end = self.clock()
+        span.wall_end = time.perf_counter()
+        # Pop down to the span being ended; tolerates children that leaked
+        # past their own end() (an instrumentation bug, not a crash).
+        while self._stack:
+            if self._stack.pop() is span:
+                break
+        if self._stack:
+            self._stack[-1].child_wall += span.wall_duration
+        self._account(span)
+        if span.keep:
+            self.spans.append(span)
+        return span
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        category: str = CATEGORY_OTHER,
+        track: str | None = None,
+        keep: bool = True,
+        **args: Any,
+    ) -> Iterator[Span]:
+        sp = self.start(name, category=category, track=track, keep=keep, **args)
+        try:
+            yield sp
+        finally:
+            self.end(sp)
+
+    def stage(self, name: str, protocol: str, round_number: int, **args: Any):
+        """A kept ``stage``-category span on the protocol's track."""
+        return self.span(
+            name,
+            category=CATEGORY_STAGE,
+            track=protocol,
+            protocol=protocol,
+            round=round_number,
+            **args,
+        )
+
+    def measure(self, category: str):
+        """An unkept span that only feeds wall-clock attribution."""
+        return self.span(category, category=category, keep=False)
+
+    # ------------------------------------------------------------------
+    # attribution
+
+    @staticmethod
+    def _stage_key(span: Span) -> str:
+        protocol = span.args.get("protocol", span.track)
+        return f"{protocol}/{span.name}"
+
+    def _enclosing_stage(self) -> str:
+        for frame in reversed(self._stack):
+            if frame.category == CATEGORY_STAGE:
+                return self._stage_key(frame)
+        return UNSTAGED
+
+    def _account(self, span: Span) -> None:
+        if span.category == CATEGORY_STAGE:
+            key = self._stage_key(span)
+            totals = self._stage_totals.setdefault(
+                key, {"sim_s": 0.0, "wall_s": 0.0, "bytes": 0, "count": 0}
+            )
+            totals["sim_s"] += span.sim_duration
+            totals["wall_s"] += span.wall_duration
+            totals["bytes"] += int(span.args.get("bytes", 0) or 0)
+            totals["count"] += 1
+            # A stage's own self time is the Python churn its body performs
+            # outside any instrumented call.
+            bucket_key, category = key, CATEGORY_OTHER
+        else:
+            bucket_key, category = self._enclosing_stage(), span.category
+        bucket = self._attribution.setdefault(bucket_key, {})
+        bucket[category] = bucket.get(category, 0.0) + span.self_wall
+
+    # ------------------------------------------------------------------
+    # export
+
+    def to_trace_events(self) -> list[dict[str, Any]]:
+        """Chrome/Perfetto ``trace_event`` list.
+
+        Two processes: pid ``SIM_PID`` holds the simulated-time timeline
+        (stage spans as complete ``X`` events, one track per protocol) and
+        pid ``WALL_PID`` holds the wall-clock flame chart (every kept span
+        as a balanced ``B``/``E`` pair on a single track).  Timestamps are
+        microseconds, as the format requires.
+        """
+        events: list[dict[str, Any]] = [
+            _meta(SIM_PID, 0, "process_name", name="simulated time"),
+            _meta(WALL_PID, 0, "process_name", name="wall clock"),
+            _meta(WALL_PID, 1, "thread_name", name="run"),
+        ]
+        tids: dict[str, int] = {}
+        sim_events: list[dict[str, Any]] = []
+        wall_events: list[tuple[float, int, dict[str, Any]]] = []
+        for span in self.spans:
+            if span.category == CATEGORY_STAGE:
+                if span.track not in tids:
+                    tids[span.track] = len(tids) + 1
+                    events.append(
+                        _meta(SIM_PID, tids[span.track], "thread_name", name=span.track)
+                    )
+                sim_events.append(
+                    {
+                        "name": span.name,
+                        "cat": span.category,
+                        "ph": "X",
+                        "pid": SIM_PID,
+                        "tid": tids[span.track],
+                        "ts": round(span.sim_start * 1e6, 3),
+                        "dur": round(span.sim_duration * 1e6, 3),
+                        "args": _json_safe(span.args),
+                    }
+                )
+            begin_ts = round((span.wall_start - self.wall_epoch) * 1e6, 3)
+            end_ts = round((span.wall_end - self.wall_epoch) * 1e6, 3)
+            common = {"name": span.name, "cat": span.category, "pid": WALL_PID, "tid": 1}
+            wall_events.append(
+                (begin_ts, span.depth, {**common, "ph": "B", "ts": begin_ts, "args": _json_safe(span.args)})
+            )
+            # At equal timestamps a deeper span's E must precede its
+            # parent's E, and any E must precede an adjacent span's B;
+            # sorting by (ts, key) with E keyed below B achieves both.
+            wall_events.append((end_ts, -span.depth - 1, {**common, "ph": "E", "ts": end_ts}))
+        sim_events.sort(key=lambda ev: (ev["tid"], ev["ts"]))
+        wall_events.sort(key=lambda item: (item[0], item[1]))
+        events.extend(sim_events)
+        events.extend(ev for _ts, _order, ev in wall_events)
+        return events
+
+    def write_chrome_trace(self, path: str | Path) -> Path:
+        path = Path(path)
+        payload = {
+            "traceEvents": self.to_trace_events(),
+            "displayTimeUnit": "ms",
+            "otherData": {"clockDomains": {str(SIM_PID): "simulated", str(WALL_PID): "wall"}},
+        }
+        path.write_text(json.dumps(payload, indent=1), encoding="utf-8")
+        return path
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as fh:
+            for span in self.spans:
+                fh.write(json.dumps(span.to_dict()) + "\n")
+        return path
+
+    def report(self) -> dict[str, Any]:
+        """Stage totals plus per-stage wall-clock attribution.
+
+        This is the payload recorded as ``BENCH_trace.json``: for every
+        ``protocol/stage`` key, the simulated and wall durations, bytes
+        moved, and the breakdown of wall self time by category.
+        """
+        stages = {
+            key: {
+                "sim_s": round(totals["sim_s"], 6),
+                "wall_s": round(totals["wall_s"], 6),
+                "bytes": int(totals["bytes"]),
+                "count": int(totals["count"]),
+            }
+            for key, totals in sorted(self._stage_totals.items())
+        }
+        attribution: dict[str, dict[str, float]] = {}
+        category_totals: dict[str, float] = {}
+        for key, bucket in sorted(self._attribution.items()):
+            attribution[key] = {cat: round(wall, 6) for cat, wall in sorted(bucket.items())}
+            for cat, wall in bucket.items():
+                category_totals[cat] = category_totals.get(cat, 0.0) + wall
+        return {
+            "stages": stages,
+            "attribution": attribution,
+            "category_totals": {c: round(w, 6) for c, w in sorted(category_totals.items())},
+            "span_count": len(self.spans),
+        }
+
+
+class NullTracer:
+    """The default, do-nothing tracer; every hot-path hook checks
+    ``active_tracer().enabled`` (or gets :data:`NULL_SPAN` back) so the
+    disabled cost is one global read and an attribute check."""
+
+    enabled = False
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        pass
+
+    def start(self, name: str, **kwargs: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def end(self, span: Any, **args: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    @contextmanager
+    def span(self, name: str, **kwargs: Any) -> Iterator[_NullSpan]:
+        yield NULL_SPAN
+
+    def stage(self, name: str, protocol: str, round_number: int, **args: Any):
+        return self.span(name)
+
+    def measure(self, category: str):
+        return self.span(category)
+
+    def report(self) -> dict[str, Any]:
+        return {"stages": {}, "attribution": {}, "category_totals": {}, "span_count": 0}
+
+
+_NULL_TRACER = NullTracer()
+_active_tracer: Tracer | NullTracer = _NULL_TRACER
+
+
+def active_tracer() -> Tracer | NullTracer:
+    """The process-wide tracer instrumentation hooks report to."""
+    return _active_tracer
+
+
+def set_active_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer:
+    """Install ``tracer`` (or the null tracer for ``None``); returns the
+    previous one so callers can restore it."""
+    global _active_tracer
+    previous = _active_tracer
+    _active_tracer = tracer if tracer is not None else _NULL_TRACER
+    return previous
+
+
+# ----------------------------------------------------------------------
+# trace-event validation (used by CI via ``python -m repro.obs validate``)
+
+_KNOWN_PHASES = {"B", "E", "X", "M", "I", "i", "C"}
+
+
+def validate_trace_events(events: Any) -> list[str]:
+    """Return a list of schema problems (empty means the trace is valid).
+
+    Checks: the payload is a list of dicts, phases are known, ``B``/``E``
+    events balance per ``(pid, tid)`` with matching names, timestamps are
+    numeric and non-decreasing per ``(pid, tid)``, and ``X`` durations are
+    non-negative.
+    """
+    if not isinstance(events, list):
+        return ["traceEvents is not a list"]
+    problems: list[str] = []
+    stacks: dict[tuple[Any, Any], list[str]] = {}
+    last_ts: dict[tuple[Any, Any], float] = {}
+    for index, event in enumerate(events):
+        where = f"event[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in _KNOWN_PHASES:
+            problems.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if phase == "M":
+            continue
+        key = (event.get("pid"), event.get("tid"))
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: non-numeric ts {ts!r}")
+            continue
+        if ts < last_ts.get(key, float("-inf")):
+            problems.append(
+                f"{where}: ts {ts} goes backwards on pid/tid {key} "
+                f"(previous {last_ts[key]})"
+            )
+        last_ts[key] = ts
+        if phase == "B":
+            name = event.get("name")
+            if not isinstance(name, str) or not name:
+                problems.append(f"{where}: B event without a name")
+                name = "?"
+            stacks.setdefault(key, []).append(name)
+        elif phase == "E":
+            stack = stacks.get(key)
+            if not stack:
+                problems.append(f"{where}: E event with no open B on pid/tid {key}")
+                continue
+            opened = stack.pop()
+            name = event.get("name")
+            if name is not None and name != opened:
+                problems.append(
+                    f"{where}: E event name {name!r} does not match open span {opened!r}"
+                )
+        elif phase == "X":
+            duration = event.get("dur", 0)
+            if not isinstance(duration, (int, float)) or duration < 0:
+                problems.append(f"{where}: X event with bad dur {duration!r}")
+    for key, stack in stacks.items():
+        if stack:
+            problems.append(f"pid/tid {key}: {len(stack)} unclosed B event(s): {stack[-3:]}")
+    return problems
+
+
+def validate_trace_file(path: str | Path) -> list[str]:
+    """Validate a trace file (either ``{"traceEvents": [...]}`` or a bare
+    JSON array, both of which Perfetto accepts)."""
+    path = Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable or malformed JSON: {exc}"]
+    if isinstance(payload, dict):
+        payload = payload.get("traceEvents")
+    return validate_trace_events(payload)
+
+
+# ----------------------------------------------------------------------
+# helpers
+
+
+def _meta(pid: int, tid: int, event: str, **args: Any) -> dict[str, Any]:
+    return {"ph": "M", "pid": pid, "tid": tid, "ts": 0, "name": event, "args": args}
+
+
+def _json_safe(args: dict[str, Any]) -> dict[str, Any]:
+    return {
+        key: value if isinstance(value, (str, int, float, bool)) or value is None else str(value)
+        for key, value in args.items()
+    }

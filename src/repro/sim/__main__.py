@@ -21,6 +21,20 @@ over a shard-count x Zipf-skew grid (plus an ingress batch comparison and an
 optional ``--sweep-cdn-egress`` axis) and writes ``BENCH_shard.json``.
 ``--sweep-crypto`` microbenchmarks every available crypto backend and runs a
 backend x client-count scenario grid into ``BENCH_crypto.json``.
+
+Observability flags (single-run mode)::
+
+    python -m repro.sim --scenario metropolis --trace trace.json
+    python -m repro.sim --scenario baseline --dashboard 8350
+    python -m repro.sim --scenario baseline --log-level debug
+
+``--trace PATH`` records per-stage round spans (announce / submit / mix /
+scan), shard and ingress spans, and crypto-engine batch spans, then writes a
+Chrome/Perfetto ``trace_event`` file to PATH, a raw span dump next to it
+(``PATH`` with a ``.jsonl`` suffix), and a wall-clock attribution report to
+``BENCH_trace.json``.  ``--dashboard PORT`` serves a live HTML dashboard
+(Server-Sent Events) with run/pause/step control while the scenario runs.
+``--log-level LEVEL`` routes structured per-event logs to stderr.
 """
 
 from __future__ import annotations
@@ -30,7 +44,7 @@ import json
 import sys
 
 from repro.bench.reporting import format_table
-from repro.sim.scenarios import SCENARIOS, run_scenario, scenario_names
+from repro.sim.scenarios import SCENARIOS, make_scenario, scenario_names
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -211,11 +225,44 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N,N,...",
         help="client counts for the --sweep-crypto grid (default: 100,400)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record per-stage/crypto/shard spans and write a Chrome trace_event "
+        "file to PATH (plus PATH.jsonl raw spans and BENCH_trace.json "
+        "wall-clock attribution); single-run mode only",
+    )
+    parser.add_argument(
+        "--dashboard",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="serve a live dashboard (SSE) on 127.0.0.1:PORT during the run "
+        "with run/pause/step control (0 = any free port); single-run mode only",
+    )
+    parser.add_argument(
+        "--dashboard-paused",
+        action="store_true",
+        help="start the --dashboard run paused (press Run or Step in the UI)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        metavar="LEVEL",
+        choices=("debug", "info", "warning", "error"),
+        help="route structured per-round (and, at debug, per-event) logs to stderr",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+
+    if args.log_level:
+        from repro.obs.logging import configure_logging
+
+        configure_logging(args.log_level)
 
     if args.list:
         for name in scenario_names():
@@ -259,6 +306,13 @@ def main(argv: list[str] | None = None) -> int:
     if args.cdn_egress_mbps is not None:
         overrides["cdn_egress_mbps"] = args.cdn_egress_mbps
 
+    sweeping = args.sweep_crypto is not None or args.sweep_shards is not None
+    sweeping = sweeping or args.sweep_cdn_egress is not None or args.sweep
+    if sweeping and (args.trace or args.dashboard is not None):
+        print("note: --trace/--dashboard apply to single runs only; ignored with sweeps")
+        args.trace = None
+        args.dashboard = None
+
     if args.sweep_crypto is not None:
         return run_crypto_sweep_cli(args, overrides)
     if args.sweep_shards is not None or args.sweep_cdn_egress is not None:
@@ -267,10 +321,43 @@ def main(argv: list[str] | None = None) -> int:
         return run_sweep_cli(args, overrides)
 
     try:
-        result = run_scenario(args.scenario or "baseline", **overrides)
+        scenario = make_scenario(args.scenario or "baseline", **overrides)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+
+    if args.log_level:
+        from repro.obs.logging import EventLogMonitor
+
+        scenario.monitors.append(EventLogMonitor())
+
+    dashboard = None
+    if args.dashboard is not None:
+        from repro.obs.dashboard import DashboardMonitor, DashboardServer
+
+        dashboard = DashboardServer(port=args.dashboard)
+        dashboard.start()
+        scenario.monitors.append(
+            DashboardMonitor(dashboard, paused=args.dashboard_paused)
+        )
+        print(f"dashboard: {dashboard.url}  (run/pause/step from the page)")
+        if args.dashboard_paused:
+            print("dashboard: starting paused; press Run or Step to begin")
+
+    from repro.obs.trace import NullTracer, Tracer, active_tracer, set_active_tracer
+
+    previous_tracer = active_tracer()
+    tracer = Tracer() if args.trace else NullTracer()
+    set_active_tracer(tracer)
+    try:
+        result = scenario.run()
+    finally:
+        set_active_tracer(previous_tracer)
+        if dashboard is not None:
+            dashboard.stop()
+
+    if args.trace:
+        write_trace_outputs(args.trace, tracer, result)
 
     headers, rows = result.table()
     print(
@@ -315,6 +402,40 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def write_trace_outputs(path: str, tracer, result) -> None:
+    """Write the Chrome trace, the raw span dump, and ``BENCH_trace.json``."""
+    from pathlib import Path
+
+    from repro.bench.reporting import write_json_report
+
+    trace_path = Path(path)
+    tracer.write_chrome_trace(trace_path)
+    jsonl_path = trace_path.with_suffix(".jsonl")
+    tracer.write_jsonl(jsonl_path)
+
+    report = tracer.report()
+    total_latency = sum(r.latency_s for r in result.rounds)
+    stage_sim = sum(stage["sim_s"] for stage in report["stages"].values())
+    report["scenario"] = {
+        "name": result.name,
+        "clients": result.spec.num_clients,
+        "rounds": len(result.rounds),
+        "wall_seconds": result.wall_seconds,
+    }
+    report["coverage"] = {
+        "stage_sim_s": stage_sim,
+        "round_latency_s": total_latency,
+        "fraction": (stage_sim / total_latency) if total_latency else 1.0,
+    }
+    bench_path = write_json_report("trace", report)
+    print(f"wrote {trace_path} ({report['span_count']} spans), {jsonl_path}")
+    print(
+        f"wrote {bench_path}: stage coverage "
+        f"{report['coverage']['fraction'] * 100:.1f}% of "
+        f"{total_latency:.1f}s simulated round latency"
+    )
+
+
 def run_crypto_sweep_cli(args, overrides: dict) -> int:
     from repro.sim.crypto_sweep import emit_crypto_report, run_crypto_sweep
 
@@ -345,9 +466,11 @@ def run_crypto_sweep_cli(args, overrides: dict) -> int:
         overrides["scenario"] = args.scenario
     from repro.errors import ConfigurationError
 
+    from repro.obs.logging import progress_printer
+
     try:
         result = run_crypto_sweep(
-            backends=backends, clients=clients, progress=print, **overrides
+            backends=backends, clients=clients, progress=progress_printer(), **overrides
         )
     except (ConfigurationError, KeyError) as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
@@ -401,6 +524,8 @@ def run_shard_sweep_cli(args, overrides: dict) -> int:
             file=sys.stderr,
         )
         return 2
+    from repro.obs.logging import progress_printer
+
     result = run_shard_sweep(
         shard_counts=shard_counts,
         zipf_alphas=zipf_alphas,
@@ -408,7 +533,7 @@ def run_shard_sweep_cli(args, overrides: dict) -> int:
         access_mbps=args.sweep_access_mbps,
         batch_sizes=batch_sizes,
         cdn_egress_mbps=cdn_egress,
-        progress=print,
+        progress=progress_printer(),
         **overrides,
     )
     path = emit_shard_report(result)
@@ -459,7 +584,7 @@ def run_sweep_cli(args, overrides: dict) -> int:
             latencies_ms=latencies,
             retry_horizons=retry_horizons,
             fanout_pkgs=args.sweep_fanout_pkgs or None,
-            progress=print,
+            progress=progress_printer(),
             **overrides,
         )
     except KeyError as exc:

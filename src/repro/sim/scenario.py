@@ -125,6 +125,12 @@ class RoundStats:
     #: The announce+submit stage's share of ``latency_s`` (the stage the
     #: per-PKG fan-out shortens).
     submit_stage_s: float = 0.0
+    #: The mix+publish slice of ``latency_s`` (close_round through the CDN
+    #: publish -- the stage the crypto engine accelerates).
+    mix_stage_s: float = 0.0
+    #: The client scan/download slice of ``latency_s`` (the stage a capped
+    #: CDN egress link stretches).
+    scan_stage_s: float = 0.0
 
     @staticmethod
     def from_summary(summary: RoundSummary) -> "RoundStats":
@@ -142,6 +148,8 @@ class RoundStats:
             bytes_sent=summary.bytes_sent,
             aborted=summary.aborted,
             submit_stage_s=summary.submit_stage_s,
+            mix_stage_s=summary.mix_stage_s,
+            scan_stage_s=summary.scan_stage_s,
         )
 
     def to_dict(self) -> dict:
@@ -156,6 +164,8 @@ class RoundStats:
             "noise_added": self.noise_added,
             "latency_s": round(self.latency_s, 6),
             "submit_stage_s": round(self.submit_stage_s, 6),
+            "mix_stage_s": round(self.mix_stage_s, 6),
+            "scan_stage_s": round(self.scan_stage_s, 6),
             "bytes_sent": self.bytes_sent,
             "aborted": self.aborted,
         }
@@ -190,6 +200,14 @@ class ScenarioResult:
     #: Snapshot of ``TransportStats.calls_by_method`` -- how many frames of
     #: each RPC rode the wire (the ingress-batching measurement).
     calls_by_method: dict = field(default_factory=dict)
+    #: Snapshot of ``TransportStats.bytes_by_method`` -- bytes on the wire
+    #: per RPC method, so bandwidth attribution no longer re-derives bytes
+    #: from call counts times assumed frame sizes.
+    bytes_by_method: dict = field(default_factory=dict)
+    #: The cross-tier metrics snapshot (see :mod:`repro.obs.metrics`):
+    #: transport totals, per-shard loads, outbox depth, round-stage
+    #: histograms, and per-op crypto timings when the engine was traced.
+    metrics: dict = field(default_factory=dict)
 
     def rounds_for(self, protocol: str) -> list[RoundStats]:
         return [r for r in self.rounds if r.protocol == protocol]
@@ -249,6 +267,8 @@ class ScenarioResult:
             "friend_requests": self.friend_requests,
             "shard_loads": self.shard_loads,
             "calls_by_method": self.calls_by_method,
+            "bytes_by_method": self.bytes_by_method,
+            "metrics": self.metrics,
         }
 
     def table(self) -> tuple[list[str], list[list]]:
@@ -280,6 +300,13 @@ class Scenario:
 
     def __init__(self, spec: ScenarioSpec) -> None:
         self.spec = spec
+        #: Observability monitors (duck-typed; see ``_notify``).  Hooks:
+        #: ``on_start(deployment, net, spec)`` once the deployment is
+        #: populated, ``before_round(deployment, protocol, round_index)``
+        #: just before each round (where a dashboard's pause/step gate
+        #: blocks), ``on_round(stats, deployment)`` after each round
+        #: (aborted ones included), ``on_finish(result)`` at the end.
+        self.monitors: list = []
         #: Handles for the pre-run friendship pairs (queued via sessions).
         self.request_handles: list = []
         #: Handles for requests queued mid-run (e.g. a churn scenario's late
@@ -432,11 +459,19 @@ class Scenario:
                 client.call(friends[0])
 
     # -- the run loop ------------------------------------------------------
+    def _notify(self, method: str, *args) -> None:
+        """Invoke ``method`` on every attached monitor that defines it."""
+        for monitor in self.monitors:
+            hook = getattr(monitor, method, None)
+            if hook is not None:
+                hook(*args)
+
     def run(self) -> ScenarioResult:
         started = time.perf_counter()
         deployment, net = self.build()
         self.configure(deployment, net)
         self.populate(deployment)
+        self._notify("on_start", deployment, net, self.spec)
 
         result = ScenarioResult(name=self.spec.name, spec=self.spec)
         self._drive_protocol(deployment, net, "add-friend", self.spec.addfriend_rounds, result)
@@ -454,11 +489,58 @@ class Scenario:
         result.total_bytes_sent = net.stats.bytes_sent
         result.total_messages_sent = net.stats.messages_sent
         result.calls_by_method = dict(net.stats.calls_by_method)
+        result.bytes_by_method = dict(net.stats.bytes_by_method)
         cluster = getattr(deployment, "cluster", None)
         if cluster is not None:
             result.shard_loads = cluster.load_report()
+        result.metrics = self._collect_metrics(deployment, net, result)
         result.wall_seconds = time.perf_counter() - started
+        self._notify("on_finish", result)
         return result
+
+    def _collect_metrics(self, deployment: Deployment, net: SimulatedNetwork, result: ScenarioResult) -> dict:
+        """Snapshot the run into a :class:`~repro.obs.metrics.MetricsRegistry`.
+
+        Subsumes the ad-hoc accounting scattered across tiers: transport
+        totals and per-method breakdowns, per-shard submission loads,
+        session outbox depth, per-stage round latencies, and -- when the
+        crypto engine ran instrumented (``--trace``) -- per-op timings.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        stats = net.stats
+        registry.count("transport.messages_sent", stats.messages_sent)
+        registry.count("transport.bytes_sent", stats.bytes_sent)
+        registry.count_mapping("transport.bytes", stats.bytes_by_method)
+        registry.count_mapping("transport.calls", stats.calls_by_method)
+        registry.set_gauge("sessions.count", len(deployment.sessions))
+        registry.set_gauge(
+            "sessions.outbox_depth",
+            sum(len(s.pending_requests()) for s in deployment.sessions),
+        )
+        for stats_row in result.rounds:
+            if stats_row.aborted:
+                registry.count(f"rounds.aborted.{stats_row.protocol}")
+                continue
+            proto = stats_row.protocol
+            registry.observe(f"round.latency_s.{proto}", stats_row.latency_s)
+            registry.observe(f"round.submit_stage_s.{proto}", stats_row.submit_stage_s)
+            registry.observe(f"round.mix_stage_s.{proto}", stats_row.mix_stage_s)
+            registry.observe(f"round.scan_stage_s.{proto}", stats_row.scan_stage_s)
+            registry.count(f"round.failures.{proto}", stats_row.failures)
+        shard_loads = result.shard_loads.get("submissions_by_shard")
+        if shard_loads:
+            for shard_index, load in enumerate(shard_loads):
+                registry.set_gauge(f"cluster.shard_load.{shard_index}", load)
+            registry.set_gauge("cluster.imbalance", result.shard_loads.get("imbalance", 0.0))
+        op_stats = getattr(deployment.crypto, "op_stats", None)
+        if op_stats is not None:
+            for op, row in op_stats.snapshot().items():
+                registry.count(f"crypto.calls.{op}", row["calls"])
+                registry.count(f"crypto.items.{op}", row["items"])
+                registry.count(f"crypto.wall_s.{op}", row["wall_s"])
+        return registry.snapshot()
 
     def _friend_request_stats(self) -> dict:
         """Liveness accounting over the handles this scenario queued."""
@@ -528,6 +610,7 @@ class Scenario:
         """Drive ``count`` overlapped rounds; returns simulated busy time."""
 
         def participants_for(round_index: int):
+            self._notify("before_round", deployment, protocol, round_index)
             self.before_round(deployment, net, protocol, round_index)
             return self.participants(deployment, protocol, round_index)
 
@@ -539,6 +622,7 @@ class Scenario:
             result.rounds.append(RoundStats.from_summary(summary))
             if not summary.aborted:
                 self.after_round(deployment, net, summary)
+            self._notify("on_round", result.rounds[-1], deployment)
 
         started_clock = deployment.clock
         deployment.run_rounds(
@@ -560,6 +644,7 @@ class Scenario:
     ) -> float:
         """Drive one sequential round; returns the simulated time it cost
         (the inter-round idle gap excluded)."""
+        self._notify("before_round", deployment, protocol, round_index)
         self.before_round(deployment, net, protocol, round_index)
         participants = self.participants(deployment, protocol, round_index)
         online = len(participants) if participants is not None else len(deployment.clients)
@@ -598,9 +683,11 @@ class Scenario:
                     aborted=True,
                 )
             )
+            self._notify("on_round", result.rounds[-1], deployment)
             return busy
         result.rounds.append(RoundStats.from_summary(summary))
         self.after_round(deployment, net, summary)
+        self._notify("on_round", result.rounds[-1], deployment)
         return summary.latency_s
 
 

@@ -1,0 +1,117 @@
+"""Tests for repro.obs.metrics and the structured-logging helpers."""
+
+from __future__ import annotations
+
+import io
+import logging
+
+import pytest
+
+from repro.obs.logging import configure_logging, get_logger, log_fields
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments_accumulate(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_rejects_negative_amounts(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_inc_move_both_directions(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(-3)
+        assert gauge.value == 7
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = Histogram("h")
+        for value in (1.0, 3.0, 2.0):
+            histogram.observe(value)
+        assert histogram.to_dict() == {
+            "count": 3,
+            "sum": pytest.approx(6.0),
+            "min": 1.0,
+            "max": 3.0,
+            "mean": pytest.approx(2.0),
+        }
+
+    def test_empty_histogram_is_all_zero(self):
+        assert Histogram("h").to_dict()["count"] == 0
+        assert Histogram("h").mean == 0.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_the_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_shorthands(self):
+        registry = MetricsRegistry()
+        registry.count("hits", 2)
+        registry.set_gauge("depth", 5)
+        registry.observe("latency", 0.25)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["hits"] == 2
+        assert snapshot["gauges"]["depth"] == 5
+        assert snapshot["histograms"]["latency"]["count"] == 1
+
+    def test_count_mapping_prefixes_every_key(self):
+        registry = MetricsRegistry()
+        registry.count_mapping("transport.bytes", {"submit": 10, "scan": 20})
+        counters = registry.snapshot()["counters"]
+        assert counters == {"transport.bytes.scan": 20, "transport.bytes.submit": 10}
+
+    def test_snapshot_is_sorted_and_json_safe(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.count("b")
+        registry.count("a")
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["a", "b"]
+        json.dumps(snapshot)  # must not raise
+
+
+class TestLogging:
+    def test_log_fields_formats_and_skips_none(self):
+        rendered = log_fields(round=3, latency_s=0.123456789, skipped=None, name="x")
+        assert rendered == "round=3 latency_s=0.123457 name=x"
+
+    def test_configure_logging_routes_to_the_given_stream(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        try:
+            get_logger("test").info("hello %s", log_fields(n=1))
+            assert "hello n=1" in stream.getvalue()
+            assert "repro.test" in stream.getvalue()
+        finally:
+            root = get_logger()
+            for handler in list(root.handlers):
+                root.removeHandler(handler)
+
+    def test_configure_logging_is_idempotent(self):
+        stream = io.StringIO()
+        configure_logging("debug", stream=stream)
+        configure_logging("debug", stream=stream)
+        try:
+            assert len(get_logger().handlers) == 1
+            assert get_logger().level == logging.DEBUG
+        finally:
+            root = get_logger()
+            for handler in list(root.handlers):
+                root.removeHandler(handler)
+
+    def test_unknown_level_raises(self):
+        with pytest.raises(ValueError):
+            configure_logging("chatty")
