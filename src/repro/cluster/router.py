@@ -37,7 +37,7 @@ from repro.entry.server import RoundAnnouncement
 from repro.errors import NetworkError, RoundError, UnknownRoundError
 from repro.mixnet.mailbox import MailboxSet
 from repro.net import rpc
-from repro.net.transport import Transport, concurrent_calls
+from repro.net.transport import BatchCall, BatchCallOutcome, Transport, concurrent_calls
 from repro.obs.trace import active_tracer
 from repro.utils.serialization import Unpacker
 
@@ -208,6 +208,32 @@ class ShardRouter:
             "submit",
             rpc.encode_submit_request(protocol, round_number, client_id, envelope, token_bytes),
         )
+
+    def submit_many(
+        self,
+        protocol: str,
+        round_number: int,
+        entries: list[tuple[str, bytes, float | None]],
+    ) -> list[BatchCallOutcome]:
+        """One submit wave, each envelope routed to its owning shard's ingress.
+
+        Same contract as :meth:`~repro.net.rpc.EntryStub.submit_many`:
+        ``(client_id, envelope, start_time)`` per entry, outcomes in order.
+        """
+        directory = self.directory(protocol, round_number)
+        calls = [
+            BatchCall(
+                src=client_id,
+                dst=directory.shard_for_identity(client_id).ingress,
+                method="submit",
+                payload=rpc.encode_submit_request(
+                    protocol, round_number, client_id, envelope, None
+                ),
+                start=start,
+            )
+            for client_id, envelope, start in entries
+        ]
+        return self.transport.call_batch(calls)
 
     def flush_submissions(self, protocol: str, round_number: int) -> list[tuple[str, str]]:
         """Drain every ingress proxy's remainder; returns the round's rejects.
@@ -416,3 +442,37 @@ class ShardedCdnStub:
         unpacker = Unpacker(result.payload)
         blob = unpacker.bytes() if unpacker.u8() else None
         return decode_mailbox(protocol, mailbox_id, blob)
+
+    def download_many(
+        self,
+        protocol: str,
+        round_number: int,
+        items: list[tuple[int, str]],
+    ) -> list[tuple[object, Exception | None]]:
+        """One download wave, each mailbox routed to its owning CDN shard.
+
+        Same contract as :meth:`~repro.net.rpc.CdnStub.download_many`.  An
+        unknown round raises :class:`UnknownRoundError` up front, exactly as
+        the first per-frame download would.
+        """
+        from repro.mixnet.mailbox import decode_mailbox
+
+        directory = self._round_directory(protocol, round_number)
+        calls = [
+            BatchCall(
+                src=client,
+                dst=directory.shard_for_mailbox(mailbox_id).cdn,
+                method="download",
+                payload=rpc.encode_download_request(protocol, round_number, mailbox_id, client),
+            )
+            for mailbox_id, client in items
+        ]
+        results: list[tuple[object, Exception | None]] = []
+        for (mailbox_id, _client), outcome in zip(items, self.transport.call_batch(calls)):
+            if outcome.error is not None:
+                results.append((None, outcome.error))
+                continue
+            unpacker = Unpacker(outcome.result.payload)
+            blob = unpacker.bytes() if unpacker.u8() else None
+            results.append((decode_mailbox(protocol, mailbox_id, blob), None))
+        return results

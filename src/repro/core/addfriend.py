@@ -29,6 +29,7 @@ from repro.core.identity import UserIdentity
 from repro.core.keywheel import Keywheel
 from repro.crypto import x25519
 from repro.crypto.aead import AEAD_OVERHEAD
+from repro.crypto.attestation import DEFAULT_SCHEME, AttestationScheme
 from repro.crypto.ibe.anytrust import AnytrustIbe
 from repro.crypto.ibe.interface import IbeCiphertext
 from repro.errors import ProtocolError
@@ -115,6 +116,7 @@ class AddFriendEngine:
         ibe: AnytrustIbe,
         plaintext_size: int,
         parallel_fanout: bool = True,
+        attestation: AttestationScheme | None = None,
     ) -> None:
         self.identity = identity
         self.address_book = address_book
@@ -122,6 +124,7 @@ class AddFriendEngine:
         self.ibe = ibe
         self.plaintext_size = plaintext_size
         self.parallel_fanout = parallel_fanout
+        self.attestation = attestation if attestation is not None else DEFAULT_SCHEME
         self.queue: list[QueuedFriendRequest] = []
         self._round_keys: dict[int, RoundKeyMaterial] = {}
         self._prepared_replies: dict[str, PreparedReply] = {}
@@ -150,24 +153,19 @@ class AddFriendEngine:
         return len(self.queue)
 
     # -- step 1: acquire round keys -----------------------------------------
-    def acquire_round_keys(self, round_number: int, pkgs: list, now: float) -> RoundKeyMaterial:
-        """Fetch private-key shares + attestations from every PKG and combine.
-
-        The per-PKG extraction RPCs are independent, so they fan out in one
-        concurrent transport phase: the stage costs the slowest PKG's round
-        trip, not the sum over PKGs (the anytrust set can then grow without
-        stretching the add-friend submit stage).
-        """
+    def extraction_signature(self, round_number: int) -> bytes:
+        """Sign this round's extraction request (shared by every PKG's RPC)."""
         statement = extraction_request_statement(self.identity.email, round_number)
-        signature = self.identity.sign(statement)
-        transport = shared_transport(pkgs) if self.parallel_fanout else None
-        responses = concurrent_calls(
-            transport,
-            [
-                lambda p=pkg: p.extract(self.identity.email, round_number, signature, now)
-                for pkg in pkgs
-            ],
-        )
+        return self.identity.sign(statement)
+
+    def install_round_keys(self, round_number: int, responses: list) -> RoundKeyMaterial:
+        """Combine per-PKG extraction responses into this round's material.
+
+        The batched round path issues the extraction RPCs itself (one
+        transport wave per PKG across all clients) and hands the responses
+        here; :meth:`acquire_round_keys` is the same combine behind its own
+        per-client fan-out.
+        """
         shares = [response.private_key_share for response in responses]
         attestations = [response.attestation for response in responses]
         combined = self.ibe.aggregate_private(shares)
@@ -176,6 +174,25 @@ class AddFriendEngine:
         )
         self._round_keys[round_number] = material
         return material
+
+    def acquire_round_keys(self, round_number: int, pkgs: list, now: float) -> RoundKeyMaterial:
+        """Fetch private-key shares + attestations from every PKG and combine.
+
+        The per-PKG extraction RPCs are independent, so they fan out in one
+        concurrent transport phase: the stage costs the slowest PKG's round
+        trip, not the sum over PKGs (the anytrust set can then grow without
+        stretching the add-friend submit stage).
+        """
+        signature = self.extraction_signature(round_number)
+        transport = shared_transport(pkgs) if self.parallel_fanout else None
+        responses = concurrent_calls(
+            transport,
+            [
+                lambda p=pkg: p.extract(self.identity.email, round_number, signature, now)
+                for pkg in pkgs
+            ],
+        )
+        return self.install_round_keys(round_number, responses)
 
     def has_round_keys(self, round_number: int) -> bool:
         return round_number in self._round_keys
@@ -248,6 +265,7 @@ class AddFriendEngine:
             dialing_key=dialing_public,
             dialing_round=request_dialing_round,
             is_confirmation=prepared is not None,
+            attestation_scheme=self.attestation,
         )
         plaintext = padded_plaintext(request, self.plaintext_size)
         ciphertext = self.ibe.encrypt(pkg_public_keys, queued.email, plaintext)
@@ -397,7 +415,11 @@ class AddFriendEngine:
             if friend.trust is TrustLevel.VERIFIED:
                 expected_key = friend.signing_key
 
-        if not request.verify(aggregate_pkg_public, expected_sender_key=expected_key):
+        if not request.verify(
+            aggregate_pkg_public,
+            expected_sender_key=expected_key,
+            attestation_scheme=self.attestation,
+        ):
             return {"type": "rejected", "email": sender, "reason": "verification failed"}
 
         # TOFU: a key that conflicts with one we already recorded is an alarm.

@@ -28,7 +28,7 @@ from repro.core.dialing import DialingEngine
 from repro.core.dialtoken import IncomingCall, OutgoingCall, PlacedCall
 from repro.core.identity import UserIdentity
 from repro.core.keywheel import Keywheel
-from repro.crypto import bls
+from repro.crypto.attestation import get_scheme
 from repro.crypto.ibe.anytrust import AnytrustIbe
 from repro.errors import ProtocolError
 from repro.mixnet.mailbox import mailbox_for_identity
@@ -69,6 +69,7 @@ class Client:
         self.callbacks = CallbackBridge(new_friend=new_friend, incoming_call=incoming_call)
         self.ibe = ibe
         self._parallel_fanout = config.pkg_fanout == "parallel"
+        self.attestation = get_scheme(getattr(config, "attestation_backend", "bls"))
         self.addfriend = AddFriendEngine(
             identity=self.identity,
             address_book=self.address_book,
@@ -76,6 +77,7 @@ class Client:
             ibe=ibe,
             plaintext_size=config.addfriend_request_size,
             parallel_fanout=self._parallel_fanout,
+            attestation=self.attestation,
         )
         self.dialing = DialingEngine(keywheel=self.keywheel, num_intents=config.num_intents)
         self.stats = ClientStats()
@@ -207,6 +209,7 @@ class Client:
             ibe=self.ibe,
             plaintext_size=self.config.addfriend_request_size,
             parallel_fanout=self._parallel_fanout,
+            attestation=self.attestation,
         )
         self.dialing = DialingEngine(keywheel=self.keywheel, num_intents=self.config.num_intents)
         self.registered = False
@@ -223,10 +226,18 @@ class Client:
         now: float,
     ) -> bytes:
         """Steps 1-3 of Algorithm 1: acquire keys, build, and wrap the request."""
-        round_number = announcement.round_number
-        self.addfriend.acquire_round_keys(round_number, pkgs, now)
+        self.addfriend.acquire_round_keys(announcement.round_number, pkgs, now)
+        inner = self.build_addfriend_inner(announcement, next_dialing_round)
+        return self.addfriend.wrap_for_mixnet(inner, announcement.mix_public_keys)
+
+    def build_addfriend_inner(self, announcement, next_dialing_round: int) -> bytes:
+        """Step 2 alone: build this round's inner payload (round keys must be
+        installed already).  The batched round path runs the extraction RPCs
+        itself and wraps all clients' inners in one onion batch; the stats
+        accounting here is identical to :meth:`participate_addfriend_round`.
+        """
         inner, queued = self.addfriend.build_request_payload(
-            round_number=round_number,
+            round_number=announcement.round_number,
             dialing_round=next_dialing_round,
             pkg_public_keys=announcement.pkg_public_keys,
             mailbox_count=announcement.mailbox_count,
@@ -236,7 +247,7 @@ class Client:
         else:
             self.stats.real_friend_requests_sent += 1
         self.stats.addfriend_rounds += 1
-        return self.addfriend.wrap_for_mixnet(inner, announcement.mix_public_keys)
+        return inner
 
     def process_addfriend_mailbox(
         self,
@@ -245,6 +256,7 @@ class Client:
         pkg_bls_public_keys: list,
         current_dialing_round: int,
         mailbox_count: int | None = None,
+        mailbox=None,
     ) -> list[dict]:
         """Steps 4-5 of Algorithm 1: download, scan, verify, update state.
 
@@ -254,6 +266,9 @@ class Client:
         ``mailbox_count`` skips the CDN metadata round trip when the client
         already knows the count from the round's announcement; a client
         catching up on a round it did not participate in passes ``None``.
+        ``mailbox`` skips the download itself: the batched round path fetches
+        every participant's mailbox in one transport wave and hands each
+        client its prefetched copy.
 
         ``cdn`` is whatever fronts the CDN tier: the single
         :class:`~repro.net.rpc.CdnStub`, or -- under a sharded deployment --
@@ -261,12 +276,13 @@ class Client:
         download to the shard owning this client's mailbox per the round's
         shard directory.  The client code is identical either way.
         """
-        if mailbox_count is None:
-            mailbox_count = cdn.mailbox_count("add-friend", round_number, client=self.email)
-        mailbox_id = mailbox_for_identity(self.email, mailbox_count)
-        mailbox = cdn.download("add-friend", round_number, mailbox_id, client=self.email)
+        if mailbox is None:
+            if mailbox_count is None:
+                mailbox_count = cdn.mailbox_count("add-friend", round_number, client=self.email)
+            mailbox_id = mailbox_for_identity(self.email, mailbox_count)
+            mailbox = cdn.download("add-friend", round_number, mailbox_id, client=self.email)
         self.stats.mailbox_bytes_downloaded += mailbox.size_bytes()
-        aggregate = bls.aggregate_publics(pkg_bls_public_keys)
+        aggregate = self.attestation.aggregate_publics(pkg_bls_public_keys)
         events = self.addfriend.scan_mailbox(
             round_number=round_number,
             ciphertexts=mailbox.ciphertexts,
@@ -279,6 +295,11 @@ class Client:
 
     def participate_dialing_round(self, announcement) -> bytes:
         """Build and wrap this round's dialing request (token or cover)."""
+        inner = self.build_dialing_inner(announcement)
+        return self.dialing.wrap_for_mixnet(inner, announcement.mix_public_keys)
+
+    def build_dialing_inner(self, announcement) -> bytes:
+        """The dialing inner payload alone (the batched path wraps it itself)."""
         inner, placed = self.dialing.build_request_payload(
             round_number=announcement.round_number,
             mailbox_count=announcement.mailbox_count,
@@ -288,16 +309,17 @@ class Client:
         else:
             self.stats.real_dials_sent += 1
         self.stats.dialing_rounds += 1
-        return self.dialing.wrap_for_mixnet(inner, announcement.mix_public_keys)
+        return inner
 
     def process_dialing_mailbox(
-        self, round_number: int, cdn, mailbox_count: int | None = None
+        self, round_number: int, cdn, mailbox_count: int | None = None, mailbox=None
     ) -> list[IncomingCall]:
         """Download the Bloom filter, detect incoming calls, advance wheels."""
-        if mailbox_count is None:
-            mailbox_count = cdn.mailbox_count("dialing", round_number, client=self.email)
-        mailbox_id = mailbox_for_identity(self.email, mailbox_count)
-        mailbox = cdn.download("dialing", round_number, mailbox_id, client=self.email)
+        if mailbox is None:
+            if mailbox_count is None:
+                mailbox_count = cdn.mailbox_count("dialing", round_number, client=self.email)
+            mailbox_id = mailbox_for_identity(self.email, mailbox_count)
+            mailbox = cdn.download("dialing", round_number, mailbox_id, client=self.email)
         self.stats.bloom_bytes_downloaded += mailbox.size_bytes()
         calls = self.dialing.scan_mailbox(round_number, mailbox)
         for call in calls:

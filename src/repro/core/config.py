@@ -74,6 +74,20 @@ class AlpenhornConfig:
     require_rate_tokens: bool = False
     rate_tokens_per_day: int = 100
 
+    # PKG attestation scheme for the PKGSigs field (§4.5): "bls" (the real
+    # multi-signature, the default) or "simulated" (hash-based oracle for
+    # protocol-scale simulation; same wire sizes, no security).  See
+    # repro.crypto.attestation.
+    attestation_backend: str = "bls"
+
+    # Drive round stages through the batched transport path: clients'
+    # per-round RPC waves (key extraction, envelope submission, mailbox
+    # downloads) are issued as Transport.call_batch waves instead of one
+    # blocking call per client.  Semantically identical to the per-frame
+    # path (equivalence is pinned by tests); the batch path is what makes
+    # 100k-client populations tractable.
+    batched_rounds: bool = False
+
     # How a client issues its per-round PKG RPCs (key extraction,
     # registration): "parallel" fans them out in one concurrent transport
     # phase (the stage costs the slowest PKG, not the sum); "sequential"
@@ -144,6 +158,13 @@ class AlpenhornConfig:
             raise ConfigurationError(
                 f"unknown crypto backend {self.crypto_backend!r}; "
                 f"registered: {registered_backends()}"
+            )
+        from repro.crypto.attestation import registered_schemes
+
+        if self.attestation_backend not in registered_schemes():
+            raise ConfigurationError(
+                f"unknown attestation backend {self.attestation_backend!r}; "
+                f"registered: {registered_schemes()}"
             )
         if self.num_intents < 1:
             raise ConfigurationError("need at least one dialing intent")

@@ -97,6 +97,13 @@ class Deployment:
             self.crypto = InstrumentedCryptoBackend(self.crypto)
         set_active_backend(self.crypto)
 
+        # PKG attestation scheme (PKGSigs); shared by the PKGs and every
+        # client's verification path (clients resolve the same scheme from
+        # their config).
+        from repro.crypto.attestation import get_scheme
+
+        self.attestation = get_scheme(self.config.attestation_backend)
+
         # Substrates.  The email network is out-of-band (registration
         # confirmations), so it is not routed over the Alpenhorn transport.
         self.email_network = EmailNetwork()
@@ -106,6 +113,7 @@ class Deployment:
                 ibe_backend=self._ibe_backend,
                 email_network=self.email_network,
                 bls_seed=DeterministicRng(f"{seed}/pkg/{i}").read(32),
+                attestation=self.attestation,
             )
             for i in range(self.config.num_pkg_servers)
         ]

@@ -29,9 +29,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.crypto import bls, ed25519
+from repro.crypto.attestation import DEFAULT_SCHEME, AttestationScheme
 from repro.crypto.engine import active_backend
-from repro.crypto.bn254.curve import G1Point, G2Point
 from repro.errors import SerializationError
 from repro.pkg.server import pkg_statement
 from repro.utils.serialization import Packer, Unpacker
@@ -73,20 +72,21 @@ class FriendRequest:
         sender_email: str,
         sender_signing_private: bytes,
         sender_signing_public: bytes,
-        pkg_attestations: list[G1Point],
+        pkg_attestations: list,
         pkg_round: int,
         dialing_key: bytes,
         dialing_round: int,
         is_confirmation: bool = False,
+        attestation_scheme: AttestationScheme | None = None,
     ) -> "FriendRequest":
+        scheme = attestation_scheme if attestation_scheme is not None else DEFAULT_SCHEME
         statement = sender_statement(sender_email, dialing_key, dialing_round, is_confirmation)
         sender_sig = active_backend().ed25519_sign(sender_signing_private, statement)
-        aggregated = bls.aggregate_signatures(pkg_attestations)
         return FriendRequest(
             sender_email=sender_email.lower(),
             sender_key=sender_signing_public,
             sender_sig=sender_sig,
-            pkg_sigs=aggregated.to_bytes(),
+            pkg_sigs=scheme.aggregate(pkg_attestations),
             dialing_key=dialing_key,
             dialing_round=dialing_round,
             pkg_round=pkg_round,
@@ -133,24 +133,22 @@ class FriendRequest:
     # -- verification ----------------------------------------------------------
     def verify(
         self,
-        aggregate_pkg_public: G2Point,
+        aggregate_pkg_public,
         expected_sender_key: bytes | None = None,
+        attestation_scheme: AttestationScheme | None = None,
     ) -> bool:
         """Algorithm 1, step 4: ok1 (PKG attestation) and ok2 (sender sig).
 
         ``expected_sender_key`` is the out-of-band key, if the recipient has
         one; a mismatch fails verification regardless of the signatures.
         """
+        scheme = attestation_scheme if attestation_scheme is not None else DEFAULT_SCHEME
         if expected_sender_key is not None and expected_sender_key != self.sender_key:
             return False
-        try:
-            aggregated_sig = G1Point.from_bytes(self.pkg_sigs)
-        except Exception:
-            return False
-        ok1 = bls.verify(
+        ok1 = scheme.verify(
             aggregate_pkg_public,
             pkg_statement(self.sender_email, self.sender_key, self.pkg_round),
-            aggregated_sig,
+            self.pkg_sigs,
         )
         if not ok1:
             return False

@@ -36,7 +36,8 @@ from repro.core.client import Client
 from repro.core.dialtoken import DIAL_TOKEN_SIZE
 from repro.errors import NetworkError
 from repro.mixnet.chain import RoundResult
-from repro.mixnet.mailbox import choose_mailbox_count
+from repro.mixnet.mailbox import choose_mailbox_count, mailbox_for_identity
+from repro.mixnet.onion import wrap_onion_many
 from repro.obs.trace import active_tracer
 
 
@@ -119,6 +120,16 @@ class ProtocolDriver:
         """Build and submit one client's envelope (may raise NetworkError)."""
         raise NotImplementedError
 
+    def submit_many(self, clients: list[Client], announcement) -> list:
+        """Batched counterpart of per-client :meth:`submit` calls in a phase.
+
+        Returns ``(client, error_or_None)`` per client, in client order, with
+        the same side effects the per-frame path would have applied (queue
+        consumption, confirm_sent on success or lost-ack).  Non-network
+        errors propagate, exactly as they would out of ``phase.run``.
+        """
+        raise NotImplementedError
+
     def submit_failed(self, client: Client, round_number: int) -> None:
         """The envelope never reached the entry server: undo client state."""
         raise NotImplementedError
@@ -139,6 +150,15 @@ class ProtocolDriver:
         """Fetch and process one client's mailbox; returns its events."""
         raise NotImplementedError
 
+    def scan_many(self, clients: list[Client], round_number: int, mailbox_count: int) -> list:
+        """Batched counterpart of per-client :meth:`scan` calls in a phase.
+
+        Prefetches every client's mailbox in one transport wave, then runs
+        the (simulated-time-free) scan crypto per client.  Returns
+        ``(client, events, error_or_None)`` per client, in client order.
+        """
+        raise NotImplementedError
+
     def scan_failed(self, client: Client, round_number: int) -> None:
         """The mailbox is unreachable for this client: advance its state."""
         raise NotImplementedError
@@ -149,6 +169,65 @@ class ProtocolDriver:
 
     def after_scan(self, round_number: int) -> None:
         """Post-round server-side cleanup once clients hold their results."""
+
+    def _fast_forward(self, to_time: float) -> None:
+        """Ratchet the simulated clock to ``to_time`` if it is in the future.
+
+        A batched submit stage issues several waves; a client that failed in
+        an early wave may have observed its failure *after* every later
+        wave's finisher (retry timeouts stretch a lost message's interval).
+        The per-frame phase counts that time toward the stage's end, so the
+        batched path must too.
+        """
+        scheduler = getattr(self.dep.transport, "scheduler", None)
+        if scheduler is not None:
+            scheduler.fast_forward(to_time)
+
+    def _entry_wave(
+        self,
+        round_number: int,
+        clients: list[Client],
+        indices: list[int],
+        envelopes: list[bytes],
+        starts: list[float | None],
+        errors: dict[int, Exception],
+        confirm,
+    ) -> float:
+        """Issue the entry-submission wave and apply per-frame ack semantics.
+
+        ``confirm(client)`` runs for every accepted (or delivered-but-ack-
+        lost) submission, mirroring the per-frame ``confirm_sent`` call;
+        undeliverable submissions land in ``errors``.  Returns the latest
+        finisher's time.
+        """
+        entries = [
+            (clients[i].email, envelope, start)
+            for i, envelope, start in zip(indices, envelopes, starts)
+        ]
+        outcomes = self.dep.entry_stub.submit_many(self.protocol, round_number, entries)
+        latest = 0.0
+        for i, outcome in zip(indices, outcomes):
+            latest = max(latest, outcome.finished_at)
+            error = outcome.error
+            if error is None or getattr(error, "request_delivered", False):
+                # No error, or only the acknowledgement was lost: the entry
+                # server holds the envelope, so the submission stands.
+                confirm(clients[i])
+                continue
+            if not isinstance(error, NetworkError):
+                raise error
+            errors[i] = error
+        return latest
+
+    def _download_wave(
+        self, clients: list[Client], round_number: int, mailbox_count: int
+    ) -> list:
+        """Prefetch every client's mailbox for this round in one wave."""
+        items = [
+            (mailbox_for_identity(client.email, mailbox_count), client.email)
+            for client in clients
+        ]
+        return self.dep.cdn_stub.download_many(self.protocol, round_number, items)
 
 
 class AddFriendDriver(ProtocolDriver):
@@ -199,6 +278,76 @@ class AddFriendDriver(ProtocolDriver):
             # keywheel if the recipient answers the first copy).
         client.addfriend.confirm_sent()
 
+    def submit_many(self, clients: list[Client], announcement) -> list:
+        """All clients' extraction fan-outs and submissions as batch waves.
+
+        One :class:`~repro.net.transport.BatchCall` wave per PKG (every
+        client's extraction at that PKG), then one onion-wrapping batch over
+        all inner payloads, then one entry-submission wave -- each client's
+        submission starting when its own extractions finished.  Failure
+        semantics mirror the per-frame path exactly: a client whose
+        extraction fails skips its remaining PKGs (the per-frame fan-out
+        aborts on first failure) and never builds a payload; a lost
+        submission surfaces as that client's error; a lost acknowledgement
+        counts as delivered.
+        """
+        dep = self.dep
+        round_number = announcement.round_number
+        transport = dep.transport
+        t0 = dep.clock
+        parallel = dep.config.pkg_fanout == "parallel"
+        ready = [t0] * len(clients)
+        errors: dict[int, Exception] = {}
+        latest = t0
+        signatures = [c.addfriend.extraction_signature(round_number) for c in clients]
+        responses: list[list] = [[] for _ in clients]
+        for pkg in dep.pkg_stubs:
+            calls = []
+            indices = []
+            for i, client in enumerate(clients):
+                if i in errors:
+                    continue
+                start = t0 if parallel else ready[i]
+                calls.append(
+                    pkg.extract_call(client.email, round_number, signatures[i], start=start)
+                )
+                indices.append(i)
+            for i, outcome in zip(indices, transport.call_batch(calls)):
+                latest = max(latest, outcome.finished_at)
+                if outcome.error is not None:
+                    if not isinstance(outcome.error, NetworkError):
+                        raise outcome.error
+                    errors[i] = outcome.error
+                    continue
+                responses[i].append(outcome.result.obj)
+                ready[i] = max(ready[i], outcome.finished_at) if parallel else outcome.finished_at
+        survivors = [i for i in range(len(clients)) if i not in errors]
+        inners = []
+        for i in survivors:
+            clients[i].addfriend.install_round_keys(round_number, responses[i])
+            inners.append(
+                clients[i].build_addfriend_inner(
+                    announcement, next_dialing_round=dep.dialing_round + 2
+                )
+            )
+        envelopes = (
+            wrap_onion_many(inners, list(announcement.mix_public_keys)) if inners else []
+        )
+        latest = max(
+            latest,
+            self._entry_wave(
+                round_number,
+                clients,
+                survivors,
+                envelopes,
+                [ready[i] for i in survivors],
+                errors,
+                lambda client: client.addfriend.confirm_sent(),
+            ),
+        )
+        self._fast_forward(latest)
+        return [(client, errors.get(i)) for i, client in enumerate(clients)]
+
     def submit_failed(self, client: Client, round_number: int) -> None:
         # The envelope never reached the entry server: put any consumed
         # friend request back for the next round, and drop round keys the
@@ -218,6 +367,27 @@ class AddFriendDriver(ProtocolDriver):
             current_dialing_round=self.dep.dialing_round,
             mailbox_count=mailbox_count,
         )
+
+    def scan_many(self, clients: list[Client], round_number: int, mailbox_count: int) -> list:
+        downloads = self._download_wave(clients, round_number, mailbox_count)
+        pkg_keys = [stub.bls_public_key for stub in self.dep.pkg_stubs]
+        results = []
+        for client, (mailbox, error) in zip(clients, downloads):
+            if error is not None:
+                if not isinstance(error, NetworkError):
+                    raise error
+                results.append((client, None, error))
+                continue
+            events = client.process_addfriend_mailbox(
+                round_number,
+                self.dep.cdn_stub,
+                pkg_bls_public_keys=pkg_keys,
+                current_dialing_round=self.dep.dialing_round,
+                mailbox_count=mailbox_count,
+                mailbox=mailbox,
+            )
+            results.append((client, events, None))
+        return results
 
     def scan_failed(self, client: Client, round_number: int) -> None:
         client.addfriend.erase_round_keys(round_number)
@@ -266,6 +436,30 @@ class DialingDriver(ProtocolDriver):
             # Ack lost but the token was accepted; the dial stands.
         client.dialing.confirm_sent()
 
+    def submit_many(self, clients: list[Client], announcement) -> list:
+        """All clients' dialing tokens as one wrap batch + one submit wave.
+
+        Dialing has no pre-submission RPC, so every client starts at the
+        phase's t0 (``start=None``) -- exactly where each per-frame task
+        would have started.
+        """
+        inners = [client.build_dialing_inner(announcement) for client in clients]
+        envelopes = (
+            wrap_onion_many(inners, list(announcement.mix_public_keys)) if inners else []
+        )
+        errors: dict[int, Exception] = {}
+        latest = self._entry_wave(
+            announcement.round_number,
+            clients,
+            list(range(len(clients))),
+            envelopes,
+            [None] * len(clients),
+            errors,
+            lambda client: client.dialing.confirm_sent(),
+        )
+        self._fast_forward(latest)
+        return [(client, errors.get(i)) for i, client in enumerate(clients)]
+
     def submit_failed(self, client: Client, round_number: int) -> None:
         # The token never reached the entry server: withdraw the speculative
         # placed-call record and retry next round.
@@ -278,6 +472,21 @@ class DialingDriver(ProtocolDriver):
         return client.process_dialing_mailbox(
             round_number, self.dep.cdn_stub, mailbox_count=mailbox_count
         )
+
+    def scan_many(self, clients: list[Client], round_number: int, mailbox_count: int) -> list:
+        downloads = self._download_wave(clients, round_number, mailbox_count)
+        results = []
+        for client, (mailbox, error) in zip(clients, downloads):
+            if error is not None:
+                if not isinstance(error, NetworkError):
+                    raise error
+                results.append((client, None, error))
+                continue
+            events = client.process_dialing_mailbox(
+                round_number, self.dep.cdn_stub, mailbox_count=mailbox_count, mailbox=mailbox
+            )
+            results.append((client, events, None))
+        return results
 
     def scan_failed(self, client: Client, round_number: int) -> None:
         # The round's mailbox is unrecoverable for this client; advance its
@@ -296,6 +505,17 @@ class RoundEngine:
     def __init__(self, deployment, driver: ProtocolDriver) -> None:
         self.dep = deployment
         self.driver = driver
+
+    def _batched(self) -> bool:
+        """Whether to drive stages through the drivers' batch-wave paths.
+
+        The batched paths are byte-identical to the per-frame loops on every
+        non-fluid topology (the equivalence the per-message keyed rng buys),
+        but build envelopes in crypto-engine batches and move frames through
+        columnar storage + slotted delivery -- the difference between
+        per-round seconds and minutes at 100k clients.
+        """
+        return bool(getattr(self.dep.config, "batched_rounds", False))
 
     def _sessions(self):
         """The deployment's session registry, if it has one.
@@ -366,15 +586,28 @@ class RoundEngine:
         )
         try:
             with self.dep.transport.phase() as phase:
-                for client in clients:
-                    try:
-                        phase.run(lambda c=client: driver.submit(c, pending.announcement))
-                        pending.participated.append(client)
-                        if sessions is not None:
-                            sessions.note_submitted(driver.protocol, client, round_number)
-                    except NetworkError:
-                        pending.failures += 1
-                        driver.submit_failed(client, round_number)
+                if self._batched():
+                    outcomes = phase.run(
+                        lambda: driver.submit_many(clients, pending.announcement)
+                    )
+                    for client, error in outcomes:
+                        if error is None:
+                            pending.participated.append(client)
+                            if sessions is not None:
+                                sessions.note_submitted(driver.protocol, client, round_number)
+                        else:
+                            pending.failures += 1
+                            driver.submit_failed(client, round_number)
+                else:
+                    for client in clients:
+                        try:
+                            phase.run(lambda c=client: driver.submit(c, pending.announcement))
+                            pending.participated.append(client)
+                            if sessions is not None:
+                                sessions.note_submitted(driver.protocol, client, round_number)
+                        except NetworkError:
+                            pending.failures += 1
+                            driver.submit_failed(client, round_number)
                 # A batching entry tier (repro.cluster) acks submissions
                 # optimistically at the ingress proxies; drain the remainders
                 # inside the stage's phase and learn what was actually rejected.
@@ -463,19 +696,35 @@ class RoundEngine:
         )
         try:
             with self.dep.transport.phase() as phase:
-                for client in pending.participated:
-                    try:
-                        events = phase.run(
-                            lambda c=client: driver.scan(
-                                c, round_number, pending.announcement.mailbox_count
-                            )
+                if self._batched():
+                    scans = phase.run(
+                        lambda: driver.scan_many(
+                            pending.participated,
+                            round_number,
+                            pending.announcement.mailbox_count,
                         )
-                    except NetworkError:
-                        pending.failures += 1
-                        driver.scan_failed(client, round_number)
-                        continue
-                    if events:
-                        events_by_client[client.email] = events
+                    )
+                    for client, events, error in scans:
+                        if error is not None:
+                            pending.failures += 1
+                            driver.scan_failed(client, round_number)
+                            continue
+                        if events:
+                            events_by_client[client.email] = events
+                else:
+                    for client in pending.participated:
+                        try:
+                            events = phase.run(
+                                lambda c=client: driver.scan(
+                                    c, round_number, pending.announcement.mailbox_count
+                                )
+                            )
+                        except NetworkError:
+                            pending.failures += 1
+                            driver.scan_failed(client, round_number)
+                            continue
+                        if events:
+                            events_by_client[client.email] = events
             driver.after_scan(round_number)
             sessions = self._sessions()
             if sessions is not None:

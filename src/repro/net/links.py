@@ -33,6 +33,11 @@ class LinkSpec:
     bandwidth_bps: float = 0.0  # 0 means infinite (no serialization delay)
     jitter_s: float = 0.0
     drop_rate: float = 0.0
+    #: Opt-in fluid-flow approximation: batched bulk transfers over this link
+    #: skip per-frame jitter and loss draws and move as a deterministic flow
+    #: (base latency + size/bandwidth, serialized through any shared access
+    #: link).  Single control RPCs always keep full per-frame fidelity.
+    fluid: bool = False
 
     def __post_init__(self) -> None:
         if self.latency_s < 0 or self.jitter_s < 0 or self.bandwidth_bps < 0:
@@ -46,6 +51,7 @@ class LinkSpec:
         bandwidth_mbps: float = 0.0,
         jitter_ms: float = 0.0,
         drop_rate: float = 0.0,
+        fluid: bool = False,
     ) -> "LinkSpec":
         """Construct from the units scenarios are written in."""
         return LinkSpec(
@@ -53,12 +59,17 @@ class LinkSpec:
             bandwidth_bps=bandwidth_mbps * 1e6,
             jitter_s=jitter_ms / 1e3,
             drop_rate=drop_rate,
+            fluid=fluid,
         )
 
-    def transfer_delay(self, num_bytes: int, rng: DeterministicRng) -> float:
-        """Seconds for one successful transmission of ``num_bytes``."""
+    def transfer_delay(self, num_bytes: int, rng: DeterministicRng | None) -> float:
+        """Seconds for one successful transmission of ``num_bytes``.
+
+        ``rng=None`` is the fluid path: jitter is skipped entirely (no draw
+        happens, so deterministic streams elsewhere stay unperturbed).
+        """
         delay = self.latency_s
-        if self.jitter_s > 0.0:
+        if self.jitter_s > 0.0 and rng is not None:
             delay += self.jitter_s * rng.uniform()
         if self.bandwidth_bps > 0.0:
             delay += num_bytes * 8.0 / self.bandwidth_bps
@@ -155,6 +166,8 @@ class NetworkTopology:
                 bandwidth_bps=bandwidth,
                 jitter_s=max(first.jitter_s, second.jitter_s),
                 drop_rate=1.0 - (1.0 - first.drop_rate) * (1.0 - second.drop_rate),
+                # A non-fluid constraint on either end forces full fidelity.
+                fluid=first.fluid and second.fluid,
             )
         region_a, region_b = self._regions.get(a), self._regions.get(b)
         if region_a is not None and region_b is not None:

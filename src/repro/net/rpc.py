@@ -19,7 +19,7 @@ from __future__ import annotations
 from repro.mixnet.noise import NoiseConfig
 from repro.mixnet.server import MixServerStats
 from repro.net.frames import pack_bytes_list, unpack_bytes_list
-from repro.net.transport import Transport
+from repro.net.transport import BatchCall, BatchCallOutcome, Transport
 from repro.utils.serialization import Packer, Unpacker
 
 # Nominal wire sizes for values that travel as attached objects: a G2 master
@@ -392,6 +392,30 @@ class EntryStub:
             encode_submit_request(protocol, round_number, client_id, envelope, token_bytes),
         )
 
+    def submit_many(
+        self,
+        protocol: str,
+        round_number: int,
+        entries: list[tuple[str, bytes, float | None]],
+    ) -> list[BatchCallOutcome]:
+        """One submit wave: ``(client_id, envelope, start_time)`` per entry.
+
+        The batched round path's counterpart of per-client :meth:`submit`
+        calls inside a phase; each entry's ``start_time`` is when that client
+        logically begins (e.g. when its key extraction finished).
+        """
+        calls = [
+            BatchCall(
+                src=client_id,
+                dst=self.endpoint,
+                method="submit",
+                payload=encode_submit_request(protocol, round_number, client_id, envelope, None),
+                start=start,
+            )
+            for client_id, envelope, start in entries
+        ]
+        return self.transport.call_batch(calls)
+
     def submissions(self, protocol: str, round_number: int) -> int:
         result = self.transport.call(
             self.src, self.endpoint, "submissions", encode_round_ref(protocol, round_number)
@@ -513,6 +537,23 @@ class PkgStub:
         )
         return result.obj
 
+    def extract_call(
+        self, email: str, round_number: int, request_signature: bytes, start: float | None = None
+    ) -> BatchCall:
+        """The extraction RPC as a :class:`BatchCall` (batched round path).
+
+        The caller composes one wave per PKG across all clients and issues it
+        via ``transport.call_batch``; each outcome's ``result.obj`` is the
+        :class:`~repro.pkg.server.ExtractionResponse`.
+        """
+        return BatchCall(
+            src=email,
+            dst=self.name,
+            method="extract",
+            payload=encode_extract_request(email, round_number, request_signature),
+            start=start,
+        )
+
     # -- round lifecycle (src = the control plane, see ``control_src``) ----
     def open_round(self, round_number: int):
         result = self.transport.call(
@@ -572,3 +613,36 @@ class CdnStub:
         unpacker = Unpacker(result.payload)
         blob = unpacker.bytes() if unpacker.u8() else None
         return decode_mailbox(protocol, mailbox_id, blob)
+
+    def download_many(
+        self,
+        protocol: str,
+        round_number: int,
+        items: list[tuple[int, str]],
+    ) -> list[tuple[object, Exception | None]]:
+        """One download wave: ``(mailbox_id, client)`` per item.
+
+        Returns ``(mailbox, None)`` or ``(None, error)`` per item, in order;
+        the batched scan stage prefetches every participant's mailbox this
+        way before running the (simulated-time-free) scan crypto.
+        """
+        from repro.mixnet.mailbox import decode_mailbox
+
+        calls = [
+            BatchCall(
+                src=client,
+                dst=self.endpoint,
+                method="download",
+                payload=encode_download_request(protocol, round_number, mailbox_id, client),
+            )
+            for mailbox_id, client in items
+        ]
+        results: list[tuple[object, Exception | None]] = []
+        for (mailbox_id, _client), outcome in zip(items, self.transport.call_batch(calls)):
+            if outcome.error is not None:
+                results.append((None, outcome.error))
+                continue
+            unpacker = Unpacker(outcome.result.payload)
+            blob = unpacker.bytes() if unpacker.u8() else None
+            results.append((decode_mailbox(protocol, mailbox_id, blob), None))
+        return results

@@ -6,6 +6,15 @@ each event's time, and invokes the callback.  Callbacks may schedule further
 events (a delivered request whose handler issues nested RPCs does exactly
 that), so :meth:`run_until` is re-entrant: an event callback that needs to
 wait for a later event simply runs the loop again from inside itself.
+
+Two delivery granularities coexist:
+
+* :meth:`schedule` -- one heap event per callback (the per-frame path).
+* :meth:`schedule_slotted` -- items arriving for the same ``key`` within the
+  same time slot (``slot_width_s`` wide) coalesce into **one** heap event
+  that fires with the whole batch, collapsing heap size from O(frames) to
+  O(keys x active slots).  Each item keeps its exact timestamp; slotting
+  batches the heap bookkeeping, never the physics.
 """
 
 from __future__ import annotations
@@ -13,6 +22,11 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 from typing import Callable
+
+#: Default coalescing window for slotted delivery.  10 ms is well under any
+#: configured link latency, so a slot never spans two logically distinct
+#: delivery waves.
+DEFAULT_SLOT_WIDTH_S = 0.010
 
 
 @dataclass(order=True)
@@ -28,14 +42,33 @@ class Event:
         self.cancelled = True
 
 
+class _SlotBatch:
+    """Items coalesced behind one slotted heap event: (timestamp, item) pairs."""
+
+    __slots__ = ("items",)
+
+    def __init__(self) -> None:
+        self.items: list[tuple[float, object]] = []
+
+
 class EventScheduler:
     """Minimal discrete-event loop driving :class:`SimulatedNetwork`."""
 
-    def __init__(self, start: float = 0.0) -> None:
+    def __init__(self, start: float = 0.0, slot_width_s: float = DEFAULT_SLOT_WIDTH_S) -> None:
         self.now: float = start
         self._heap: list[Event] = []
         self._seq = 0
         self.events_processed = 0
+        self.slot_width_s = slot_width_s
+        self._slots: dict[tuple[object, int], _SlotBatch] = {}
+        #: Peak heap occupancy and slotted-delivery counters, exported as the
+        #: ``scheduler.*`` metrics gauges.
+        self.max_heap_size = 0
+        self.slot_events = 0
+        self.slotted_items = 0
+
+    def heap_size(self) -> int:
+        return len(self._heap)
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> Event:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
@@ -44,7 +77,43 @@ class EventScheduler:
         event = Event(time=self.now + delay, seq=self._seq, callback=callback)
         self._seq += 1
         heapq.heappush(self._heap, event)
+        if len(self._heap) > self.max_heap_size:
+            self.max_heap_size = len(self._heap)
         return event
+
+    def schedule_slotted(
+        self,
+        key: object,
+        time: float,
+        item: object,
+        on_batch: Callable[[list[tuple[float, object]]], None],
+    ) -> None:
+        """Coalesce ``item`` into the (key, slot) batch event covering ``time``.
+
+        ``time`` is absolute.  The first item of a (key, slot) pair pushes one
+        heap event at that item's timestamp (clamped to the present); further
+        items for the same pair ride the existing event for free.  When the
+        event fires, ``on_batch`` receives every coalesced ``(time, item)``
+        pair -- items enqueued after the slot fired start a fresh batch.
+        """
+        slot = int(time // self.slot_width_s) if self.slot_width_s > 0.0 else 0
+        slot_key = (key, slot)
+        batch = self._slots.get(slot_key)
+        if batch is None:
+            batch = _SlotBatch()
+            self._slots[slot_key] = batch
+            event = Event(
+                time=max(time, self.now),
+                seq=self._seq,
+                callback=lambda: on_batch(self._slots.pop(slot_key).items),
+            )
+            self._seq += 1
+            heapq.heappush(self._heap, event)
+            if len(self._heap) > self.max_heap_size:
+                self.max_heap_size = len(self._heap)
+            self.slot_events += 1
+        batch.items.append((time, item))
+        self.slotted_items += 1
 
     def pending(self) -> int:
         return sum(1 for event in self._heap if not event.cancelled)
@@ -87,6 +156,19 @@ class EventScheduler:
         """
         if to_time > self.now:
             raise ValueError("rewind cannot move the clock forward")
+        self.now = to_time
+
+    def seek(self, to_time: float) -> None:
+        """Set the clock to an arbitrary batch-task timestamp.
+
+        The batched-delivery analogue of :meth:`rewind`: a transport batch
+        processes logically concurrent frames one after another, each at its
+        own arrival instant, so the clock legitimately hops both backwards
+        and forwards between them.  Only valid inside a phase (the enclosing
+        :class:`~repro.net.simulated._SimulatedPhase` restores order at
+        exit); pending events keep their absolute times, exactly as with
+        :meth:`rewind`.
+        """
         self.now = to_time
 
     def fast_forward(self, to_time: float) -> None:

@@ -24,16 +24,19 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import NetworkError, PartitionError
-from repro.net.frames import Frame, frame_overhead
+from repro.net.frames import Frame, FrameBatch, frame_overhead
 from repro.net.links import LinkSpec, NetworkTopology
 from repro.net.scheduler import EventScheduler
 from repro.net.transport import (
+    BatchCall,
+    BatchCallOutcome,
     Phase,
     RpcRequest,
     RpcResult,
     Transport,
     normalize_response,
 )
+from repro.obs.trace import CATEGORY_SCHEDULER, CATEGORY_TRANSPORT, active_tracer
 from repro.utils.rng import DeterministicRng
 
 DEFAULT_RETRY_TIMEOUT_S = 1.0
@@ -101,6 +104,17 @@ class SimulatedNetwork(Transport):
         self.retry_timeout_s = retry_timeout_s
         self.max_attempts = max_attempts
         self._access: dict[str, _AccessQueue] = {}
+        # Per-(src, dst, method) message counters feeding the keyed rng: each
+        # message's jitter/drop draws come from an rng forked by its route and
+        # sequence number on that route, never from a shared sequential
+        # stream.  That makes every draw independent of *global* issuance
+        # order, which is what lets the batched delivery path reorder its
+        # bookkeeping while staying byte-identical to the per-frame path.
+        self._msg_counts: dict[tuple[str, str, str], int] = {}
+        #: Gauges exported via scenario metrics: current/peak frames held in
+        #: columnar form by an in-progress delivery batch.
+        self.frames_in_flight = 0
+        self.frames_in_flight_peak = 0
 
     # -- access-link capacity ------------------------------------------------
     def set_access_link(self, name: str, ingress_mbps: float = 0.0, egress_mbps: float = 0.0) -> None:
@@ -137,7 +151,17 @@ class SimulatedNetwork(Transport):
         return arrival - now
 
     # -- delay model --------------------------------------------------------
-    def _delivery_delay(self, link: LinkSpec, num_bytes: int) -> tuple[float, bool]:
+    def _message_rng(self, src: str, dst: str, method: str) -> DeterministicRng:
+        """The keyed rng for the next message on this route (see __init__)."""
+        key = (src, dst, method)
+        counts = self._msg_counts
+        n = counts.get(key, 0)
+        counts[key] = n + 1
+        return self.rng.fork(f"{src}/{dst}/{method}/{n}")
+
+    def _delivery_delay(
+        self, link: LinkSpec, num_bytes: int, rng: DeterministicRng
+    ) -> tuple[float, bool]:
         """(delay, delivered): time elapsed and whether the message landed.
 
         A lost message still costs its retry timeouts -- the caller waited
@@ -145,12 +169,33 @@ class SimulatedNetwork(Transport):
         """
         total = 0.0
         for _ in range(self.max_attempts):
-            if link.dropped(self.rng):
+            if link.dropped(rng):
                 self.stats.messages_dropped += 1
                 total += self.retry_timeout_s
                 continue
-            return total + link.transfer_delay(num_bytes, self.rng), True
+            return total + link.transfer_delay(num_bytes, rng), True
         return total, False
+
+    def _route_delay(
+        self, link: LinkSpec, src: str, dst: str, method: str, num_bytes: int, fluid: bool
+    ) -> tuple[float, bool]:
+        """One message's full delay (loss, jitter, access queues) on a route.
+
+        ``fluid`` short-circuits the stochastic draws: the message moves as a
+        deterministic flow (no rng forked, no route counter consumed) and is
+        always delivered.  Shared access links still serialize it -- they are
+        the one genuinely shared pipe the fluid approximation must keep.
+        """
+        if fluid:
+            delay, delivered = link.transfer_delay(num_bytes, None), True
+        elif link.jitter_s > 0.0 or link.drop_rate > 0.0:
+            rng = self._message_rng(src, dst, method)
+            delay, delivered = self._delivery_delay(link, num_bytes, rng)
+        else:
+            delay, delivered = link.transfer_delay(num_bytes, None), True
+        if delivered and self._access:
+            delay = self._access_delay(src, dst, num_bytes, delay)
+        return delay, delivered
 
     def _wait(self, delay: float) -> None:
         done: list[bool] = []
@@ -162,9 +207,7 @@ class SimulatedNetwork(Transport):
         link = self.topology.link(src, dst)
         if self.topology.is_partitioned(src, dst):
             raise PartitionError(f"link {src} <-> {dst} is partitioned")
-        delay, delivered = self._delivery_delay(link, num_bytes)
-        if delivered and self._access:
-            delay = self._access_delay(src, dst, num_bytes, delay)
+        delay, delivered = self._route_delay(link, src, dst, method, num_bytes, fluid=False)
         self._wait(delay)
         if not delivered:
             raise NetworkError(
@@ -234,6 +277,186 @@ class SimulatedNetwork(Transport):
             obj=response.obj,
             latency_s=self.scheduler.now - start,
         )
+
+    # -- batched (slotted/columnar) delivery ---------------------------------
+    def call_batch(self, calls: list[BatchCall]) -> list[BatchCallOutcome]:
+        """A wave of logically concurrent calls over columnar frame storage.
+
+        Semantically equivalent to running every call as its own phase task
+        (each starting at its ``start`` time, the batch ending at the latest
+        finisher) -- and byte-identical to it on non-fluid links, because
+        every stochastic draw comes from the per-message keyed rng rather
+        than a shared stream.  Mechanically very different:
+
+        * frames live in one :class:`FrameBatch` (struct-of-arrays), not as
+          per-frame ``Frame``/``Event``/closure objects;
+        * arrivals coalesce into per-(destination, time-slot) batch events
+          via :meth:`EventScheduler.schedule_slotted` -- heap traffic is
+          O(active slots), not O(frames);
+        * responses need no heap events at all (each rides back to a
+          distinct caller, so there is nothing to coalesce);
+        * traffic stats are accumulated locally and flushed once per wave.
+
+        Handlers still execute in submission order, each at its own exact
+        arrival instant (the clock seeks per frame) -- the same "Python call
+        order, not simulated-time order" approximation the per-frame phase
+        machinery documents.  Links marked ``fluid`` move their frames as
+        deterministic flows (no jitter/loss draws); everything else keeps
+        full per-frame fidelity.
+        """
+        if not calls:
+            return []
+        tracer = active_tracer()
+        if not tracer.enabled:
+            return self._call_batch(calls, None)
+        span = tracer.start("call_batch", category=CATEGORY_TRANSPORT, keep=False)
+        try:
+            return self._call_batch(calls, tracer)
+        finally:
+            tracer.end(span)
+
+    def _call_batch(self, calls: list[BatchCall], tracer) -> list[BatchCallOutcome]:
+        sched = self.scheduler
+        topo = self.topology
+        t0 = sched.now
+        n = len(calls)
+        self.frames_in_flight = n
+        if n > self.frames_in_flight_peak:
+            self.frames_in_flight_peak = n
+        # Request frames never materialize, but their ids still burn so the
+        # counter agrees with the per-frame path.
+        self._next_msg_id += n
+
+        batch = FrameBatch()
+        starts: list[float] = []
+        for call in calls:
+            batch.append(call.src, call.dst, call.method, call.payload, call.obj, call.size_hint)
+            starts.append(call.start if call.start is not None else t0)
+        arrivals = batch.deadlines  # the deadline column doubles as arrival times
+
+        outcomes: list[BatchCallOutcome | None] = [None] * n
+        handlers: dict[str, object] = {}
+        request_stats: dict[str, list[tuple[str, str, int]]] = {}
+        deliverable: list[int] = []
+
+        # Pass 1 (scheduler-side): per-frame delays and slotted arrivals, in
+        # submission order so shared access queues serialize exactly as the
+        # per-frame path would.
+        sched_span = (
+            tracer.start("scheduler", category=CATEGORY_SCHEDULER, keep=False) if tracer else None
+        )
+        srcs, dsts, methods, wire_sizes = batch.srcs, batch.dsts, batch.methods, batch.wire_sizes
+        for i in range(n):
+            src, dst, method = srcs[i], dsts[i], methods[i]
+            start = starts[i]
+            sched.seek(start)
+            if dst not in handlers:
+                try:
+                    handlers[dst] = self._handler_for(dst)
+                except NetworkError as exc:
+                    outcomes[i] = BatchCallOutcome(error=exc, finished_at=start)
+                    continue
+            link = topo.link(src, dst)
+            if topo.is_partitioned(src, dst):
+                outcomes[i] = BatchCallOutcome(
+                    error=PartitionError(f"link {src} <-> {dst} is partitioned"),
+                    finished_at=start,
+                )
+                continue
+            num_bytes = wire_sizes[i]
+            delay, delivered = self._route_delay(link, src, dst, method, num_bytes, link.fluid)
+            end = start + delay
+            if not delivered:
+                exc = NetworkError(
+                    f"message {src} -> {dst} lost after {self.max_attempts} attempts"
+                )
+                exc.request_delivered = False
+                outcomes[i] = BatchCallOutcome(error=exc, finished_at=end)
+                continue
+            arrivals[i] = end
+            deliverable.append(i)
+            entries = request_stats.get(method)
+            if entries is None:
+                entries = request_stats[method] = []
+            entries.append((src, dst, num_bytes))
+            sched.schedule_slotted(dst, end, i, self._deliver_slot)
+        sched.run_until_idle()
+        if sched_span is not None:
+            tracer.end(sched_span)
+        for method, entries in request_stats.items():
+            self.stats.record_many(method, entries)
+
+        # Pass 2 (dispatch): handlers run in submission order at their exact
+        # arrival instants; responses ride back without heap events.
+        response_stats: dict[str, list[tuple[str, str, int]]] = {}
+        response_overheads: dict[tuple[str, str, str], int] = {}
+        for i in deliverable:
+            src, dst, method = srcs[i], dsts[i], methods[i]
+            arrival = arrivals[i]
+            sched.seek(arrival)
+            request = RpcRequest(
+                src=src, dst=dst, method=method,
+                payload=batch.payloads[i], obj=batch.objs[i], time=arrival,
+            )
+            try:
+                response = normalize_response(handlers[dst](request))
+            except Exception as exc:
+                # Same contract as the per-frame path: the rejection rides an
+                # error reply that can itself be lost, in which case the
+                # caller sees only the network failure (and must not treat
+                # the lost ack as success -- no request_delivered tag).
+                try:
+                    self._transmit(
+                        dst, src, method, frame_overhead(dst, src, method) + ERROR_REPLY_BODY_SIZE
+                    )
+                except NetworkError as transport_exc:
+                    transport_exc.__cause__ = exc
+                    outcomes[i] = BatchCallOutcome(error=transport_exc, finished_at=sched.now)
+                    continue
+                outcomes[i] = BatchCallOutcome(error=exc, finished_at=sched.now)
+                continue
+            # Nested calls made by the handler advanced the clock already.
+            back_start = sched.now
+            route = (dst, src, method)
+            overhead = response_overheads.get(route)
+            if overhead is None:
+                overhead = response_overheads[route] = frame_overhead(dst, src, method)
+            num_bytes = len(response.payload) + response.size_hint + overhead
+            link = topo.link(src, dst)
+            if topo.is_partitioned(src, dst):
+                outcomes[i] = BatchCallOutcome(
+                    error=PartitionError(f"link {src} <-> {dst} is partitioned"),
+                    finished_at=back_start,
+                )
+                continue
+            delay, delivered = self._route_delay(link, dst, src, method, num_bytes, link.fluid)
+            end = back_start + delay
+            if not delivered:
+                exc = NetworkError(
+                    f"message {dst} -> {src} lost after {self.max_attempts} attempts"
+                )
+                exc.request_delivered = True
+                outcomes[i] = BatchCallOutcome(error=exc, finished_at=end)
+                continue
+            entries = response_stats.get(method)
+            if entries is None:
+                entries = response_stats[method] = []
+            entries.append((dst, src, num_bytes))
+            outcomes[i] = BatchCallOutcome(
+                result=RpcResult(
+                    payload=response.payload, obj=response.obj, latency_s=end - starts[i]
+                ),
+                finished_at=end,
+            )
+        for method, entries in response_stats.items():
+            self.stats.record_many(method, entries)
+        self.frames_in_flight = 0
+        sched.seek(max(outcome.finished_at for outcome in outcomes))
+        return outcomes  # type: ignore[return-value]
+
+    def _deliver_slot(self, items: list[tuple[float, object]]) -> None:
+        """One per-(destination, slot) batch arrival: frames leave the wire."""
+        self.frames_in_flight -= len(items)
 
     def now(self) -> float:
         return self.scheduler.now

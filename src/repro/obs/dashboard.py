@@ -113,6 +113,8 @@ class DashboardServer:
             self._state["events_by_type"] = data
         elif event_type == "shards":
             self._state["shards"] = data
+        elif event_type == "net":
+            self._state["net"] = data
         elif event_type == "scenario_finished":
             self._state["status"] = "finished"
             self._state["summary"] = data
@@ -283,6 +285,7 @@ class DashboardMonitor:
             entry_shards=spec.entry_shards,
             crypto_backend=deployment.crypto.name,
             pipelined=spec.pipelined,
+            fidelity=spec.fidelity,
         )
 
     def before_round(self, deployment, protocol: str, round_index: int) -> None:
@@ -302,6 +305,16 @@ class DashboardMonitor:
                 "shards",
                 submissions_by_shard=report["submissions_by_shard"],
                 imbalance=report["imbalance"],
+            )
+        transport = getattr(deployment, "transport", None)
+        scheduler = getattr(transport, "scheduler", None)
+        if scheduler is not None:
+            self.server.publish(
+                "net",
+                heap_size=scheduler.max_heap_size,
+                slot_events=scheduler.slot_events,
+                slotted_items=scheduler.slotted_items,
+                frames_in_flight_peak=transport.frames_in_flight_peak,
             )
 
     def on_finish(self, result) -> None:
@@ -359,6 +372,8 @@ _PAGE = """<!doctype html>
 </table>
 <h2>Shard load</h2>
 <div id="shards" class="muted">unsharded deployment</div>
+<h2>Simulator core</h2>
+<div id="net" class="muted">no scheduler stats yet</div>
 <h2>Session events</h2>
 <div id="events" class="muted">none yet</div>
 <h2>Summary</h2>
@@ -374,7 +389,8 @@ _PAGE = """<!doctype html>
     const d = JSON.parse(e.data).data;
     $('scenario').textContent = d.name + ' \\u00b7 ' + d.clients + ' clients \\u00b7 '
       + d.mix_servers + ' mixes \\u00b7 ' + d.entry_shards + ' shard(s) \\u00b7 '
-      + d.crypto_backend + (d.pipelined ? ' \\u00b7 pipelined' : '');
+      + d.crypto_backend + (d.pipelined ? ' \\u00b7 pipelined' : '')
+      + (d.fidelity ? ' \\u00b7 ' + d.fidelity : '');
     $('status').textContent = 'running'; $('status').className = 'running';
   });
   source.addEventListener('round', (e) => {
@@ -398,6 +414,13 @@ _PAGE = """<!doctype html>
       'shard ' + i + ' <span class="bar" style="width:' + (140 * x / max)
       + 'px"></span> ' + x).join('<br>')
       + '<br><span class="muted">imbalance ' + d.imbalance + '</span>';
+  });
+  source.addEventListener('net', (e) => {
+    const d = JSON.parse(e.data).data;
+    $('net').className = '';
+    $('net').textContent = 'scheduler heap peak ' + d.heap_size + ' \\u00b7 slot events '
+      + d.slot_events + ' (' + d.slotted_items + ' frames batched) \\u00b7 frames in flight peak '
+      + d.frames_in_flight_peak;
   });
   source.addEventListener('events', (e) => {
     const d = JSON.parse(e.data).data;

@@ -117,6 +117,21 @@ class EventLogMonitor:
                 aborted=True if stats.aborted else None,
             ),
         )
+        # Deliveries may arrive as per-(link, slot) batches rather than one
+        # event per frame; report the scheduler-level aggregates instead of
+        # assuming frame granularity.
+        transport = getattr(deployment, "transport", None)
+        scheduler = getattr(transport, "scheduler", None)
+        if scheduler is not None and self.log.isEnabledFor(logging.DEBUG):
+            self.log.debug(
+                "net %s",
+                log_fields(
+                    heap_size=scheduler.max_heap_size,
+                    slot_events=scheduler.slot_events,
+                    slotted_items=scheduler.slotted_items,
+                    frames_peak=transport.frames_in_flight_peak,
+                ),
+            )
 
     def on_finish(self, result) -> None:
         self.log.info(

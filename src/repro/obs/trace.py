@@ -24,6 +24,8 @@ Span categories:
   are kept as real spans, single ops feed attribution only.
 * ``mix`` / ``cluster`` -- ``MixServer.process_batch``, shard-router
   broadcasts/collects, and ``IngressProxy`` flushes.
+* ``scheduler`` -- slot scheduling/draining inside batched delivery waves
+  (``SimulatedNetwork.call_batch``); attribution only.
 
 Exports: :meth:`Tracer.write_jsonl` (one span dict per line),
 :meth:`Tracer.write_chrome_trace` (Chrome/Perfetto ``trace_event`` JSON
@@ -43,6 +45,7 @@ from typing import Any, Callable, Iterator
 
 __all__ = [
     "CATEGORY_CRYPTO",
+    "CATEGORY_SCHEDULER",
     "CATEGORY_STAGE",
     "CATEGORY_TRANSPORT",
     "NullTracer",
@@ -59,6 +62,9 @@ CATEGORY_TRANSPORT = "transport"
 CATEGORY_CRYPTO = "crypto"
 CATEGORY_MIX = "mix"
 CATEGORY_CLUSTER = "cluster"
+#: Discrete-event bookkeeping inside batched delivery (slot scheduling and
+#: draining); previously hidden inside "transport"/"other".
+CATEGORY_SCHEDULER = "scheduler"
 CATEGORY_OTHER = "other"
 
 #: Trace-event process ids: simulated-time timeline vs wall-clock flame chart.

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto import bls
+from repro.crypto.attestation import DEFAULT_SCHEME, AttestationScheme
 from repro.crypto.engine import active_backend
 from repro.crypto.ibe.interface import IbeScheme
 from repro.emailsim.provider import EmailNetwork
@@ -60,7 +61,7 @@ class ExtractionResponse:
     pkg_name: str
     round_number: int
     private_key_share: object  # backend-specific identity private key share
-    attestation: object  # BLS signature (G1 point) over pkg_statement(...)
+    attestation: object  # scheme-specific attestation over pkg_statement(...)
 
 
 class PkgServer:
@@ -72,9 +73,11 @@ class PkgServer:
         ibe_backend: IbeScheme,
         email_network: EmailNetwork,
         bls_seed: bytes | None = None,
+        attestation: AttestationScheme | None = None,
     ) -> None:
         self.name = name
         self.ibe = ibe_backend
+        self.attestation = attestation if attestation is not None else DEFAULT_SCHEME
         self.registration = RegistrationManager(pkg_name=name, email_network=email_network)
         self.signing_keypair = bls.generate_keypair(seed=bls_seed)
         # round -> master key pair; closed rounds have their secrets deleted.
@@ -161,8 +164,10 @@ class PkgServer:
         self.registration.record_extraction(email, now)
         self.extractions_served += 1
         share = self.ibe.extract(master.secret, email)
-        attestation = bls.sign(
-            self.signing_keypair.secret, pkg_statement(email, record.signing_key, round_number)
+        attestation = self.attestation.attest(
+            self.signing_keypair.secret,
+            self.signing_keypair.public,
+            pkg_statement(email, record.signing_key, round_number),
         )
         return ExtractionResponse(
             pkg_name=self.name,

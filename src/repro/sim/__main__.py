@@ -11,7 +11,10 @@ Examples::
     python -m repro.sim --sweep-shards --sweep-zipf 0,1.2
     python -m repro.sim --sweep-shards 1,2,4 --sweep-cdn-egress 0,1
     python -m repro.sim --scenario metropolis          # 10k clients, accelerated
+    python -m repro.sim --scenario megacity            # 100k clients, fluid links
+    python -m repro.sim --scenario baseline --fidelity frames   # legacy per-frame core
     python -m repro.sim --sweep-crypto pure,accelerated --sweep-crypto-clients 100,400
+    python -m repro.sim --sweep-fidelity --sweep-fidelity-clients 100,300
 
 ``--sweep`` runs the scenario over a clients x link-latency grid, once with
 the sequential round driver and once pipelined, and writes the comparison
@@ -21,6 +24,9 @@ over a shard-count x Zipf-skew grid (plus an ingress batch comparison and an
 optional ``--sweep-cdn-egress`` axis) and writes ``BENCH_shard.json``.
 ``--sweep-crypto`` microbenchmarks every available crypto backend and runs a
 backend x client-count scenario grid into ``BENCH_crypto.json``.
+``--sweep-fidelity`` runs the simulator-core fidelity grid (``frames`` vs
+``slotted`` vs ``fluid``) and writes ``BENCH_net.json`` -- asserting the
+slotted core's byte-identical results and measuring fluid's divergence.
 
 Observability flags (single-run mode)::
 
@@ -130,6 +136,19 @@ def build_parser() -> argparse.ArgumentParser:
         "(pure, accelerated, parallel; default: the scenario's, normally pure)",
     )
     parser.add_argument(
+        "--fidelity",
+        choices=("frames", "slotted", "fluid"),
+        default=None,
+        help="simulator-core fidelity: per-frame events, batched slotted "
+        "delivery (byte-identical, default), or fluid-flow client links",
+    )
+    parser.add_argument(
+        "--attestation-backend",
+        choices=("bls", "simulated"),
+        default=None,
+        help="PKG attestation scheme (default: the scenario's, normally simulated)",
+    )
+    parser.add_argument(
         "--cdn-egress-mbps",
         type=float,
         default=None,
@@ -226,6 +245,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="client counts for the --sweep-crypto grid (default: 100,400)",
     )
     parser.add_argument(
+        "--sweep-fidelity",
+        nargs="?",
+        const="frames,slotted,fluid",
+        default=None,
+        metavar="F,F,...",
+        help="run the simulator-core fidelity grid (frames/slotted/fluid) "
+        "and write BENCH_net.json; default grid frames,slotted,fluid",
+    )
+    parser.add_argument(
+        "--sweep-fidelity-clients",
+        default="100,300",
+        metavar="N,N,...",
+        help="client counts for the --sweep-fidelity grid (default: 100,300)",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
@@ -305,14 +339,21 @@ def main(argv: list[str] | None = None) -> int:
         overrides["crypto_backend"] = args.crypto_backend
     if args.cdn_egress_mbps is not None:
         overrides["cdn_egress_mbps"] = args.cdn_egress_mbps
+    if args.fidelity is not None:
+        overrides["fidelity"] = args.fidelity
+    if args.attestation_backend is not None:
+        overrides["attestation_backend"] = args.attestation_backend
 
     sweeping = args.sweep_crypto is not None or args.sweep_shards is not None
     sweeping = sweeping or args.sweep_cdn_egress is not None or args.sweep
+    sweeping = sweeping or args.sweep_fidelity is not None
     if sweeping and (args.trace or args.dashboard is not None):
         print("note: --trace/--dashboard apply to single runs only; ignored with sweeps")
         args.trace = None
         args.dashboard = None
 
+    if args.sweep_fidelity is not None:
+        return run_fidelity_sweep_cli(args, overrides)
     if args.sweep_crypto is not None:
         return run_crypto_sweep_cli(args, overrides)
     if args.sweep_shards is not None or args.sweep_cdn_egress is not None:
@@ -546,6 +587,55 @@ def run_shard_sweep_cli(args, overrides: dict) -> int:
     return 0
 
 
+def run_fidelity_sweep_cli(args, overrides: dict) -> int:
+    from repro.sim.sweep import emit_fidelity_report, run_fidelity_sweep
+
+    ignored = [
+        flag
+        for flag, key in (
+            ("--clients", "num_clients"),
+            ("--fidelity", "fidelity"),
+        )
+        if overrides.pop(key, None) is not None
+    ]
+    if ignored:
+        print(
+            f"note: {', '.join(ignored)} ignored with --sweep-fidelity "
+            "(the grid supplies fidelities and client counts)"
+        )
+    scenario = args.scenario or "baseline"
+    try:
+        fidelities = [v.strip() for v in args.sweep_fidelity.split(",") if v.strip()]
+        clients = [int(v) for v in args.sweep_fidelity_clients.split(",") if v.strip()]
+    except ValueError:
+        print(
+            "error: --sweep-fidelity-clients must be comma-separated integers",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.obs.logging import progress_printer
+
+    try:
+        result = run_fidelity_sweep(
+            client_counts=clients,
+            fidelities=fidelities,
+            scenario=scenario,
+            progress=progress_printer(),
+            **overrides,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    path = emit_fidelity_report(result)
+    print(f"wrote {path}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_report(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
 def run_sweep_cli(args, overrides: dict) -> int:
     from repro.sim.sweep import emit_sweep_report, run_sweep
 
@@ -577,6 +667,8 @@ def run_sweep_cli(args, overrides: dict) -> int:
             file=sys.stderr,
         )
         return 2
+    from repro.obs.logging import progress_printer
+
     try:
         result = run_sweep(
             scenario=scenario,

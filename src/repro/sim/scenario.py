@@ -100,6 +100,24 @@ class ScenarioSpec:
     #: CDN tier the same measurable way the submit stage queues behind the
     #: entry tier.
     cdn_egress_mbps: float = 0.0
+    #: Simulator-core fidelity (the --sweep-fidelity axis):
+    #:
+    #: * ``"frames"``  -- per-frame RPCs driven one client at a time (the
+    #:   historical path; every frame is its own heap event);
+    #: * ``"slotted"`` -- batched round stages over columnar frame storage
+    #:   with per-(destination, slot) coalesced delivery.  Byte-identical
+    #:   results to ``"frames"`` (the per-message keyed rng guarantees it),
+    #:   dramatically cheaper per frame;
+    #: * ``"fluid"``   -- ``"slotted"`` plus fluid-flow client links: bulk
+    #:   frames move as deterministic flows with no per-frame jitter/drop
+    #:   draws (a bounded-divergence approximation for 100k-client runs).
+    fidelity: str = "slotted"
+    #: PKG attestation scheme ("bls" = real BLS aggregate signatures,
+    #: "simulated" = hash-based stand-in with identical wire sizes).
+    #: Scenarios measure the system, not the pairing arithmetic -- same
+    #: rationale as the simulated IBE backend -- so "simulated" is the
+    #: default here while the library default stays "bls".
+    attestation_backend: str = "simulated"
 
     def resolved_friend_pairs(self) -> int:
         if self.friend_pairs is not None:
@@ -261,6 +279,8 @@ class ScenarioResult:
             "shard_access_mbps": self.spec.shard_access_mbps,
             "cdn_egress_mbps": self.spec.cdn_egress_mbps,
             "crypto_backend": self.spec.crypto_backend,
+            "fidelity": self.spec.fidelity,
+            "attestation_backend": self.spec.attestation_backend,
             "addfriend_submit_stage_s": round(self.mean_submit_stage("add-friend"), 6),
             "addfriend_scan_stage_s": round(self.mean_scan_stage("add-friend"), 6),
             "throughput": self.throughput,
@@ -367,7 +387,13 @@ class Scenario:
         )
 
     def build_topology(self) -> NetworkTopology:
-        topology = NetworkTopology(default=self.spec.client_link)
+        client_link = self.spec.client_link
+        if self.spec.fidelity == "fluid":
+            # Fluid fidelity moves the client bulk traffic as deterministic
+            # flows; the server mesh keeps per-frame fidelity (control RPCs
+            # are few and their loss/retry behavior matters).
+            client_link = replace(client_link, fluid=True)
+        topology = NetworkTopology(default=client_link)
         servers = self.server_endpoints()
         for i, a in enumerate(servers):
             for b in servers[i + 1 :]:
@@ -376,6 +402,10 @@ class Scenario:
 
     def build(self) -> tuple[Deployment, SimulatedNetwork]:
         spec = self.spec
+        if spec.fidelity not in ("frames", "slotted", "fluid"):
+            raise ValueError(
+                f"unknown fidelity {spec.fidelity!r}: expected frames, slotted, or fluid"
+            )
         net = SimulatedNetwork(topology=self.build_topology(), seed=f"{spec.seed}/{spec.name}/net")
         config = AlpenhornConfig(
             num_mix_servers=spec.num_mix_servers,
@@ -393,6 +423,8 @@ class Scenario:
             entry_shards=spec.entry_shards,
             ingress_batch_size=spec.ingress_batch_size,
             fixed_mailbox_count=spec.fixed_mailbox_count,
+            batched_rounds=spec.fidelity != "frames",
+            attestation_backend=spec.attestation_backend,
         )
         deployment = Deployment(config, seed=f"{spec.seed}/{spec.name}", transport=net)
         self._apply_access_links(net)
@@ -514,6 +546,12 @@ class Scenario:
         registry.count("transport.bytes_sent", stats.bytes_sent)
         registry.count_mapping("transport.bytes", stats.bytes_by_method)
         registry.count_mapping("transport.calls", stats.calls_by_method)
+        scheduler = net.scheduler
+        registry.set_gauge("scheduler.heap_size", scheduler.max_heap_size)
+        registry.set_gauge("scheduler.slot_events", scheduler.slot_events)
+        registry.set_gauge("scheduler.slotted_items", scheduler.slotted_items)
+        registry.count("scheduler.events_processed", scheduler.events_processed)
+        registry.set_gauge("net.frames_in_flight", net.frames_in_flight_peak)
         registry.set_gauge("sessions.count", len(deployment.sessions))
         registry.set_gauge(
             "sessions.outbox_depth",

@@ -29,6 +29,12 @@ shard's shared egress link and records scan-stage latency per shard count
 The crypto-engine sweep lives in :mod:`repro.sim.crypto_sweep`
 (CLI ``--sweep-crypto``, ``BENCH_crypto.json``).
 
+A third sweep covers the simulator core itself (:func:`run_fidelity_sweep`,
+CLI ``--sweep-fidelity``, ``BENCH_net.json``): one scenario over a
+clients x fidelity grid (``frames`` / ``slotted`` / ``fluid``), asserting
+byte-identical results for ``slotted`` and measuring ``fluid``'s bounded
+divergence plus what each fidelity level costs the host.
+
 ``python -m repro.sim --sweep`` is the CLI; :func:`run_sweep` the API.
 """
 
@@ -607,5 +613,190 @@ def emit_sweep_report(result: SweepResult, name: str = "sweep") -> str:
                 headers, rows, title="add-friend submit stage: sequential vs parallel PKG fan-out"
             )
         )
+    path = write_json_report(name, result.to_report())
+    return str(path)
+
+
+# -- the simulator-core fidelity sweep (CLI --sweep-fidelity) ---------------
+
+def _comparable_dict(result: ScenarioResult) -> dict:
+    """A result's dict with the fidelity-varying bookkeeping stripped.
+
+    ``wall_seconds`` is host time, ``metrics`` carries scheduler/heap gauges
+    that legitimately differ across delivery mechanics, and ``fidelity`` is
+    the axis itself; everything else -- per-round latencies, deliveries,
+    byte counts, liveness -- must match bit-for-bit between ``frames`` and
+    ``slotted``.
+    """
+    d = result.to_dict()
+    for key in ("wall_seconds", "metrics", "fidelity"):
+        d.pop(key, None)
+    return d
+
+
+@dataclass
+class FidelityPoint:
+    """One grid cell: a scenario at one client count and fidelity level."""
+
+    num_clients: int
+    fidelity: str
+    result: ScenarioResult
+    #: Whether this point's comparable results equal the same-size
+    #: ``frames`` point's (None for the ``frames`` points themselves).
+    identical_to_frames: bool | None = None
+    #: Max relative per-round latency deviation from the ``frames`` point.
+    latency_divergence: float | None = None
+    #: Sum of absolute per-round delivered_real deviations from ``frames``.
+    delivery_divergence: int | None = None
+
+    def delivered_total(self) -> int:
+        return sum(r.delivered_real for r in self.result.rounds)
+
+    def row(self) -> list:
+        mean_lat = (
+            sum(self.result.round_latencies()) / len(self.result.round_latencies())
+            if self.result.round_latencies()
+            else 0.0
+        )
+        identical = "-" if self.identical_to_frames is None else (
+            "yes" if self.identical_to_frames else "NO"
+        )
+        divergence = (
+            "-" if self.latency_divergence is None else f"{self.latency_divergence:.3f}"
+        )
+        return [
+            self.num_clients,
+            self.fidelity,
+            f"{self.result.wall_seconds:.2f}",
+            f"{mean_lat:.3f}",
+            self.delivered_total(),
+            identical,
+            divergence,
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "num_clients": self.num_clients,
+            "fidelity": self.fidelity,
+            "identical_to_frames": self.identical_to_frames,
+            "latency_divergence": self.latency_divergence,
+            "delivery_divergence": self.delivery_divergence,
+            "result": self.result.to_dict(),
+        }
+
+
+@dataclass
+class FidelitySweepResult:
+    """Everything one fidelity sweep produced (lands in BENCH_net.json)."""
+
+    scenario: str = "baseline"
+    points: list[FidelityPoint] = field(default_factory=list)
+
+    HEADERS = [
+        "clients", "fidelity", "wall s", "mean round s",
+        "delivered", "identical", "latency div",
+    ]
+
+    def table(self) -> tuple[list[str], list[list]]:
+        return list(self.HEADERS), [point.row() for point in self.points]
+
+    def slotted_identical(self) -> bool:
+        """True when every slotted point matched its frames point exactly."""
+        slotted = [p for p in self.points if p.fidelity == "slotted"]
+        return bool(slotted) and all(p.identical_to_frames for p in slotted)
+
+    def max_fluid_divergence(self) -> float:
+        """The largest relative round-latency deviation any fluid point showed."""
+        return max(
+            (p.latency_divergence or 0.0 for p in self.points if p.fidelity == "fluid"),
+            default=0.0,
+        )
+
+    def wall_seconds_by_fidelity(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for point in self.points:
+            totals[point.fidelity] = round(
+                totals.get(point.fidelity, 0.0) + point.result.wall_seconds, 3
+            )
+        return totals
+
+    def to_report(self) -> dict:
+        headers, rows = self.table()
+        report = table_report(
+            headers, rows, title="simulator-core fidelity: frames vs slotted vs fluid"
+        )
+        report["scenario"] = self.scenario
+        report["points"] = [point.to_dict() for point in self.points]
+        report["slotted_identical"] = self.slotted_identical()
+        report["max_fluid_latency_divergence"] = round(self.max_fluid_divergence(), 6)
+        report["wall_seconds_by_fidelity"] = self.wall_seconds_by_fidelity()
+        return report
+
+
+def run_fidelity_sweep(
+    client_counts: list[int] | None = None,
+    fidelities: list[str] | None = None,
+    scenario: str = "baseline",
+    progress=None,
+    **overrides,
+) -> FidelitySweepResult:
+    """Run one scenario over a clients x fidelity grid.
+
+    Every same-size point shares its seed, so ``frames`` and ``slotted``
+    must produce byte-identical comparable results (the per-message keyed
+    rng guarantee) and ``fluid``'s deviation is a pure measurement of the
+    flow approximation.  The wall-clock column is the point of the sweep:
+    what each fidelity level costs the host at each population size.
+    """
+    from repro.sim.scenarios import run_scenario
+
+    client_counts = client_counts or [100, 300]
+    fidelities = fidelities or ["frames", "slotted", "fluid"]
+    seed = overrides.pop("seed", "fidelity-sweep")
+    result = FidelitySweepResult(scenario=scenario)
+    for clients in client_counts:
+        frames_point: ScenarioResult | None = None
+        for fidelity in fidelities:
+            if progress:
+                progress(f"fidelity sweep: {clients} clients @ {fidelity}")
+            point_result = run_scenario(
+                scenario,
+                num_clients=clients,
+                fidelity=fidelity,
+                seed=f"{seed}/c{clients}",
+                **overrides,
+            )
+            point = FidelityPoint(clients, fidelity, point_result)
+            if fidelity == "frames":
+                frames_point = point_result
+            elif frames_point is not None:
+                point.identical_to_frames = _comparable_dict(point_result) == _comparable_dict(
+                    frames_point
+                )
+                base_rounds = frames_point.rounds
+                divergences = [
+                    abs(mine.latency_s - base.latency_s) / base.latency_s
+                    for mine, base in zip(point_result.rounds, base_rounds)
+                    if base.latency_s > 0
+                ]
+                point.latency_divergence = round(max(divergences, default=0.0), 6)
+                point.delivery_divergence = sum(
+                    abs(mine.delivered_real - base.delivered_real)
+                    for mine, base in zip(point_result.rounds, base_rounds)
+                )
+            result.points.append(point)
+    return result
+
+
+def emit_fidelity_report(result: FidelitySweepResult, name: str = "net") -> str:
+    """Print the fidelity table and write ``BENCH_<name>.json``; returns the path."""
+    headers, rows = result.table()
+    print(
+        format_table(
+            headers, rows, title=f"simulator-core fidelity grid on {result.scenario}"
+        )
+    )
+    print(f"slotted identical to frames: {'yes' if result.slotted_identical() else 'NO'}")
+    print(f"max fluid latency divergence: {result.max_fluid_divergence():.3f}")
     path = write_json_report(name, result.to_report())
     return str(path)

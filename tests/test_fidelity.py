@@ -1,0 +1,135 @@
+"""Fidelity-tier equivalence: frames vs slotted vs fluid.
+
+The rebuilt simulator core must be *invisible* at its default tier:
+slotted (batched) delivery with columnar frame storage has to produce a
+byte-identical :class:`ScenarioResult` to the per-frame simulation.  The
+fluid tier trades per-frame fidelity for throughput, so there the tests
+bound the divergence instead of demanding identity.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sim import make_scenario, run_scenario
+
+
+def comparable(result) -> dict:
+    """A result dict with wall-clock noise and tier labels stripped."""
+    data = result.to_dict()
+    for key in ("wall_seconds", "metrics", "fidelity"):
+        data.pop(key, None)
+    return data
+
+
+def run_pair(scenario: str, **overrides):
+    frames = run_scenario(scenario, fidelity="frames", **overrides)
+    slotted = run_scenario(scenario, fidelity="slotted", **overrides)
+    return frames, slotted
+
+
+class TestSlottedIdentity:
+    """Slotted + columnar delivery is byte-identical to per-frame."""
+
+    KW = dict(num_clients=16, friend_pairs=4, addfriend_rounds=2,
+              dialing_rounds=2, seed="t-fidelity")
+
+    @pytest.mark.parametrize("scenario", ["baseline", "sharded_entry"])
+    def test_byte_identical_results(self, scenario):
+        frames, slotted = run_pair(scenario, **self.KW)
+        assert json.dumps(comparable(frames), sort_keys=True) == json.dumps(
+            comparable(slotted), sort_keys=True
+        )
+
+    def test_slotted_is_the_default_tier(self):
+        result = run_scenario("baseline", num_clients=8, friend_pairs=2,
+                              addfriend_rounds=1, dialing_rounds=1, seed="t-default")
+        assert result.to_dict()["fidelity"] == "slotted"
+
+    def test_slotted_actually_batches(self):
+        slotted = run_scenario("baseline", fidelity="slotted", **self.KW)
+        gauges = slotted.metrics["gauges"]
+        assert gauges["scheduler.slotted_items"] > 0
+        assert gauges["net.frames_in_flight"] > 1
+
+    def test_unknown_fidelity_rejected(self):
+        with pytest.raises(ValueError, match="fidelity"):
+            run_scenario("baseline", num_clients=8, fidelity="perfect")
+
+
+class TestFluidApproximation:
+    """Fluid links are opt-in and their divergence is bounded."""
+
+    KW = dict(num_clients=16, friend_pairs=4, addfriend_rounds=2,
+              dialing_rounds=2, seed="t-fluid")
+
+    def test_deliveries_match_per_frame(self):
+        frames = run_scenario("baseline", fidelity="frames", **self.KW)
+        fluid = run_scenario("baseline", fidelity="fluid", **self.KW)
+        assert fluid.friendships_confirmed == frames.friendships_confirmed
+        assert fluid.calls_delivered == frames.calls_delivered
+        for before, after in zip(frames.rounds, fluid.rounds):
+            assert before.participants == after.participants
+            assert before.failures == after.failures
+
+    def test_latency_divergence_bounded(self):
+        frames = run_scenario("baseline", fidelity="frames", **self.KW)
+        fluid = run_scenario("baseline", fidelity="fluid", **self.KW)
+        for before, after in zip(frames.rounds, fluid.rounds):
+            if before.latency_s:
+                divergence = abs(after.latency_s - before.latency_s) / before.latency_s
+                assert divergence < 0.5
+
+    def test_fluid_only_touches_client_links(self):
+        scenario = make_scenario("baseline", fidelity="fluid", **self.KW)
+        topology = scenario.build_topology()
+        assert topology.default.fluid
+        # Server-to-server control traffic keeps per-frame fidelity.
+        assert not any(link.fluid for link in topology._pair_links.values())
+
+
+class TestFidelitySweep:
+    def test_sweep_proves_identity_and_reports(self, tmp_path, monkeypatch):
+        from repro.bench.reporting import results_dir
+        from repro.sim.sweep import emit_fidelity_report, run_fidelity_sweep
+
+        monkeypatch.setenv("BENCH_RESULTS_DIR", str(tmp_path))
+        result = run_fidelity_sweep(client_counts=[12], friend_pairs=3,
+                                    addfriend_rounds=1, dialing_rounds=2,
+                                    seed="t-fsweep")
+        assert result.slotted_identical()
+        assert 0.0 <= result.max_fluid_divergence() < 0.5
+        headers, rows = result.table()
+        assert len(rows) == 3 and len(headers) == len(rows[0])
+        path = emit_fidelity_report(result)
+        assert path == str(results_dir() / "BENCH_net.json")
+        written = json.loads((tmp_path / "BENCH_net.json").read_text())
+        assert written["data"]["slotted_identical"] is True
+
+
+class TestSimulatedAttestation:
+    """The simulation-only attestation oracle: same wire shape as BLS."""
+
+    def test_roundtrip_and_tamper_rejection(self):
+        from repro.crypto.attestation import ATTESTATION_SIZE, get_scheme
+
+        scheme = get_scheme("simulated")
+        publics = [b"pkg-%d" % i for i in range(3)]
+        statement = b"alice@example.org|round 7"
+        attestations = [scheme.attest(None, public, statement) for public in publics]
+        aggregate = scheme.aggregate(attestations)
+        assert len(aggregate) == ATTESTATION_SIZE
+        group = scheme.aggregate_publics(publics)
+        assert scheme.verify(group, statement, aggregate)
+        assert not scheme.verify(group, b"other statement", aggregate)
+        assert not scheme.verify(group, statement, bytes(ATTESTATION_SIZE))
+        assert not scheme.verify(scheme.aggregate_publics(publics[:2]), statement, aggregate)
+
+    def test_unknown_scheme_rejected(self):
+        from repro.errors import ConfigurationError
+        from repro.crypto.attestation import get_scheme
+
+        with pytest.raises(ConfigurationError):
+            get_scheme("quantum")

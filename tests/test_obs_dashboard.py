@@ -187,6 +187,52 @@ class TestLiveScenarioScrape:
         assert state["status"] == "finished"
         assert len(state["rounds"]) == 3
 
+    def test_slotted_delivery_keeps_the_event_stream_coherent(self):
+        """Batch (slotted) delivery must not change what the monitors see.
+
+        The before_round/on_round hooks fire at stage boundaries, not per
+        frame, so the published stream under slotted delivery has to match
+        the per-frame run event for event -- pipelined rounds included --
+        with monotonic clocks and the scheduler aggregates reported.
+        """
+        from repro.sim.scenarios import make_scenario
+
+        def stream(fidelity: str) -> list[dict]:
+            server = DashboardServer()
+            scenario = make_scenario(
+                "pipelined_rounds",
+                num_clients=12,
+                friend_pairs=3,
+                addfriend_rounds=2,
+                dialing_rounds=2,
+                fidelity=fidelity,
+            )
+            scenario.monitors.append(DashboardMonitor(server))
+            scenario.run()
+            replay, live = server.subscribe()
+            server.unsubscribe(live)
+            return replay
+
+        def comparable(events: list[dict]) -> list[tuple]:
+            out = []
+            for event in events:
+                if event["type"] == "net":
+                    continue  # scheduler aggregates legitimately differ
+                data = dict(event["data"])
+                data.pop("wall_seconds", None)
+                data.pop("fidelity", None)
+                out.append((event["type"], data))
+            return out
+
+        frames = stream("frames")
+        slotted = stream("slotted")
+        assert comparable(slotted) == comparable(frames)
+        clocks = [e["data"]["clock"] for e in slotted if e["type"] == "round"]
+        assert clocks == sorted(clocks) and len(clocks) == 4
+        net = [e["data"] for e in slotted if e["type"] == "net"]
+        assert net and net[-1]["slotted_items"] > 0
+        assert net[-1]["frames_in_flight_peak"] > 0
+
     def test_monitor_paused_holds_the_first_round_until_stepped(self):
         from repro.sim.scenarios import make_scenario
 
