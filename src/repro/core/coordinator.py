@@ -321,6 +321,27 @@ class Deployment:
         self.transport.advance(seconds)
 
     # ------------------------------------------------------------------ #
+    # Teardown
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Release runtime resources: the transport, then the crypto engine.
+
+        Idempotent.  The in-process transports make this a cheap no-op
+        chain; the real runtimes (:mod:`repro.runtime`) tear down their
+        sockets, event-loop thread, and worker processes here, and a crypto
+        backend holding a worker pool (``parallel``) terminates it -- the
+        shared backend instance recreates its pool lazily if used again.
+        """
+        self.transport.close()
+        self.crypto.close()
+
+    def __enter__(self) -> "Deployment":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
     # Rounds (one RoundEngine per protocol; see repro/core/roundengine.py)
     # ------------------------------------------------------------------ #
     def round_engine(self, protocol: str) -> RoundEngine:

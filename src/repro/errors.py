@@ -80,3 +80,25 @@ class NetworkError(AlpenhornError):
 
 class PartitionError(NetworkError):
     """The link between two endpoints is partitioned; the message cannot flow."""
+
+
+class TransportTimeoutError(NetworkError, RoundError):
+    """An RPC exceeded its caller-supplied deadline (``timeout_s``).
+
+    Doubly classified on purpose: as a :class:`NetworkError` it feeds the
+    round engine's abort/requeue path (a timed-out submit is requeued like a
+    lost frame), and as a :class:`RoundError` the round-scoped semantics
+    carry over to real transports, where a deadline is the *only* way a
+    caller ever gives up on a stuck peer.
+    """
+
+
+class RemoteCallError(AlpenhornError):
+    """A remote handler failed with an error type the wire cannot map.
+
+    Real transports encode handler exceptions by class name; names outside
+    the :mod:`repro.errors` hierarchy reconstruct as this catch-all.  It is
+    deliberately *not* a :class:`NetworkError`: the request was delivered
+    and rejected, so retry/requeue machinery must treat it as a server-side
+    failure, exactly as an in-process transport would re-raise the original.
+    """

@@ -23,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
-from repro.errors import NetworkError, PartitionError
+from repro.errors import NetworkError, PartitionError, TransportTimeoutError
 from repro.net.frames import Frame, FrameBatch, frame_overhead
 from repro.net.links import LinkSpec, NetworkTopology
 from repro.net.scheduler import EventScheduler
@@ -217,6 +217,47 @@ class SimulatedNetwork(Transport):
 
     # -- the Transport surface ----------------------------------------------
     def _call(
+        self,
+        src: str,
+        dst: str,
+        method: str,
+        payload: bytes,
+        obj: object,
+        size_hint: int,
+        timeout_s: float | None = None,
+    ) -> RpcResult:
+        if timeout_s is None:
+            return self._call_untimed(src, dst, method, payload, obj, size_hint)
+        # Deadlines map onto the simulated clock: the exchange runs to its
+        # natural end (handler side effects included -- a real server acts
+        # even when its caller has given up), then the caller-visible clock
+        # is clamped back to the deadline it stopped waiting at.  Pending
+        # events keep their absolute times, exactly as in a phase rewind,
+        # so the mapping is deterministic and composes with retry backoff.
+        deadline = self.scheduler.now + timeout_s
+        try:
+            result = self._call_untimed(src, dst, method, payload, obj, size_hint)
+        except NetworkError as exc:
+            if self.scheduler.now > deadline:
+                self.scheduler.rewind(deadline)
+                timed_out = TransportTimeoutError(
+                    f"call {src} -> {dst} {method!r} exceeded its {timeout_s}s deadline"
+                )
+                # Preserve the underlying failure's retry-safety verdict.
+                timed_out.request_delivered = getattr(exc, "request_delivered", False)
+                raise timed_out from exc
+            raise
+        if self.scheduler.now > deadline:
+            self.scheduler.rewind(deadline)
+            timed_out = TransportTimeoutError(
+                f"call {src} -> {dst} {method!r} exceeded its {timeout_s}s deadline"
+            )
+            # The handler did run; a blind retry could double-apply.
+            timed_out.request_delivered = True
+            raise timed_out
+        return result
+
+    def _call_untimed(
         self,
         src: str,
         dst: str,

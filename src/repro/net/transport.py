@@ -34,6 +34,10 @@ from repro.errors import NetworkError
 from repro.net.frames import Frame, KIND_REQUEST, frame_overhead
 from repro.obs.trace import active_tracer
 
+#: First retry wait for :meth:`Transport.call` with ``max_retries`` set;
+#: subsequent attempts double it (exponential backoff).
+DEFAULT_RETRY_BACKOFF_S = 0.25
+
 
 @dataclass
 class RpcRequest:
@@ -244,8 +248,24 @@ class Transport(ABC):
         payload: bytes = b"",
         obj: object = None,
         size_hint: int = 0,
+        *,
+        timeout_s: float | None = None,
+        max_retries: int = 0,
+        retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
     ) -> RpcResult:
         """Send one request and block until the response arrives.
+
+        ``timeout_s`` puts a deadline on the exchange: a call still in
+        flight when it expires raises
+        :class:`~repro.errors.TransportTimeoutError` (the simulated network
+        maps the deadline onto the simulated clock, real transports onto
+        wall time; :class:`DirectTransport` is zero-latency and never
+        expires).  ``max_retries`` re-issues a call that failed with a
+        :class:`NetworkError` up to that many extra times, waiting
+        ``retry_backoff_s * 2**attempt`` between attempts -- except when the
+        failure is tagged ``request_delivered`` (the server acted, only the
+        ack was lost): a blind re-send could double-apply, so those always
+        surface to the caller, who owns the dedup decision.
 
         When tracing is active every RPC is measured as a ``transport``-
         category span (attribution only, not kept in the trace -- a round
@@ -254,12 +274,52 @@ class Transport(ABC):
         """
         tracer = active_tracer()
         if not tracer.enabled:
-            return self._call(src, dst, method, payload, obj, size_hint)
+            return self._call_retrying(
+                src, dst, method, payload, obj, size_hint,
+                timeout_s, max_retries, retry_backoff_s,
+            )
         span = tracer.start(method, category="transport", keep=False)
         try:
-            return self._call(src, dst, method, payload, obj, size_hint)
+            return self._call_retrying(
+                src, dst, method, payload, obj, size_hint,
+                timeout_s, max_retries, retry_backoff_s,
+            )
         finally:
             tracer.end(span)
+
+    def _call_retrying(
+        self,
+        src: str,
+        dst: str,
+        method: str,
+        payload: bytes,
+        obj: object,
+        size_hint: int,
+        timeout_s: float | None,
+        max_retries: int,
+        retry_backoff_s: float,
+    ) -> RpcResult:
+        if max_retries <= 0:
+            return self._call(src, dst, method, payload, obj, size_hint, timeout_s)
+        attempt = 0
+        while True:
+            try:
+                return self._call(src, dst, method, payload, obj, size_hint, timeout_s)
+            except NetworkError as exc:
+                if getattr(exc, "request_delivered", False) or attempt >= max_retries:
+                    raise
+                self._retry_wait(retry_backoff_s * (2.0 ** attempt))
+                attempt += 1
+
+    def _retry_wait(self, seconds: float) -> None:
+        """Let the backoff interval pass on this transport's clock.
+
+        The base implementation advances the transport clock, which is a
+        no-op wait under :class:`DirectTransport`'s logical time and a
+        deterministic scheduler jump under the simulated network.  Real
+        transports override this with an actual sleep.
+        """
+        self.advance(seconds)
 
     def call_batch(self, calls: "list[BatchCall]") -> "list[BatchCallOutcome]":
         """Issue a wave of logically concurrent calls; never raises per-call.
@@ -295,6 +355,7 @@ class Transport(ABC):
         payload: bytes,
         obj: object,
         size_hint: int,
+        timeout_s: float | None = None,
     ) -> RpcResult:
         """Transport-specific delivery of one request/response exchange."""
 
@@ -305,6 +366,20 @@ class Transport(ABC):
     @abstractmethod
     def advance(self, seconds: float) -> None:
         """Move the clock forward (e.g. the gap between scheduled rounds)."""
+
+    def close(self) -> None:
+        """Release transport-held resources (sockets, loops, workers).
+
+        In-process transports hold nothing and inherit this no-op; real
+        transports shut their servers down here.  Safe to call twice.
+        """
+
+    def __enter__(self) -> "Transport":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     def phase(self) -> Phase:
         """A context for logically concurrent calls from distinct origins.
@@ -335,7 +410,10 @@ class DirectTransport(Transport):
         payload: bytes,
         obj: object,
         size_hint: int,
+        timeout_s: float | None = None,
     ) -> RpcResult:
+        # timeout_s is accepted but can never expire: dispatch is immediate
+        # and the logical clock does not move during a call.
         handler = self._handler_for(dst)
         # Round-trip the request through the frame codec so that malformed
         # payloads fail here, identically to how they would on a real link.
@@ -362,9 +440,3 @@ class DirectTransport(Transport):
         if seconds < 0:
             raise ValueError("cannot advance time backwards")
         self._clock += seconds
-
-    def __enter__(self):  # pragma: no cover - context use is optional sugar
-        return self
-
-    def __exit__(self, *exc):  # pragma: no cover
-        return False

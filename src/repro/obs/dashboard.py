@@ -87,6 +87,9 @@ class DashboardServer:
             self._httpd.shutdown()
             self._httpd.server_close()
             self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
 
     # -- event publication -------------------------------------------------
     def publish(self, event_type: str, **data: Any) -> None:

@@ -1,0 +1,23 @@
+"""repro.runtime: real-runtime deployment mode.
+
+Two transports that run an Alpenhorn deployment on real localhost TCP
+sockets instead of a simulated or zero-latency in-process wire:
+
+* :class:`~repro.runtime.transport.AsyncioTransport` -- every endpoint an
+  asyncio TCP server in this process, handlers on per-endpoint threads;
+* :class:`~repro.runtime.mp.MultiprocessTransport` -- the same, with chosen
+  tiers (by default the mix servers) rebuilt in spawned worker processes so
+  the crypto hot path uses real cores.
+
+Selected from the scenario harness and CLI via ``--runtime={sim,asyncio,mp}``.
+"""
+
+from repro.runtime.mp import EndpointSpec, MultiprocessTransport, mix_endpoint_spec
+from repro.runtime.transport import AsyncioTransport
+
+__all__ = [
+    "AsyncioTransport",
+    "EndpointSpec",
+    "MultiprocessTransport",
+    "mix_endpoint_spec",
+]

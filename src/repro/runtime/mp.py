@@ -1,0 +1,231 @@
+"""Multiprocess runtime: server tiers in their own spawned processes.
+
+Extends :class:`~repro.runtime.transport.AsyncioTransport` with a routing
+table of endpoints served by worker processes.  Each worker is spawned (not
+forked -- the parent runs an event-loop thread), rebuilds its servers from
+plain picklable *endpoint specs*, serves them on OS-assigned localhost ports
+over the same length-prefixed wire protocol, and reports its port map back
+through a pipe.  The parent then simply routes calls for those endpoints to
+the worker's ports; everything else -- codec, pooling, stats -- is inherited.
+
+The default placement puts **mix servers** in workers: they are the
+crypto hot path the ``parallel``/multi-core story is about, their RPC
+payloads are pure bytes (no object channel needed), they make no outgoing
+calls, and they reconstruct deterministically from ``(name, rng seed,
+crypto backend)`` -- the same derivation
+:class:`~repro.core.coordinator.Deployment` uses, so a worker's mix server
+is byte-identical to the in-parent one it replaces.  Tiers that touch
+shared in-process substrates (PKGs and the out-of-band email network, the
+shard router's round state) stay in the parent by design.
+
+Objects attached to cross-process calls travel pickled; within the parent
+the in-process token channel is used, chosen per destination.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import atexit
+import contextlib
+import multiprocessing
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, NetworkError
+from repro.net.frames import KIND_RESPONSE, Frame, encode_wire_message
+from repro.runtime import wire
+from repro.runtime.transport import (
+    AsyncioTransport,
+    dispatch_wire_message,
+    read_wire_message,
+)
+
+#: The control method a parent sends to stop a worker process gracefully.
+SHUTDOWN_METHOD = "__runtime_shutdown__"
+
+
+@dataclass(frozen=True)
+class EndpointSpec:
+    """One endpoint a worker process should rebuild and serve.
+
+    ``kind`` selects a builder (currently ``"mix"``); ``params`` must be
+    picklable and sufficient to reconstruct the server deterministically.
+    """
+
+    kind: str
+    name: str
+    params: dict = field(default_factory=dict)
+
+
+def mix_endpoint_spec(name: str, rng_seed: str, crypto_backend: str = "pure") -> EndpointSpec:
+    """The spec for one mix server, matching Deployment's own derivation."""
+    return EndpointSpec(
+        kind="mix",
+        name=name,
+        params={"rng_seed": rng_seed, "crypto_backend": crypto_backend},
+    )
+
+
+def _build_mix(name: str, params: dict):
+    from repro.crypto.engine import get_backend, set_active_backend
+    from repro.mixnet.server import MixServer
+    from repro.utils.rng import DeterministicRng
+
+    backend = get_backend(params.get("crypto_backend", "pure"))
+    set_active_backend(backend)
+    server = MixServer(name, rng=DeterministicRng(params["rng_seed"]), engine=backend)
+    return server.handle_rpc
+
+
+_BUILDERS = {"mix": _build_mix}
+
+
+def worker_main(specs: list[EndpointSpec], conn, host: str) -> None:
+    """Entry point of one spawned worker process."""
+    asyncio.run(_worker_async(specs, conn, host))
+
+
+async def _worker_async(specs: list[EndpointSpec], conn, host: str) -> None:
+    handlers = {}
+    for spec in specs:
+        builder = _BUILDERS.get(spec.kind)
+        if builder is None:
+            raise ConfigurationError(f"unknown worker endpoint kind {spec.kind!r}")
+        handlers[spec.name] = builder(spec.name, spec.params)
+
+    epoch = time.monotonic()
+    clock = lambda: time.monotonic() - epoch  # noqa: E731
+    stop = asyncio.Event()
+    # One handler thread per worker process: a worker owns one core's worth
+    # of mix work, and its servers' handlers must serialize anyway.
+    executor = ThreadPoolExecutor(max_workers=1, thread_name_prefix="worker-rpc")
+
+    async def serve(name: str, reader, writer) -> None:
+        handler = handlers[name]
+        loop = asyncio.get_running_loop()
+        try:
+            while True:
+                try:
+                    body = await read_wire_message(reader)
+                except (asyncio.IncompleteReadError, ConnectionError, asyncio.CancelledError):
+                    return
+                message = wire.decode_message(body)
+                if message.frame.method == SHUTDOWN_METHOD:
+                    frame = message.frame
+                    reply = Frame(
+                        kind=KIND_RESPONSE, msg_id=frame.msg_id, src=frame.dst,
+                        dst=frame.src, method=frame.method, payload=b"",
+                    )
+                    writer.write(encode_wire_message(wire.encode_message(reply)))
+                    await writer.drain()
+                    stop.set()
+                    continue
+                reply_body = await loop.run_in_executor(
+                    executor, dispatch_wire_message, message, handler, None, clock
+                )
+                writer.write(encode_wire_message(reply_body))
+                await writer.drain()
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    servers = []
+    ports: dict[str, int] = {}
+    for name in handlers:
+        def on_connection(reader, writer, name=name):
+            return serve(name, reader, writer)
+
+        server = await asyncio.start_server(on_connection, host=host, port=0)
+        servers.append(server)
+        ports[name] = server.sockets[0].getsockname()[1]
+    conn.send(ports)
+    conn.close()
+
+    await stop.wait()
+    for server in servers:
+        server.close()
+    for server in servers:
+        with contextlib.suppress(Exception):
+            await server.wait_closed()
+    # Reap connection tasks still parked on reads ourselves; leaving them to
+    # asyncio.run's teardown logs spurious CancelledError tracebacks.
+    current = asyncio.current_task()
+    lingering = [task for task in asyncio.all_tasks() if task is not current]
+    for task in lingering:
+        task.cancel()
+    await asyncio.gather(*lingering, return_exceptions=True)
+    executor.shutdown(wait=True, cancel_futures=True)
+
+
+class MultiprocessTransport(AsyncioTransport):
+    """AsyncioTransport with some endpoints served by spawned workers.
+
+    ``worker_specs`` is one list of :class:`EndpointSpec` per worker
+    process.  Workers are spawned at construction and report their port
+    maps before the constructor returns; :meth:`register` for an endpoint a
+    worker owns is then a routing no-op (the locally constructed server
+    object never receives traffic).
+    """
+
+    def __init__(
+        self,
+        worker_specs: list[list[EndpointSpec]],
+        host: str = "127.0.0.1",
+        start_timeout_s: float = 60.0,
+    ) -> None:
+        super().__init__(host=host, start_timeout_s=start_timeout_s)
+        self._processes: list = []
+        #: One (process, any endpoint it serves) pair per worker, for the
+        #: graceful shutdown RPC.
+        self._worker_contacts: list[tuple[object, str]] = []
+        context = multiprocessing.get_context("spawn")
+        try:
+            for specs in worker_specs:
+                if not specs:
+                    raise ConfigurationError("a worker process needs at least one endpoint")
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=worker_main, args=(list(specs), child_conn, host)
+                )
+                process.start()
+                child_conn.close()
+                if not parent_conn.poll(start_timeout_s):
+                    raise NetworkError(
+                        f"worker {process.pid} did not report its ports within "
+                        f"{start_timeout_s}s"
+                    )
+                ports = parent_conn.recv()
+                parent_conn.close()
+                self._remote_ports.update(ports)
+                self._processes.append(process)
+                self._worker_contacts.append((process, specs[0].name))
+        except Exception:
+            self.close()
+            raise
+        # Workers are non-daemonic (the parallel crypto backend may need its
+        # own pool inside one); make sure an unclosed transport still reaps
+        # them at interpreter exit.
+        atexit.register(self.close)
+
+    def worker_count(self) -> int:
+        return len(self._processes)
+
+    def remote_endpoints(self) -> list[str]:
+        return sorted(self._remote_ports)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        for process, endpoint in self._worker_contacts:
+            if process.is_alive():
+                with contextlib.suppress(Exception):
+                    self._call("runtime", endpoint, SHUTDOWN_METHOD, b"", None, 0, 5.0)
+        super().close()
+        for process in self._processes:
+            process.join(timeout=10)
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5)
+        atexit.unregister(self.close)

@@ -1,0 +1,455 @@
+"""`AsyncioTransport`: the Transport over real localhost TCP sockets.
+
+The third deployment mode beside :class:`~repro.net.transport.DirectTransport`
+and :class:`~repro.net.simulated.SimulatedNetwork`: every registered endpoint
+(entry/CDN shards, mix servers, PKGs) gets its own asyncio TCP server on an
+OS-assigned localhost port, and every :meth:`Transport.call` is a real
+request/response exchange over a pooled connection -- length-prefixed wire
+messages carrying the same :class:`~repro.net.frames.Frame` codec the other
+transports round-trip in process.
+
+Threading model.  One background thread runs the asyncio event loop; it only
+moves bytes.  Handler execution happens on a dedicated single-thread executor
+*per endpoint*: server objects are not thread-safe, so each server's handlers
+serialize, while distinct tiers run genuinely in parallel -- and a handler
+that issues nested RPCs (the entry server driving the mix chain) blocks its
+own executor thread, not the loop, so nesting cannot deadlock the transport.
+The component call graph is hierarchical (driver -> entry -> mix, client ->
+pkg); a cyclic pair of endpoints calling each other simultaneously would
+deadlock their two executors, and no Alpenhorn tier does that.
+
+Clock.  :meth:`now` is wall time (monotonic, epoch at construction), so round
+summaries and the obs layer's per-stage histograms report *real* wall-clock
+seconds in this mode.  :meth:`advance` is deliberately a no-op: inter-round
+gaps are a simulated-time concept and must not stall a real deployment.
+
+The multiprocess variant (:class:`~repro.runtime.mp.MultiprocessTransport`)
+extends this class with a routing table of endpoints served by spawned worker
+processes; ``_remote_ports`` and the per-destination object-channel selection
+are the seams it plugs into.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.errors import NetworkError, TransportTimeoutError
+from repro.net.frames import (
+    Frame,
+    KIND_ERROR,
+    KIND_RESPONSE,
+    WIRE_LENGTH_BYTES,
+    decode_wire_length,
+    encode_wire_message,
+    frame_overhead,
+)
+from repro.net.transport import (
+    BatchCall,
+    BatchCallOutcome,
+    RpcHandler,
+    RpcRequest,
+    RpcResult,
+    Transport,
+    normalize_response,
+)
+from repro.runtime import wire
+
+
+def dispatch_wire_message(
+    message: wire.WireMessage,
+    handler: RpcHandler,
+    obj_channel: wire.LocalObjectChannel | None,
+    clock,
+) -> bytes:
+    """Run one decoded request through a handler; return the reply body.
+
+    Shared by the in-parent servers here and the worker processes in
+    :mod:`repro.runtime.mp`.  Handler exceptions become ``KIND_ERROR``
+    frames rather than propagating: on a real socket the rejection *is* a
+    reply, exactly as the simulated network's error replies ride the wire.
+    """
+    frame = message.frame
+    try:
+        obj = wire.decode_obj(message, obj_channel)
+        request = RpcRequest(
+            src=frame.src,
+            dst=frame.dst,
+            method=frame.method,
+            payload=frame.payload,
+            obj=obj,
+            time=clock(),
+        )
+        response = normalize_response(handler(request))
+    except Exception as exc:  # noqa: BLE001 - every rejection rides the wire
+        error_frame = Frame(
+            kind=KIND_ERROR,
+            msg_id=frame.msg_id,
+            src=frame.dst,
+            dst=frame.src,
+            method=frame.method,
+            payload=wire.encode_error(exc),
+        )
+        return wire.encode_message(error_frame)
+    reply_frame = Frame(
+        kind=KIND_RESPONSE,
+        msg_id=frame.msg_id,
+        src=frame.dst,
+        dst=frame.src,
+        method=frame.method,
+        payload=response.payload,
+    )
+    flag, data = wire.encode_obj(response.obj, obj_channel)
+    return wire.encode_message(reply_frame, flag, data, response.size_hint)
+
+
+async def read_wire_message(reader: asyncio.StreamReader) -> bytes:
+    """Read one length-prefixed message body from a stream."""
+    prefix = await reader.readexactly(WIRE_LENGTH_BYTES)
+    return await reader.readexactly(decode_wire_length(prefix))
+
+
+class _Connection:
+    """One pooled client connection; used serially (request, then response)."""
+
+    __slots__ = ("reader", "writer")
+
+    def __init__(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+
+    async def roundtrip(self, data: bytes) -> bytes:
+        self.writer.write(data)
+        await self.writer.drain()
+        return await read_wire_message(self.reader)
+
+    def close(self) -> None:
+        if not self.writer.is_closing():
+            self.writer.close()
+
+
+class AsyncioTransport(Transport):
+    """Real localhost TCP sockets behind the :class:`Transport` surface."""
+
+    def __init__(self, host: str = "127.0.0.1", start_timeout_s: float = 30.0) -> None:
+        super().__init__()
+        self._host = host
+        self._start_timeout_s = start_timeout_s
+        self._objects = wire.LocalObjectChannel()
+        #: Endpoint -> port for locally served endpoints.
+        self._ports: dict[str, int] = {}
+        #: Endpoint -> port for endpoints served by worker processes (filled
+        #: by the multiprocess subclass before any register() call).
+        self._remote_ports: dict[str, int] = {}
+        self._servers: dict[str, asyncio.AbstractServer] = {}
+        self._executors: dict[str, ThreadPoolExecutor] = {}
+        #: Idle pooled connections per destination -- touched only from the
+        #: event-loop thread, so no lock.
+        self._idle: dict[str, list[_Connection]] = {}
+        self._connections: set[_Connection] = set()
+        #: Serializes msg-id allocation and stats mutation across the
+        #: concurrently calling handler threads.
+        self._send_lock = threading.Lock()
+        self._epoch = time.monotonic()
+        self._closed = False
+        self._loop = asyncio.new_event_loop()
+        self._loop_thread = threading.Thread(
+            target=self._run_loop, name="repro-runtime-loop", daemon=True
+        )
+        self._loop_thread.start()
+
+    def _run_loop(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_forever()
+
+    # -- endpoint management -------------------------------------------------
+    def register(self, name: str, handler: RpcHandler) -> None:
+        if self._closed:
+            raise NetworkError("transport is closed")
+        super().register(name, handler)
+        if name in self._remote_ports:
+            # A worker process serves this endpoint; the local object is a
+            # construction artifact and never receives traffic.
+            return
+        future = asyncio.run_coroutine_threadsafe(self._start_server(name), self._loop)
+        self._ports[name] = future.result(self._start_timeout_s)
+        self._executors[name] = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix=f"rpc-{name}"
+        )
+
+    async def _start_server(self, name: str) -> int:
+        async def on_connection(reader, writer) -> None:
+            await self._serve_connection(name, reader, writer)
+
+        server = await asyncio.start_server(on_connection, host=self._host, port=0)
+        self._servers[name] = server
+        return server.sockets[0].getsockname()[1]
+
+    async def _serve_connection(self, endpoint: str, reader, writer) -> None:
+        try:
+            while True:
+                try:
+                    body = await read_wire_message(reader)
+                except (asyncio.IncompleteReadError, ConnectionError):
+                    return  # peer hung up; its own call already failed
+                loop = asyncio.get_running_loop()
+                reply = await loop.run_in_executor(
+                    self._executors[endpoint], self._handle_message, endpoint, body
+                )
+                writer.write(encode_wire_message(reply))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    def _handle_message(self, endpoint: str, body: bytes) -> bytes:
+        """Executor-thread entry: decode, dispatch, encode (never raises)."""
+        try:
+            message = wire.decode_message(body)
+        except Exception as exc:  # noqa: BLE001 - malformed wire bytes
+            error_frame = Frame(
+                kind=KIND_ERROR, msg_id=0, src=endpoint, dst="", method="",
+                payload=wire.encode_error(exc),
+            )
+            return wire.encode_message(error_frame)
+        return dispatch_wire_message(
+            message, self._handlers[endpoint], self._objects, self.now
+        )
+
+    def _port_for(self, dst: str) -> int:
+        port = self._ports.get(dst)
+        if port is None:
+            port = self._remote_ports.get(dst)
+        if port is None:
+            raise NetworkError(f"no endpoint registered as {dst!r}")
+        return port
+
+    def _obj_channel_for(self, dst: str) -> wire.LocalObjectChannel | None:
+        """The object channel for requests *to* ``dst`` (None = pickle)."""
+        if dst in self._remote_ports:
+            return None
+        return self._objects
+
+    # -- connection pool (event-loop thread only) ----------------------------
+    async def _acquire(self, dst: str, port: int) -> _Connection:
+        idle = self._idle.setdefault(dst, [])
+        while idle:
+            conn = idle.pop()
+            if not conn.writer.is_closing():
+                return conn
+            self._connections.discard(conn)
+        try:
+            reader, writer = await asyncio.open_connection(self._host, port)
+        except OSError as exc:
+            raise NetworkError(f"cannot connect to {dst!r} on port {port}: {exc}") from exc
+        conn = _Connection(reader, writer)
+        self._connections.add(conn)
+        return conn
+
+    def _release(self, dst: str, conn: _Connection) -> None:
+        if self._closed or conn.writer.is_closing():
+            self._discard(conn)
+        else:
+            self._idle.setdefault(dst, []).append(conn)
+
+    def _discard(self, conn: _Connection) -> None:
+        self._connections.discard(conn)
+        conn.close()
+
+    async def _request(self, dst: str, port: int, data: bytes, timeout_s: float | None) -> bytes:
+        conn = await self._acquire(dst, port)
+        try:
+            if timeout_s is None:
+                reply = await conn.roundtrip(data)
+            else:
+                reply = await asyncio.wait_for(conn.roundtrip(data), timeout_s)
+        except asyncio.TimeoutError:
+            # The connection is mid-exchange; a late reply would desync the
+            # stream, so the connection dies with the deadline.
+            self._discard(conn)
+            raise TransportTimeoutError(
+                f"call to {dst!r} exceeded its {timeout_s}s deadline"
+            ) from None
+        except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+            self._discard(conn)
+            raise NetworkError(f"connection to {dst!r} failed mid-call: {exc}") from exc
+        self._release(dst, conn)
+        return reply
+
+    # -- the Transport surface -----------------------------------------------
+    def _call(
+        self,
+        src: str,
+        dst: str,
+        method: str,
+        payload: bytes,
+        obj: object,
+        size_hint: int,
+        timeout_s: float | None = None,
+    ) -> RpcResult:
+        if self._closed:
+            raise NetworkError("transport is closed")
+        port = self._port_for(dst)
+        with self._send_lock:
+            frame = self._frame(src, dst, method, payload)
+            # Request accounting matches the in-process transports: payload
+            # + declared size hint + frame overhead (the stream's 4-byte
+            # length prefix is transport framing, not protocol bandwidth).
+            self.stats.record(
+                src, dst, method, len(payload) + size_hint + frame_overhead(src, dst, method)
+            )
+        flag, data = wire.encode_obj(obj, self._obj_channel_for(dst))
+        body = encode_wire_message(wire.encode_message(frame, flag, data, size_hint))
+        started = time.monotonic()
+        future = asyncio.run_coroutine_threadsafe(
+            self._request(dst, port, body, timeout_s), self._loop
+        )
+        reply_body = future.result()
+        return self._finish_call(src, dst, method, reply_body, started)
+
+    def _finish_call(
+        self, src: str, dst: str, method: str, reply_body: bytes, started: float
+    ) -> RpcResult:
+        message = wire.decode_message(reply_body)
+        reply = message.frame
+        overhead = frame_overhead(dst, src, method)
+        if reply.kind == KIND_ERROR:
+            with self._send_lock:
+                self.stats.record(dst, src, method, len(reply.payload) + overhead)
+            raise wire.decode_error(reply.payload)
+        response_obj = wire.decode_obj(message, self._objects)
+        with self._send_lock:
+            self.stats.record(
+                dst, src, method, len(reply.payload) + message.size_hint + overhead
+            )
+        return RpcResult(
+            payload=reply.payload,
+            obj=response_obj,
+            size_hint=message.size_hint,
+            latency_s=time.monotonic() - started,
+        )
+
+    def call_batch(self, calls: list[BatchCall]) -> list[BatchCallOutcome]:
+        """A wave of concurrent calls: all requests in flight at once.
+
+        Encoding happens on the calling thread; the event loop multiplexes
+        every exchange concurrently (each on its own pooled connection), so
+        a 1000-client submit wave costs the slowest exchange, not the sum.
+        ``start`` overrides are simulated-clock offsets and are ignored on
+        wall time, like the base implementation ignores them.
+        """
+        if not calls:
+            return []
+        if self._closed:
+            raise NetworkError("transport is closed")
+        prepared: list[tuple[BatchCall, bytes | None, Exception | None]] = []
+        for call in calls:
+            try:
+                port = self._port_for(call.dst)
+            except NetworkError as exc:
+                prepared.append((call, None, exc))
+                continue
+            with self._send_lock:
+                frame = self._frame(call.src, call.dst, call.method, call.payload)
+                self.stats.record(
+                    call.src,
+                    call.dst,
+                    call.method,
+                    len(call.payload) + call.size_hint + frame_overhead(call.src, call.dst, call.method),
+                )
+            flag, data = wire.encode_obj(call.obj, self._obj_channel_for(call.dst))
+            body = encode_wire_message(
+                wire.encode_message(frame, flag, data, call.size_hint)
+            )
+            prepared.append((call, (port, body), None))  # type: ignore[arg-type]
+
+        async def run_one(dst: str, port: int, data: bytes):
+            try:
+                return await self._request(dst, port, data, None)
+            except Exception as exc:  # noqa: BLE001 - captured per call
+                return exc
+
+        async def run_wave():
+            tasks = []
+            for call, req, error in prepared:
+                if error is not None:
+                    async def failed(error=error):
+                        return error
+
+                    tasks.append(failed())
+                else:
+                    port, data = req
+                    tasks.append(run_one(call.dst, port, data))
+            return await asyncio.gather(*tasks)
+
+        started = time.monotonic()
+        replies = asyncio.run_coroutine_threadsafe(run_wave(), self._loop).result()
+        outcomes: list[BatchCallOutcome] = []
+        for (call, _req, _error), reply in zip(prepared, replies):
+            finished = self.now()
+            if isinstance(reply, Exception):
+                outcomes.append(BatchCallOutcome(error=reply, finished_at=finished))
+                continue
+            try:
+                result = self._finish_call(call.src, call.dst, call.method, reply, started)
+            except Exception as exc:  # noqa: BLE001 - captured per call
+                outcomes.append(BatchCallOutcome(error=exc, finished_at=finished))
+            else:
+                outcomes.append(BatchCallOutcome(result=result, finished_at=finished))
+        return outcomes
+
+    def now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    def advance(self, seconds: float) -> None:
+        """A deliberate no-op: wall time cannot be scheduled forward.
+
+        Inter-round gaps and retry-backoff bookkeeping are simulated-clock
+        concepts; a real deployment just keeps going.  (Backoff waits go
+        through :meth:`_retry_wait`, which really sleeps.)
+        """
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+
+    def _retry_wait(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+    # -- teardown -------------------------------------------------------------
+    async def _shutdown_async(self) -> None:
+        for server in self._servers.values():
+            server.close()
+        for server in self._servers.values():
+            with contextlib.suppress(Exception):
+                await server.wait_closed()
+        for conn in list(self._connections):
+            conn.close()
+        self._connections.clear()
+        self._idle.clear()
+        # Reap the per-connection server tasks still parked on a read, so
+        # the loop closes clean instead of destroying pending tasks.
+        current = asyncio.current_task()
+        lingering = [task for task in asyncio.all_tasks() if task is not current]
+        for task in lingering:
+            task.cancel()
+        await asyncio.gather(*lingering, return_exceptions=True)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._loop.is_running():
+            future = asyncio.run_coroutine_threadsafe(self._shutdown_async(), self._loop)
+            with contextlib.suppress(Exception):
+                future.result(self._start_timeout_s)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        self._loop_thread.join(timeout=self._start_timeout_s)
+        if not self._loop.is_running():
+            self._loop.close()
+        for executor in self._executors.values():
+            executor.shutdown(wait=True, cancel_futures=True)

@@ -15,6 +15,9 @@ Examples::
     python -m repro.sim --scenario baseline --fidelity frames   # legacy per-frame core
     python -m repro.sim --sweep-crypto pure,accelerated --sweep-crypto-clients 100,400
     python -m repro.sim --sweep-fidelity --sweep-fidelity-clients 100,300
+    python -m repro.sim --scenario baseline --runtime asyncio   # real TCP sockets
+    python -m repro.sim --scenario baseline --runtime mp --mp-workers 2
+    python -m repro.sim --sweep-runtime --sweep-runtime-clients 24
 
 ``--sweep`` runs the scenario over a clients x link-latency grid, once with
 the sequential round driver and once pipelined, and writes the comparison
@@ -27,6 +30,10 @@ backend x client-count scenario grid into ``BENCH_crypto.json``.
 ``--sweep-fidelity`` runs the simulator-core fidelity grid (``frames`` vs
 ``slotted`` vs ``fluid``) and writes ``BENCH_net.json`` -- asserting the
 slotted core's byte-identical results and measuring fluid's divergence.
+``--sweep-runtime`` runs the deployment-runtime grid (``sim`` vs ``asyncio``
+vs ``mp``) plus a crypto-backend leg on real sockets and writes
+``BENCH_runtime.json`` -- asserting result parity across runtimes and
+recording real wall-clock per round stage.
 
 Observability flags (single-run mode)::
 
@@ -141,6 +148,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="simulator-core fidelity: per-frame events, batched slotted "
         "delivery (byte-identical, default), or fluid-flow client links",
+    )
+    parser.add_argument(
+        "--runtime",
+        choices=("sim", "asyncio", "mp"),
+        default=None,
+        help="deployment runtime: discrete-event simulation (default), real "
+        "localhost TCP sockets in-process, or sockets plus mix servers in "
+        "spawned worker processes",
+    )
+    parser.add_argument(
+        "--mp-workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="--runtime mp: worker process count (default: one per mix server)",
     )
     parser.add_argument(
         "--attestation-backend",
@@ -260,6 +282,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="client counts for the --sweep-fidelity grid (default: 100,300)",
     )
     parser.add_argument(
+        "--sweep-runtime",
+        nargs="?",
+        const="sim,asyncio,mp",
+        default=None,
+        metavar="R,R,...",
+        help="run the deployment-runtime grid (sim/asyncio/mp x clients, plus "
+        "a crypto-backend leg on the asyncio runtime) and write "
+        "BENCH_runtime.json; default grid sim,asyncio,mp",
+    )
+    parser.add_argument(
+        "--sweep-runtime-clients",
+        default="24,60",
+        metavar="N,N,...",
+        help="client counts for the --sweep-runtime grid (default: 24,60)",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
@@ -343,15 +381,22 @@ def main(argv: list[str] | None = None) -> int:
         overrides["fidelity"] = args.fidelity
     if args.attestation_backend is not None:
         overrides["attestation_backend"] = args.attestation_backend
+    if args.runtime is not None:
+        overrides["runtime"] = args.runtime
+    if args.mp_workers is not None:
+        overrides["mp_workers"] = args.mp_workers
 
     sweeping = args.sweep_crypto is not None or args.sweep_shards is not None
     sweeping = sweeping or args.sweep_cdn_egress is not None or args.sweep
     sweeping = sweeping or args.sweep_fidelity is not None
+    sweeping = sweeping or args.sweep_runtime is not None
     if sweeping and (args.trace or args.dashboard is not None):
         print("note: --trace/--dashboard apply to single runs only; ignored with sweeps")
         args.trace = None
         args.dashboard = None
 
+    if args.sweep_runtime is not None:
+        return run_runtime_sweep_cli(args, overrides)
     if args.sweep_fidelity is not None:
         return run_fidelity_sweep_cli(args, overrides)
     if args.sweep_crypto is not None:
@@ -387,11 +432,17 @@ def main(argv: list[str] | None = None) -> int:
 
     from repro.obs.trace import NullTracer, Tracer, active_tracer, set_active_tracer
 
+    from repro.errors import ConfigurationError
+
     previous_tracer = active_tracer()
     tracer = Tracer() if args.trace else NullTracer()
     set_active_tracer(tracer)
     try:
         result = scenario.run()
+    except ConfigurationError as exc:
+        # e.g. a topology-sculpting scenario asked to run on a real runtime
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
     finally:
         set_active_tracer(previous_tracer)
         if dashboard is not None:
@@ -578,6 +629,58 @@ def run_shard_sweep_cli(args, overrides: dict) -> int:
         **overrides,
     )
     path = emit_shard_report(result)
+    print(f"wrote {path}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(result.to_report(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def run_runtime_sweep_cli(args, overrides: dict) -> int:
+    from repro.sim.sweep import emit_runtime_report, run_runtime_sweep
+
+    ignored = [
+        flag
+        for flag, key in (
+            ("--clients", "num_clients"),
+            ("--runtime", "runtime"),
+        )
+        if overrides.pop(key, None) is not None
+    ]
+    if ignored:
+        print(
+            f"note: {', '.join(ignored)} ignored with --sweep-runtime "
+            "(the grid supplies runtimes and client counts)"
+        )
+    mp_workers = overrides.pop("mp_workers", 0)
+    scenario = args.scenario or "baseline"
+    try:
+        runtimes = [v.strip() for v in args.sweep_runtime.split(",") if v.strip()]
+        clients = [int(v) for v in args.sweep_runtime_clients.split(",") if v.strip()]
+    except ValueError:
+        print(
+            "error: --sweep-runtime-clients must be comma-separated integers",
+            file=sys.stderr,
+        )
+        return 2
+    from repro.errors import ConfigurationError
+    from repro.obs.logging import progress_printer
+
+    try:
+        result = run_runtime_sweep(
+            runtimes=runtimes,
+            client_counts=clients,
+            scenario=scenario,
+            mp_workers=mp_workers,
+            progress=progress_printer(),
+            **overrides,
+        )
+    except (ConfigurationError, KeyError) as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    path = emit_runtime_report(result)
     print(f"wrote {path}")
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:

@@ -29,10 +29,11 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.config import AlpenhornConfig
 from repro.core.coordinator import Deployment, RoundSummary
-from repro.errors import NetworkError
+from repro.errors import ConfigurationError, NetworkError
 from repro.mixnet.noise import NoiseConfig
 from repro.net.links import LinkSpec, NetworkTopology
 from repro.net.simulated import SimulatedNetwork
+from repro.net.transport import Transport
 
 
 @dataclass(frozen=True)
@@ -112,6 +113,24 @@ class ScenarioSpec:
     #:   frames move as deterministic flows with no per-frame jitter/drop
     #:   draws (a bounded-divergence approximation for 100k-client runs).
     fidelity: str = "slotted"
+    #: Deployment runtime (the --runtime axis):
+    #:
+    #: * ``"sim"``     -- the discrete-event SimulatedNetwork with this
+    #:   scenario's topology (links, jitter, partitions); the clock is
+    #:   simulated time;
+    #: * ``"asyncio"`` -- every endpoint behind a real localhost TCP socket
+    #:   in this process (:class:`~repro.runtime.transport.AsyncioTransport`);
+    #:   the clock is wall time, so stage latencies are real;
+    #: * ``"mp"``      -- ``asyncio`` plus the mix servers rebuilt in
+    #:   spawned worker processes, so the mix/crypto hot path runs on
+    #:   separate cores.
+    #:
+    #: Real runtimes have no modelled topology: link specs, fidelity, and
+    #: access-link caps do not apply, and scenarios that sculpt the
+    #: topology (``requires_simulated_network``) refuse to run on them.
+    runtime: str = "sim"
+    #: ``runtime="mp"`` only: worker process count (0 = one per mix server).
+    mp_workers: int = 0
     #: PKG attestation scheme ("bls" = real BLS aggregate signatures,
     #: "simulated" = hash-based stand-in with identical wire sizes).
     #: Scenarios measure the system, not the pairing arithmetic -- same
@@ -280,6 +299,8 @@ class ScenarioResult:
             "cdn_egress_mbps": self.spec.cdn_egress_mbps,
             "crypto_backend": self.spec.crypto_backend,
             "fidelity": self.spec.fidelity,
+            "runtime": self.spec.runtime,
+            "mp_workers": self.spec.mp_workers,
             "attestation_backend": self.spec.attestation_backend,
             "addfriend_submit_stage_s": round(self.mean_submit_stage("add-friend"), 6),
             "addfriend_scan_stage_s": round(self.mean_scan_stage("add-friend"), 6),
@@ -318,6 +339,12 @@ class ScenarioResult:
 class Scenario:
     """Base scenario: N clients, some friendships, then dialing."""
 
+    #: Scenarios that sculpt the simulated topology (straggler links,
+    #: partitions, regions) cannot run on a real runtime -- there is no
+    #: topology to sculpt.  They set this and ``build`` refuses
+    #: ``spec.runtime != "sim"`` with a ConfigurationError.
+    requires_simulated_network = False
+
     def __init__(self, spec: ScenarioSpec) -> None:
         self.spec = spec
         #: Observability monitors (duck-typed; see ``_notify``).  Hooks:
@@ -338,17 +365,17 @@ class Scenario:
         self.sender_emails: set[str] = set()
 
     # -- hooks -------------------------------------------------------------
-    def configure(self, deployment: Deployment, net: SimulatedNetwork) -> None:
+    def configure(self, deployment: Deployment, net: Transport) -> None:
         """One-time setup after the deployment is built (topology tweaks)."""
 
     def participants(self, deployment: Deployment, protocol: str, round_index: int):
         """Which clients take part this round; ``None`` means everyone."""
         return None
 
-    def before_round(self, deployment: Deployment, net: SimulatedNetwork, protocol: str, round_index: int) -> None:
+    def before_round(self, deployment: Deployment, net: Transport, protocol: str, round_index: int) -> None:
         """Fault injection / load changes just before a round starts."""
 
-    def after_round(self, deployment: Deployment, net: SimulatedNetwork, summary: RoundSummary) -> None:
+    def after_round(self, deployment: Deployment, net: Transport, summary: RoundSummary) -> None:
         """Measurements / healing just after a round completes.
 
         Under the pipelined driver the next round is already in flight when
@@ -400,13 +427,47 @@ class Scenario:
                 topology.set_link(a, b, self.spec.server_link)
         return topology
 
-    def build(self) -> tuple[Deployment, SimulatedNetwork]:
+    def build_transport(self) -> Transport:
+        """The transport ``spec.runtime`` selects (the ``--runtime`` axis)."""
+        spec = self.spec
+        if spec.runtime == "sim":
+            return SimulatedNetwork(
+                topology=self.build_topology(), seed=f"{spec.seed}/{spec.name}/net"
+            )
+        if self.requires_simulated_network:
+            raise ConfigurationError(
+                f"scenario {spec.name!r} sculpts the simulated topology and "
+                f"cannot run with runtime {spec.runtime!r}"
+            )
+        if spec.runtime == "asyncio":
+            from repro.runtime import AsyncioTransport
+
+            return AsyncioTransport()
+        if spec.runtime == "mp":
+            from repro.runtime import MultiprocessTransport, mix_endpoint_spec
+
+            # Workers rebuild the mix servers from the exact derivation
+            # Deployment itself uses: (name, rng seed, crypto backend).
+            specs = [
+                mix_endpoint_spec(
+                    f"mix{i}", f"{spec.seed}/{spec.name}/mix/{i}", spec.crypto_backend
+                )
+                for i in range(spec.num_mix_servers)
+            ]
+            workers = spec.mp_workers if spec.mp_workers > 0 else len(specs)
+            workers = max(1, min(workers, len(specs)))
+            return MultiprocessTransport([specs[i::workers] for i in range(workers)])
+        raise ConfigurationError(
+            f"unknown runtime {spec.runtime!r}: expected sim, asyncio, or mp"
+        )
+
+    def build(self) -> tuple[Deployment, Transport]:
         spec = self.spec
         if spec.fidelity not in ("frames", "slotted", "fluid"):
             raise ValueError(
                 f"unknown fidelity {spec.fidelity!r}: expected frames, slotted, or fluid"
             )
-        net = SimulatedNetwork(topology=self.build_topology(), seed=f"{spec.seed}/{spec.name}/net")
+        net = self.build_transport()
         config = AlpenhornConfig(
             num_mix_servers=spec.num_mix_servers,
             num_pkg_servers=spec.num_pkg_servers,
@@ -426,8 +487,13 @@ class Scenario:
             batched_rounds=spec.fidelity != "frames",
             attestation_backend=spec.attestation_backend,
         )
-        deployment = Deployment(config, seed=f"{spec.seed}/{spec.name}", transport=net)
-        self._apply_access_links(net)
+        try:
+            deployment = Deployment(config, seed=f"{spec.seed}/{spec.name}", transport=net)
+        except Exception:
+            net.close()  # don't leak sockets/worker processes on a failed build
+            raise
+        if isinstance(net, SimulatedNetwork):
+            self._apply_access_links(net)
         return deployment, net
 
     def _apply_access_links(self, net: SimulatedNetwork) -> None:
@@ -501,36 +567,39 @@ class Scenario:
     def run(self) -> ScenarioResult:
         started = time.perf_counter()
         deployment, net = self.build()
-        self.configure(deployment, net)
-        self.populate(deployment)
-        self._notify("on_start", deployment, net, self.spec)
+        try:
+            self.configure(deployment, net)
+            self.populate(deployment)
+            self._notify("on_start", deployment, net, self.spec)
 
-        result = ScenarioResult(name=self.spec.name, spec=self.spec)
-        self._drive_protocol(deployment, net, "add-friend", self.spec.addfriend_rounds, result)
-        self.queue_calls(deployment)
-        self._drive_protocol(deployment, net, "dialing", self.spec.dialing_rounds, result)
-        self._record_overall_throughput(result)
+            result = ScenarioResult(name=self.spec.name, spec=self.spec)
+            self._drive_protocol(deployment, net, "add-friend", self.spec.addfriend_rounds, result)
+            self.queue_calls(deployment)
+            self._drive_protocol(deployment, net, "dialing", self.spec.dialing_rounds, result)
+            self._record_overall_throughput(result)
 
-        result.friendships_confirmed = sum(
-            len(c.friends()) for c in deployment.clients.values()
-        ) // 2
-        result.calls_delivered = sum(
-            len(c.received_calls()) for c in deployment.clients.values()
-        )
-        result.friend_requests = self._friend_request_stats()
-        result.total_bytes_sent = net.stats.bytes_sent
-        result.total_messages_sent = net.stats.messages_sent
-        result.calls_by_method = dict(net.stats.calls_by_method)
-        result.bytes_by_method = dict(net.stats.bytes_by_method)
-        cluster = getattr(deployment, "cluster", None)
-        if cluster is not None:
-            result.shard_loads = cluster.load_report()
-        result.metrics = self._collect_metrics(deployment, net, result)
+            result.friendships_confirmed = sum(
+                len(c.friends()) for c in deployment.clients.values()
+            ) // 2
+            result.calls_delivered = sum(
+                len(c.received_calls()) for c in deployment.clients.values()
+            )
+            result.friend_requests = self._friend_request_stats()
+            result.total_bytes_sent = net.stats.bytes_sent
+            result.total_messages_sent = net.stats.messages_sent
+            result.calls_by_method = dict(net.stats.calls_by_method)
+            result.bytes_by_method = dict(net.stats.bytes_by_method)
+            cluster = getattr(deployment, "cluster", None)
+            if cluster is not None:
+                result.shard_loads = cluster.load_report()
+            result.metrics = self._collect_metrics(deployment, net, result)
+        finally:
+            deployment.close()
         result.wall_seconds = time.perf_counter() - started
         self._notify("on_finish", result)
         return result
 
-    def _collect_metrics(self, deployment: Deployment, net: SimulatedNetwork, result: ScenarioResult) -> dict:
+    def _collect_metrics(self, deployment: Deployment, net: Transport, result: ScenarioResult) -> dict:
         """Snapshot the run into a :class:`~repro.obs.metrics.MetricsRegistry`.
 
         Subsumes the ad-hoc accounting scattered across tiers: transport
@@ -546,12 +615,17 @@ class Scenario:
         registry.count("transport.bytes_sent", stats.bytes_sent)
         registry.count_mapping("transport.bytes", stats.bytes_by_method)
         registry.count_mapping("transport.calls", stats.calls_by_method)
-        scheduler = net.scheduler
-        registry.set_gauge("scheduler.heap_size", scheduler.max_heap_size)
-        registry.set_gauge("scheduler.slot_events", scheduler.slot_events)
-        registry.set_gauge("scheduler.slotted_items", scheduler.slotted_items)
-        registry.count("scheduler.events_processed", scheduler.events_processed)
-        registry.set_gauge("net.frames_in_flight", net.frames_in_flight_peak)
+        # Real runtimes (asyncio/mp) have no event scheduler or in-flight
+        # frame accounting; their metrics are the transport totals above.
+        scheduler = getattr(net, "scheduler", None)
+        if scheduler is not None:
+            registry.set_gauge("scheduler.heap_size", scheduler.max_heap_size)
+            registry.set_gauge("scheduler.slot_events", scheduler.slot_events)
+            registry.set_gauge("scheduler.slotted_items", scheduler.slotted_items)
+            registry.count("scheduler.events_processed", scheduler.events_processed)
+        frames_peak = getattr(net, "frames_in_flight_peak", None)
+        if frames_peak is not None:
+            registry.set_gauge("net.frames_in_flight", frames_peak)
         registry.set_gauge("sessions.count", len(deployment.sessions))
         registry.set_gauge(
             "sessions.outbox_depth",
@@ -601,7 +675,7 @@ class Scenario:
     def _drive_protocol(
         self,
         deployment: Deployment,
-        net: SimulatedNetwork,
+        net: Transport,
         protocol: str,
         count: int,
         result: ScenarioResult,
@@ -640,7 +714,7 @@ class Scenario:
     def _drive_pipelined(
         self,
         deployment: Deployment,
-        net: SimulatedNetwork,
+        net: Transport,
         protocol: str,
         count: int,
         result: ScenarioResult,
@@ -675,7 +749,7 @@ class Scenario:
     def _drive_round(
         self,
         deployment: Deployment,
-        net: SimulatedNetwork,
+        net: Transport,
         protocol: str,
         round_index: int,
         result: ScenarioResult,

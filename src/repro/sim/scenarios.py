@@ -100,6 +100,7 @@ class ClientChurnScenario(Scenario):
 class StragglerMixScenario(Scenario):
     """One mix server behind a slow, thin link stalls every batch hop."""
 
+    requires_simulated_network = True
     straggler = "mix1"
     straggler_link = LinkSpec.of(latency_ms=400, bandwidth_mbps=5)
 
@@ -121,6 +122,7 @@ class PkgFailureScenario(Scenario):
     were queued before the failure still establish.
     """
 
+    requires_simulated_network = True
     failed_pkg = "pkg1"
     fail_at_round = 1  # 0-based add-friend round index
 
@@ -262,6 +264,7 @@ class MetropolisScenario(Scenario):
 class GeoDistributedScenario(Scenario):
     """Clients in three regions; all servers hosted in ``us-east``."""
 
+    requires_simulated_network = True
     regions = ("us-east", "eu-west", "ap-south")
     region_links = {
         ("us-east", "us-east"): LinkSpec.of(latency_ms=15, bandwidth_mbps=100, jitter_ms=5),

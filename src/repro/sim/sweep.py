@@ -800,3 +800,258 @@ def emit_fidelity_report(result: FidelitySweepResult, name: str = "net") -> str:
     print(f"max fluid latency divergence: {result.max_fluid_divergence():.3f}")
     path = write_json_report(name, result.to_report())
     return str(path)
+
+
+# -- the deployment-runtime sweep (CLI --sweep-runtime) ---------------------
+
+#: The runtimes the grid accepts (ScenarioSpec.runtime values).
+RUNTIMES = ("sim", "asyncio", "mp")
+
+
+@dataclass
+class RuntimePoint:
+    """One grid cell: a scenario at one client count on one runtime.
+
+    ``sim`` points report simulated seconds per stage; ``asyncio``/``mp``
+    points report *real* wall-clock seconds (the transport clock is
+    ``time.monotonic``), so the stage columns are not comparable across the
+    runtime axis -- the wall-seconds column and the parity column are.
+    """
+
+    runtime: str
+    num_clients: int
+    result: ScenarioResult
+    #: Whether confirmed friendships and delivered calls match the
+    #: same-size ``sim`` point's (None when the grid has no sim reference,
+    #: or for the sim points themselves).
+    parity_with_sim: bool | None = None
+
+    def stage_mean(self, name: str) -> float:
+        rows = [r for r in self.result.rounds if not r.aborted]
+        if not rows:
+            return 0.0
+        return sum(getattr(r, name) for r in rows) / len(rows)
+
+    def row(self) -> list:
+        parity = "-" if self.parity_with_sim is None else (
+            "yes" if self.parity_with_sim else "NO"
+        )
+        return [
+            self.num_clients,
+            self.runtime,
+            f"{self.result.wall_seconds:.2f}",
+            f"{self.stage_mean('latency_s'):.3f}",
+            f"{self.stage_mean('submit_stage_s'):.3f}",
+            f"{self.stage_mean('mix_stage_s'):.3f}",
+            f"{self.stage_mean('scan_stage_s'):.3f}",
+            self.result.friendships_confirmed,
+            self.result.calls_delivered,
+            parity,
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "runtime": self.runtime,
+            "num_clients": self.num_clients,
+            "parity_with_sim": self.parity_with_sim,
+            "wall_seconds": round(self.result.wall_seconds, 3),
+            "mean_round_s": round(self.stage_mean("latency_s"), 6),
+            "mean_submit_stage_s": round(self.stage_mean("submit_stage_s"), 6),
+            "mean_mix_stage_s": round(self.stage_mean("mix_stage_s"), 6),
+            "mean_scan_stage_s": round(self.stage_mean("scan_stage_s"), 6),
+            "result": self.result.to_dict(),
+        }
+
+
+@dataclass
+class RuntimeCryptoPoint:
+    """One crypto-leg cell: the asyncio runtime on one crypto backend.
+
+    On real sockets the mix stage is real wall clock, so this leg re-times
+    what the simulated crypto sweep can only model: how the ``parallel``
+    backend's worker pool trades against ``pure`` on actual cores.
+    """
+
+    crypto_backend: str
+    result: ScenarioResult
+
+    def mean_mix_stage(self) -> float:
+        rows = [r for r in self.result.rounds if not r.aborted]
+        if not rows:
+            return 0.0
+        return sum(r.mix_stage_s for r in rows) / len(rows)
+
+    def row(self) -> list:
+        mean_round = (
+            sum(self.result.round_latencies()) / len(self.result.round_latencies())
+            if self.result.round_latencies()
+            else 0.0
+        )
+        return [
+            self.crypto_backend,
+            f"{self.result.wall_seconds:.2f}",
+            f"{self.mean_mix_stage():.3f}",
+            f"{mean_round:.3f}",
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "crypto_backend": self.crypto_backend,
+            "wall_seconds": round(self.result.wall_seconds, 3),
+            "mean_mix_stage_s": round(self.mean_mix_stage(), 6),
+            "result": self.result.to_dict(),
+        }
+
+
+@dataclass
+class RuntimeSweepResult:
+    """Everything one runtime sweep produced (lands in BENCH_runtime.json)."""
+
+    scenario: str = "baseline"
+    points: list[RuntimePoint] = field(default_factory=list)
+    crypto_points: list[RuntimeCryptoPoint] = field(default_factory=list)
+    skipped_backends: list[str] = field(default_factory=list)
+
+    HEADERS = [
+        "clients", "runtime", "wall s", "mean round s",
+        "submit s", "mix s", "scan s", "friends", "calls", "parity",
+    ]
+    CRYPTO_HEADERS = ["backend", "wall s", "mean mix s", "mean round s"]
+
+    def parity_ok(self) -> bool:
+        """True when every real-runtime point matched its sim reference."""
+        return all(p.parity_with_sim is not False for p in self.points)
+
+    def wall_seconds_by_runtime(self) -> dict[str, float]:
+        totals: dict[str, float] = {}
+        for point in self.points:
+            totals[point.runtime] = round(
+                totals.get(point.runtime, 0.0) + point.result.wall_seconds, 3
+            )
+        return totals
+
+    def table(self) -> tuple[list[str], list[list]]:
+        return list(self.HEADERS), [point.row() for point in self.points]
+
+    def crypto_table(self) -> tuple[list[str], list[list]]:
+        return list(self.CRYPTO_HEADERS), [point.row() for point in self.crypto_points]
+
+    def to_report(self) -> dict:
+        headers, rows = self.table()
+        report = table_report(
+            headers, rows, title=f"deployment runtimes on {self.scenario}: sim vs asyncio vs mp"
+        )
+        report["scenario"] = self.scenario
+        report["points"] = [point.to_dict() for point in self.points]
+        report["crypto_points"] = [point.to_dict() for point in self.crypto_points]
+        report["skipped_backends"] = list(self.skipped_backends)
+        report["parity_ok"] = self.parity_ok()
+        report["wall_seconds_by_runtime"] = self.wall_seconds_by_runtime()
+        return report
+
+
+def run_runtime_sweep(
+    runtimes: list[str] | None = None,
+    client_counts: list[int] | None = None,
+    scenario: str = "baseline",
+    mp_workers: int = 0,
+    crypto_backends: list[str] | None = None,
+    progress=None,
+    **overrides,
+) -> RuntimeSweepResult:
+    """Run one scenario over a runtime x clients grid, plus a crypto leg.
+
+    Every same-size point shares its seed, so the protocol outcome is
+    deterministic across runtimes -- the parity column asserts exactly
+    that: real sockets and worker processes change *when* things happen,
+    never *what* is delivered.  The sim point of each size (run first when
+    present) is the parity reference.
+
+    The crypto leg then re-runs the first grid size on the ``asyncio``
+    runtime once per backend in ``crypto_backends`` (default: ``pure`` and
+    ``parallel``; unavailable ones recorded in ``skipped_backends``),
+    timing the mix stage on real cores instead of the simulated clock.
+    """
+    from repro.crypto.engine import backend_available
+    from repro.errors import ConfigurationError
+    from repro.sim.scenarios import run_scenario
+
+    runtimes = list(runtimes) if runtimes else list(RUNTIMES)
+    for runtime in runtimes:
+        if runtime not in RUNTIMES:
+            raise ConfigurationError(
+                f"unknown runtime {runtime!r}: expected one of {', '.join(RUNTIMES)}"
+            )
+    client_counts = client_counts or [24, 60]
+    seed = overrides.pop("seed", "runtime-sweep")
+    overrides.setdefault("addfriend_rounds", 2)
+    overrides.setdefault("dialing_rounds", 2)
+    result = RuntimeSweepResult(scenario=scenario)
+
+    ordered = sorted(runtimes, key=lambda r: r != "sim")  # sim first: parity reference
+    for clients in client_counts:
+        reference: ScenarioResult | None = None
+        for runtime in ordered:
+            if progress:
+                progress(f"runtime sweep: {clients} clients @ {runtime}")
+            point_result = run_scenario(
+                scenario,
+                num_clients=clients,
+                runtime=runtime,
+                mp_workers=mp_workers if runtime == "mp" else 0,
+                seed=f"{seed}/c{clients}",
+                **overrides,
+            )
+            point = RuntimePoint(runtime, clients, point_result)
+            if runtime == "sim":
+                reference = point_result
+            elif reference is not None:
+                point.parity_with_sim = (
+                    point_result.friendships_confirmed == reference.friendships_confirmed
+                    and point_result.calls_delivered == reference.calls_delivered
+                )
+            result.points.append(point)
+
+    backends = crypto_backends if crypto_backends is not None else ["pure", "parallel"]
+    leg_clients = client_counts[0]
+    for backend in backends:
+        if not backend_available(backend):
+            result.skipped_backends.append(backend)
+            if progress:
+                progress(f"runtime sweep: backend {backend!r} unavailable; skipped")
+            continue
+        if progress:
+            progress(f"runtime sweep: crypto {backend} @ {leg_clients} clients on asyncio")
+        crypto_result = run_scenario(
+            scenario,
+            num_clients=leg_clients,
+            runtime="asyncio",
+            crypto_backend=backend,
+            seed=f"{seed}/crypto/{backend}",
+            **overrides,
+        )
+        result.crypto_points.append(RuntimeCryptoPoint(backend, crypto_result))
+    return result
+
+
+def emit_runtime_report(result: RuntimeSweepResult, name: str = "runtime") -> str:
+    """Print the runtime tables and write ``BENCH_<name>.json``; returns the path."""
+    headers, rows = result.table()
+    print(
+        format_table(
+            headers, rows, title=f"deployment-runtime grid on {result.scenario}"
+        )
+    )
+    if result.crypto_points:
+        headers, rows = result.crypto_table()
+        print(
+            format_table(
+                headers, rows,
+                title="crypto backends on the asyncio runtime (real wall-clock mix stage)",
+            )
+        )
+    if result.skipped_backends:
+        print(f"skipped unavailable backends: {', '.join(result.skipped_backends)}")
+    print(f"result parity across runtimes: {'yes' if result.parity_ok() else 'NO'}")
+    path = write_json_report(name, result.to_report())
+    return str(path)

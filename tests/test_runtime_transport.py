@@ -1,0 +1,182 @@
+"""The real-runtime transports: :class:`AsyncioTransport` over localhost TCP
+and :class:`MultiprocessTransport` with spawned worker processes."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import NetworkError, RemoteCallError, RoundError, TransportTimeoutError
+from repro.net import DirectTransport
+from repro.net.transport import BatchCall, RpcResult
+from repro.runtime import AsyncioTransport, MultiprocessTransport, mix_endpoint_spec
+
+
+@pytest.fixture
+def transport():
+    with AsyncioTransport() as t:
+        yield t
+
+
+def register_echo(t, name="server"):
+    def handler(request):
+        return RpcResult(payload=request.payload, obj=None)
+
+    t.register(name, handler)
+
+
+class TestAsyncioTransport:
+    def test_echo_roundtrip(self, transport):
+        register_echo(transport)
+        result = transport.call("client", "server", "echo", b"\x01\x02\x03")
+        assert result.payload == b"\x01\x02\x03"
+        assert result.obj is None
+
+    def test_object_channel(self, transport):
+        payload_obj = {"pairing": (1, 2), "mailbox": b"m" * 8}
+
+        def handler(request):
+            return RpcResult(payload=b"", obj=payload_obj, size_hint=64)
+
+        transport.register("server", handler)
+        result = transport.call("client", "server", "extract")
+        assert result.obj == payload_obj
+
+    def test_request_obj_reaches_handler(self, transport):
+        seen = []
+
+        def handler(request):
+            seen.append(request.obj)
+            return RpcResult(payload=b"ok")
+
+        transport.register("server", handler)
+        transport.call("client", "server", "put", obj={"k": 3})
+        assert seen == [{"k": 3}]
+
+    def test_nested_calls_do_not_deadlock(self, transport):
+        # entry -> mix is a real pattern: the outer handler issues a
+        # downstream RPC while its own caller is still blocked on it.
+        register_echo(transport, "inner")
+
+        def outer_handler(request):
+            inner = transport.call("outer", "inner", "echo", request.payload)
+            return RpcResult(payload=inner.payload + b"!")
+
+        transport.register("outer", outer_handler)
+        result = transport.call("client", "outer", "relay", b"hi")
+        assert result.payload == b"hi!"
+
+    def test_remote_errors_reconstruct(self, transport):
+        def handler(request):
+            raise RoundError("round 7 is closed")
+
+        transport.register("server", handler)
+        with pytest.raises(RoundError, match="round 7 is closed"):
+            transport.call("client", "server", "submit")
+
+    def test_foreign_errors_become_remote_call_error(self, transport):
+        def handler(request):
+            raise ValueError("not a protocol error")
+
+        transport.register("server", handler)
+        with pytest.raises(RemoteCallError, match="ValueError"):
+            transport.call("client", "server", "submit")
+
+    def test_unknown_endpoint_rejected(self, transport):
+        with pytest.raises(NetworkError):
+            transport.call("client", "nowhere", "ping")
+
+    def test_duplicate_endpoint_rejected(self, transport):
+        register_echo(transport)
+        with pytest.raises(NetworkError):
+            register_echo(transport)
+
+    def test_deadline_expires_on_wall_clock(self, transport):
+        def handler(request):
+            time.sleep(0.5)
+            return RpcResult(payload=b"late")
+
+        transport.register("server", handler)
+        with pytest.raises(TransportTimeoutError):
+            transport.call("client", "server", "slow", timeout_s=0.05)
+        # The connection died with the deadline; a fresh call still works.
+        register_echo(transport, "ok")
+        assert transport.call("client", "ok", "echo", b"x").payload == b"x"
+
+    def test_call_batch_wave(self, transport):
+        register_echo(transport)
+        calls = [
+            BatchCall(src=f"c{i}", dst="server", method="echo", payload=bytes([i]))
+            for i in range(16)
+        ]
+        outcomes = transport.call_batch(calls)
+        assert len(outcomes) == 16
+        for i, outcome in enumerate(outcomes):
+            assert outcome.error is None
+            assert outcome.result.payload == bytes([i])
+
+    def test_bandwidth_accounting_matches_direct_transport(self, transport):
+        # The simulated accounting formula (payload + size_hint + frame
+        # overhead, no length prefix) is the cross-runtime baseline.
+        direct = DirectTransport()
+        for t in (transport, direct):
+            def handler(request):
+                return RpcResult(payload=b"r" * 10, obj={"x": 1}, size_hint=100)
+
+            t.register("server", handler)
+            t.call("client", "server", "extract", b"q" * 5, size_hint=7)
+        assert transport.stats.bytes_by_method == direct.stats.bytes_by_method
+        assert transport.stats.bytes_by_endpoint == direct.stats.bytes_by_endpoint
+        assert transport.stats.messages_sent == direct.stats.messages_sent
+
+    def test_clock_is_wall_time(self, transport):
+        before = transport.now()
+        time.sleep(0.01)
+        assert transport.now() > before
+        transport.advance(5.0)  # validated no-op: wall time cannot be steered
+        with pytest.raises(ValueError):
+            transport.advance(-1.0)
+
+    def test_close_idempotent_and_final(self):
+        transport = AsyncioTransport()
+        register_echo(transport)
+        assert transport.call("client", "server", "echo", b"x").payload == b"x"
+        transport.close()
+        transport.close()
+        with pytest.raises(NetworkError):
+            transport.call("client", "server", "echo", b"x")
+
+
+class TestMultiprocessTransport:
+    def test_mix_tier_in_worker_process(self):
+        from repro.net.rpc import MixStub
+
+        transport = MultiprocessTransport(
+            [[mix_endpoint_spec("mix0", "seed/mix/0")]]
+        )
+        try:
+            assert transport.worker_count() == 1
+            assert transport.remote_endpoints() == ["mix0"]
+            stub = MixStub(transport, "mix0", src="entry")
+            pk = stub.open_round("dialing", 1)
+            assert stub.round_public_key("dialing", 1) == pk
+            # Errors cross the process boundary as their repro.errors type.
+            with pytest.raises(RoundError):
+                stub.round_public_key("dialing", 9)
+        finally:
+            transport.close()
+        transport.close()  # idempotent after worker reap
+
+    @pytest.mark.slow
+    def test_two_workers_round_robin(self):
+        from repro.net.rpc import MixStub
+
+        specs = [mix_endpoint_spec(f"mix{i}", f"seed/mix/{i}") for i in range(2)]
+        with MultiprocessTransport([[specs[0]], [specs[1]]]) as transport:
+            assert transport.worker_count() == 2
+            keys = {
+                name: MixStub(transport, name, src="entry").open_round("dialing", 1)
+                for name in ("mix0", "mix1")
+            }
+            assert keys["mix0"] != keys["mix1"]

@@ -1,0 +1,162 @@
+"""The real-runtime wire codec: message bodies, stream framing, object
+channel, and error replies (:mod:`repro.runtime.wire` + the stream framing
+helpers in :mod:`repro.net.frames`)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+import repro.net.frames as frames_module
+from repro.errors import RemoteCallError, RoundError, SerializationError
+from repro.net import DirectTransport, Frame, LinkSpec, NetworkTopology, SimulatedNetwork
+from repro.net.frames import (
+    KIND_ERROR,
+    KIND_REQUEST,
+    KIND_RESPONSE,
+    MAX_WIRE_MESSAGE_BYTES,
+    WIRE_LENGTH_BYTES,
+    decode_wire_length,
+    encode_wire_message,
+)
+from repro.runtime import wire
+from repro.utils.serialization import Packer
+
+names = st.text(min_size=0, max_size=24)
+payloads = st.binary(max_size=128)
+
+
+@st.composite
+def wire_frames(draw):
+    return Frame(
+        kind=draw(st.sampled_from([KIND_REQUEST, KIND_RESPONSE, KIND_ERROR])),
+        msg_id=draw(st.integers(min_value=0, max_value=2**64 - 1)),
+        src=draw(names),
+        dst=draw(names),
+        method=draw(names),
+        payload=draw(payloads),
+    )
+
+
+class TestMessageCodec:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        frame=wire_frames(),
+        obj_flag=st.sampled_from([wire.OBJ_NONE, wire.OBJ_TOKEN, wire.OBJ_PICKLE]),
+        obj_data=payloads,
+        size_hint=st.integers(min_value=0, max_value=2**64 - 1),
+    )
+    def test_roundtrip(self, frame, obj_flag, obj_data, size_hint):
+        body = wire.encode_message(frame, obj_flag, obj_data, size_hint)
+        message = wire.decode_message(body)
+        assert message == wire.WireMessage(
+            frame=frame, obj_flag=obj_flag, obj_data=obj_data, size_hint=size_hint
+        )
+
+    def test_unknown_obj_flag_rejected(self):
+        frame = Frame(KIND_REQUEST, 1, "a", "b", "m", b"")
+        body = Packer().bytes(frame.to_bytes()).u8(7).bytes(b"").u64(0).pack()
+        with pytest.raises(SerializationError):
+            wire.decode_message(body)
+
+    def test_trailing_bytes_rejected(self):
+        frame = Frame(KIND_REQUEST, 1, "a", "b", "m", b"")
+        body = wire.encode_message(frame)
+        with pytest.raises(SerializationError):
+            wire.decode_message(body + b"\x00")
+
+
+class TestStreamFraming:
+    @settings(max_examples=100, deadline=None)
+    @given(body=st.binary(max_size=512))
+    def test_length_prefix_roundtrip(self, body):
+        on_wire = encode_wire_message(body)
+        assert decode_wire_length(on_wire[:WIRE_LENGTH_BYTES]) == len(body)
+        assert on_wire[WIRE_LENGTH_BYTES:] == body
+
+    def test_truncated_prefix_rejected(self):
+        for truncated in (b"", b"\x00", b"\x00\x00\x00"):
+            with pytest.raises(SerializationError):
+                decode_wire_length(truncated)
+
+    def test_oversized_declared_length_rejected(self):
+        # A hostile peer declares > MAX without ever sending the bytes:
+        # the prefix alone must be enough to refuse.
+        huge = (MAX_WIRE_MESSAGE_BYTES + 1).to_bytes(WIRE_LENGTH_BYTES, "big")
+        with pytest.raises(SerializationError):
+            decode_wire_length(huge)
+        # The ceiling itself is allowed.
+        exact = MAX_WIRE_MESSAGE_BYTES.to_bytes(WIRE_LENGTH_BYTES, "big")
+        assert decode_wire_length(exact) == MAX_WIRE_MESSAGE_BYTES
+
+    def test_oversized_body_rejected_on_encode(self, monkeypatch):
+        monkeypatch.setattr(frames_module, "MAX_WIRE_MESSAGE_BYTES", 64)
+        with pytest.raises(SerializationError):
+            frames_module.encode_wire_message(b"x" * 65)
+        assert frames_module.encode_wire_message(b"x" * 64)[frames_module.WIRE_LENGTH_BYTES:] == b"x" * 64
+
+
+class TestObjectChannel:
+    def test_token_single_use(self):
+        channel = wire.LocalObjectChannel()
+        obj = {"pairing": (1, 2)}
+        token = channel.put(obj)
+        assert len(channel) == 1
+        assert channel.take(token) is obj
+        assert len(channel) == 0
+        with pytest.raises(SerializationError):
+            channel.take(token)
+
+    def test_encode_obj_modes(self):
+        channel = wire.LocalObjectChannel()
+        assert wire.encode_obj(None, channel) == (wire.OBJ_NONE, b"")
+        flag, data = wire.encode_obj({"k": 1}, channel)
+        assert flag == wire.OBJ_TOKEN
+        assert channel.take(data) == {"k": 1}
+        flag, data = wire.encode_obj({"k": 2}, None)
+        assert flag == wire.OBJ_PICKLE
+        frame = Frame(KIND_RESPONSE, 1, "a", "b", "m", b"")
+        message = wire.WireMessage(frame=frame, obj_flag=flag, obj_data=data)
+        assert wire.decode_obj(message, None) == {"k": 2}
+
+    def test_token_without_channel_rejected(self):
+        frame = Frame(KIND_RESPONSE, 1, "a", "b", "m", b"")
+        message = wire.WireMessage(frame=frame, obj_flag=wire.OBJ_TOKEN, obj_data=b"\x00" * 8)
+        with pytest.raises(SerializationError):
+            wire.decode_obj(message, None)
+
+
+class TestErrorReplies:
+    def test_known_error_reconstructs_exactly(self):
+        rebuilt = wire.decode_error(wire.encode_error(RoundError("round 3 is closed")))
+        assert type(rebuilt) is RoundError
+        assert str(rebuilt) == "round 3 is closed"
+
+    def test_unknown_error_becomes_remote_call_error(self):
+        rebuilt = wire.decode_error(wire.encode_error(ValueError("bad input")))
+        assert type(rebuilt) is RemoteCallError
+        assert "ValueError" in str(rebuilt) and "bad input" in str(rebuilt)
+
+
+class TestCrossTransportByteIdentity:
+    def test_request_frames_encode_identically(self):
+        """The bytes a request puts on the wire must not depend on the
+        runtime: sim, direct, and asyncio all frame through the same codec
+        with the same msg-id sequence."""
+        from repro.runtime import AsyncioTransport
+
+        simulated = SimulatedNetwork(
+            topology=NetworkTopology(default=LinkSpec(latency_s=0.0)), seed="wire-identity"
+        )
+        with AsyncioTransport() as real:
+            transports = [DirectTransport(), simulated, real]
+            calls = [
+                ("entry", "mix0", "announce", b""),
+                ("alice@x", "entry", "submit", b"\x01" * 40),
+            ]
+            for src, dst, method, payload in calls:
+                bodies = {
+                    wire.encode_message(t._frame(src, dst, method, payload))
+                    for t in transports
+                }
+                assert len(bodies) == 1
