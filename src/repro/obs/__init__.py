@@ -14,6 +14,10 @@ Three concerns, one package, threaded through every tier:
 * :mod:`repro.obs.dashboard` -- a stdlib-only live dashboard
   (``http.server`` + Server-Sent Events) streaming round/stage/shard stats
   and EventBus activity to a single-file web UI with run/pause/step.
+* :mod:`repro.obs.distributed` -- the cross-process pieces for the real
+  runtimes: the trace-context trailer RPCs carry on the wire, ping-based
+  clock alignment for spawned workers, the worker telemetry payload, and
+  per-endpoint runtime attribution (network / queue / handler / crypto).
 
 The tracer follows the crypto engine's activation pattern: a process-wide
 active tracer (:func:`active_tracer`) that defaults to a no-op
@@ -23,13 +27,21 @@ scenario run; ``python -m repro.obs validate PATH`` checks an emitted trace
 against the trace-event schema (CI does both).
 """
 
-from repro.obs.logging import configure_logging, get_logger
+from repro.obs.distributed import (
+    TraceContext,
+    WorkerTelemetry,
+    estimate_clock_offset,
+    merge_worker_metrics,
+    runtime_attribution,
+)
+from repro.obs.logging import configure_logging, configured_level, get_logger
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.trace import (
     NullTracer,
     Span,
     Tracer,
     active_tracer,
+    propagation_coverage,
     set_active_tracer,
     validate_trace_events,
     validate_trace_file,
@@ -42,10 +54,17 @@ __all__ = [
     "MetricsRegistry",
     "NullTracer",
     "Span",
+    "TraceContext",
     "Tracer",
+    "WorkerTelemetry",
     "active_tracer",
     "configure_logging",
+    "configured_level",
+    "estimate_clock_offset",
     "get_logger",
+    "merge_worker_metrics",
+    "propagation_coverage",
+    "runtime_attribution",
     "set_active_tracer",
     "validate_trace_events",
     "validate_trace_file",

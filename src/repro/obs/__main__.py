@@ -2,8 +2,12 @@
 
 ``validate PATH...`` checks emitted Chrome/Perfetto trace files against the
 trace-event schema (well-formed JSON, known phases, balanced begin/end
-pairs, monotonic per-track timestamps, non-negative durations).  CI runs it
-on the scenario smoke's ``--trace`` output; exit status 1 means problems.
+pairs per pid/tid track, monotonic non-negative per-track timestamps,
+non-negative durations).  These checks apply per process, so merged
+multi-process runtime traces are covered too; ``--min-propagation F``
+additionally requires that at least fraction ``F`` of the trace's
+``rpc.serve`` spans carry a resolved remote parent.  CI runs it on the
+scenario smoke's ``--trace`` output; exit status 1 means problems.
 """
 
 from __future__ import annotations
@@ -21,11 +25,19 @@ def main(argv: list[str] | None = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
     validate = sub.add_parser("validate", help="validate trace-event files")
     validate.add_argument("paths", nargs="+", help="trace JSON files to check")
+    validate.add_argument(
+        "--min-propagation",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="require at least this fraction of rpc.serve spans to resolve "
+        "a remote parent (distributed traces)",
+    )
     args = parser.parse_args(argv)
 
     status = 0
     for path in args.paths:
-        problems = validate_trace_file(path)
+        problems = validate_trace_file(path, min_propagation=args.min_propagation)
         if problems:
             status = 1
             print(f"{path}: INVALID ({len(problems)} problem(s))")

@@ -118,6 +118,8 @@ class DashboardServer:
             self._state["shards"] = data
         elif event_type == "net":
             self._state["net"] = data
+        elif event_type == "runtime":
+            self._state["runtime"] = data
         elif event_type == "scenario_finished":
             self._state["status"] = "finished"
             self._state["summary"] = data
@@ -319,6 +321,11 @@ class DashboardMonitor:
                 slotted_items=scheduler.slotted_items,
                 frames_in_flight_peak=transport.frames_in_flight_peak,
             )
+        # Real runtimes: per-endpoint executor/connection/in-flight gauges
+        # (and worker RSS under mp) for the Runtime panel.
+        snapshot = getattr(transport, "runtime_snapshot", None)
+        if snapshot is not None:
+            self.server.publish("runtime", endpoints=snapshot())
 
     def on_finish(self, result) -> None:
         self.server.publish(
@@ -377,6 +384,8 @@ _PAGE = """<!doctype html>
 <div id="shards" class="muted">unsharded deployment</div>
 <h2>Simulator core</h2>
 <div id="net" class="muted">no scheduler stats yet</div>
+<h2>Runtime</h2>
+<div id="runtime" class="muted">simulated transport (no live endpoints)</div>
 <h2>Session events</h2>
 <div id="events" class="muted">none yet</div>
 <h2>Summary</h2>
@@ -424,6 +433,16 @@ _PAGE = """<!doctype html>
     $('net').textContent = 'scheduler heap peak ' + d.heap_size + ' \\u00b7 slot events '
       + d.slot_events + ' (' + d.slotted_items + ' frames batched) \\u00b7 frames in flight peak '
       + d.frames_in_flight_peak;
+  });
+  source.addEventListener('runtime', (e) => {
+    const d = JSON.parse(e.data).data.endpoints;
+    $('runtime').className = '';
+    $('runtime').innerHTML = Object.keys(d).sort().map(k => {
+      const g = d[k];
+      const parts = Object.keys(g).sort().map(m => m + ' <b>' + g[m] + '</b>');
+      return '<span style="display:inline-block;margin:0 1em .2em 0">' + k + ': '
+        + parts.join(' \\u00b7 ') + '</span>';
+    }).join('');
   });
   source.addEventListener('events', (e) => {
     const d = JSON.parse(e.data).data;

@@ -15,24 +15,29 @@ import logging
 import sys
 from typing import Any
 
-__all__ = ["EventLogMonitor", "configure_logging", "get_logger", "log_fields"]
+__all__ = ["EventLogMonitor", "configure_logging", "configured_level", "get_logger", "log_fields"]
 
 ROOT_LOGGER = "repro"
 
 _configured = False
+_configured_level: str | None = None
 
 
 def get_logger(name: str | None = None) -> logging.Logger:
     return logging.getLogger(f"{ROOT_LOGGER}.{name}" if name else ROOT_LOGGER)
 
 
-def configure_logging(level: str = "info", stream: Any = None) -> logging.Logger:
+def configure_logging(
+    level: str = "info", stream: Any = None, process: str | None = None
+) -> logging.Logger:
     """Install a stderr handler on the ``repro`` logger; idempotent.
 
     Returns the root ``repro`` logger.  ``level`` is a standard logging
-    level name (case-insensitive).
+    level name (case-insensitive).  ``process`` tags every line with a
+    ``process=<name>`` field — spawned runtime workers set it to their
+    worker label so interleaved multi-process stderr stays attributable.
     """
-    global _configured
+    global _configured, _configured_level
     numeric = logging.getLevelName(level.upper())
     if not isinstance(numeric, int):
         raise ValueError(f"unknown log level {level!r}")
@@ -42,17 +47,28 @@ def configure_logging(level: str = "info", stream: Any = None) -> logging.Logger
     for handler in list(root.handlers):
         root.removeHandler(handler)
     handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    tag = f" process={process}" if process else ""
     handler.setFormatter(
-        logging.Formatter("%(asctime)s.%(msecs)03d %(levelname)-7s %(name)s %(message)s",
-                          datefmt="%H:%M:%S")
+        logging.Formatter(
+            f"%(asctime)s.%(msecs)03d %(levelname)-7s %(name)s{tag} %(message)s",
+            datefmt="%H:%M:%S",
+        )
     )
     root.addHandler(handler)
     _configured = True
+    _configured_level = level.lower()
     return root
 
 
 def logging_configured() -> bool:
     return _configured
+
+
+def configured_level() -> str | None:
+    """The level name :func:`configure_logging` was last called with, or
+    ``None`` — what the mp transport forwards to spawned workers so
+    ``--log-level`` covers every process."""
+    return _configured_level
 
 
 def log_fields(**fields: Any) -> str:

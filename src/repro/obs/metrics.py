@@ -74,6 +74,23 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def merge_summary(self, summary: dict[str, float]) -> None:
+        """Fold another histogram's :meth:`to_dict` summary into this one.
+
+        Used when worker-process registries are merged into the
+        coordinator's: the workers ship snapshots (plain dicts), not live
+        ``Histogram`` objects.
+        """
+        count = int(summary.get("count", 0))
+        if not count:
+            return
+        self.count += count
+        self.total += float(summary.get("sum", 0.0))
+        if summary.get("min", float("inf")) < self.minimum:
+            self.minimum = float(summary["min"])
+        if summary.get("max", float("-inf")) > self.maximum:
+            self.maximum = float(summary["max"])
+
     def to_dict(self) -> dict[str, float]:
         if not self.count:
             return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
@@ -127,6 +144,21 @@ class MetricsRegistry:
         """Bulk-import a ``{suffix: amount}`` dict as ``prefix.suffix`` counters."""
         for suffix, amount in mapping.items():
             self.counter(f"{prefix}.{suffix}").inc(amount)
+
+    def merge_snapshot(self, snapshot: dict[str, Any], prefix: str = "") -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters accumulate, gauges take the incoming value, histograms
+        merge their summaries.  ``prefix`` namespaces every imported metric
+        (e.g. ``endpoint.mix0.``) so worker registries land without
+        colliding with the coordinator's own names.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(f"{prefix}{name}").inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge(f"{prefix}{name}").set(value)
+        for name, summary in snapshot.get("histograms", {}).items():
+            self.histogram(f"{prefix}{name}").merge_summary(summary)
 
     def snapshot(self) -> dict[str, Any]:
         return {

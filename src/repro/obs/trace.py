@@ -37,7 +37,10 @@ trace for schema problems; CI runs it via ``python -m repro.obs validate``.
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
+import threading
 import time
 from contextlib import contextmanager
 from pathlib import Path
@@ -45,6 +48,7 @@ from typing import Any, Callable, Iterator
 
 __all__ = [
     "CATEGORY_CRYPTO",
+    "CATEGORY_RPC",
     "CATEGORY_SCHEDULER",
     "CATEGORY_STAGE",
     "CATEGORY_TRANSPORT",
@@ -52,6 +56,7 @@ __all__ = [
     "Span",
     "Tracer",
     "active_tracer",
+    "propagation_coverage",
     "set_active_tracer",
     "validate_trace_events",
     "validate_trace_file",
@@ -65,9 +70,15 @@ CATEGORY_CLUSTER = "cluster"
 #: Discrete-event bookkeeping inside batched delivery (slot scheduling and
 #: draining); previously hidden inside "transport"/"other".
 CATEGORY_SCHEDULER = "scheduler"
+#: Real-runtime RPC spans: client-side ``rpc.call`` and server-side
+#: ``rpc.serve`` pairs linked by the wire's trace-context trailer (see
+#: :mod:`repro.obs.distributed`).
+CATEGORY_RPC = "rpc"
 CATEGORY_OTHER = "other"
 
 #: Trace-event process ids: simulated-time timeline vs wall-clock flame chart.
+#: Distributed runs add one further process per worker OS pid (real pids are
+#: always > 2 on any POSIX host, so they cannot collide with these).
 SIM_PID = 1
 WALL_PID = 2
 
@@ -90,6 +101,9 @@ class Span:
         "keep",
         "depth",
         "child_wall",
+        "crypto_wall",
+        "span_id",
+        "thread",
     )
 
     def __init__(
@@ -102,6 +116,8 @@ class Span:
         args: dict[str, Any],
         keep: bool,
         depth: int,
+        span_id: int = 0,
+        thread: str = "",
     ) -> None:
         self.name = name
         self.category = category
@@ -114,6 +130,12 @@ class Span:
         self.keep = keep
         self.depth = depth
         self.child_wall = 0.0
+        #: Wall seconds spent in enclosed crypto-category spans (rolled up
+        #: through non-crypto children), so an ``rpc.serve`` span can split
+        #: its handler time into crypto vs the rest.
+        self.crypto_wall = 0.0
+        self.span_id = span_id
+        self.thread = thread
 
     @property
     def sim_duration(self) -> float:
@@ -144,6 +166,8 @@ class Span:
             "wall_dur": self.wall_duration,
             "self_wall": self.self_wall,
             "depth": self.depth,
+            "span_id": self.span_id,
+            "thread": self.thread,
             "args": _json_safe(self.args),
         }
 
@@ -161,6 +185,9 @@ class _NullSpan:
     sim_duration = wall_duration = self_wall = 0.0
     depth = 0
     child_wall = 0.0
+    crypto_wall = 0.0
+    span_id = 0
+    thread = ""
     keep = False
     args: dict[str, Any] = {}
 
@@ -185,14 +212,40 @@ class Tracer:
         self.clock: Callable[[], float] = clock if clock is not None else (lambda: 0.0)
         self.spans: list[Span] = []
         self.wall_epoch = time.perf_counter()
-        self._stack: list[Span] = []
+        #: Identifies this traced run; propagated to peers over the wire so
+        #: server-side spans can tie back to the originating run.
+        self.trace_id = f"{os.getpid():x}-{os.urandom(6).hex()}"
+        # Real-runtime handlers end spans on executor threads, so the open
+        # stack is per-thread; sim runs only ever see the main thread's.
+        self._tls = threading.local()
+        # Serializes span recording and attribution across those threads.
+        self._lock = threading.Lock()
+        # Span ids are unique across cooperating processes: high bits are
+        # the OS pid, low bits a per-tracer counter.
+        self._id_base = os.getpid() << 32
+        self._ids = itertools.count(1)
         # (protocol/stage) key -> category -> self-wall seconds.
         self._attribution: dict[str, dict[str, float]] = {}
         # (protocol/stage) key -> aggregate sim/wall/bytes/count totals.
         self._stage_totals: dict[str, dict[str, float]] = {}
+        #: Spans harvested from worker processes (plain ``Span.to_dict``
+        #: dicts, wall clocks already aligned to this process's
+        #: ``time.perf_counter`` timeline) plus per-pid process labels.
+        self.remote_spans: list[dict[str, Any]] = []
+        self.remote_processes: dict[int, dict[str, Any]] = {}
+
+    @property
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = self._tls.stack = []
+        return stack
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         self.clock = clock
+
+    def next_span_id(self) -> int:
+        return self._id_base | next(self._ids)
 
     # ------------------------------------------------------------------
     # span lifecycle
@@ -205,6 +258,7 @@ class Tracer:
         keep: bool = True,
         **args: Any,
     ) -> Span:
+        stack = self._stack
         span = Span(
             name,
             category,
@@ -213,9 +267,11 @@ class Tracer:
             time.perf_counter(),
             args,
             keep,
-            len(self._stack),
+            len(stack),
+            self.next_span_id(),
+            threading.current_thread().name,
         )
-        self._stack.append(span)
+        stack.append(span)
         return span
 
     def end(self, span: Span, **args: Any) -> Span:
@@ -225,14 +281,62 @@ class Tracer:
         span.wall_end = time.perf_counter()
         # Pop down to the span being ended; tolerates children that leaked
         # past their own end() (an instrumentation bug, not a crash).
-        while self._stack:
-            if self._stack.pop() is span:
+        stack = self._stack
+        while stack:
+            if stack.pop() is span:
                 break
-        if self._stack:
-            self._stack[-1].child_wall += span.wall_duration
-        self._account(span)
-        if span.keep:
-            self.spans.append(span)
+        if stack:
+            parent = stack[-1]
+            parent.child_wall += span.wall_duration
+            # Roll crypto time up so any enclosing span (an rpc.serve, a
+            # stage) can split its wall into crypto vs everything else.
+            if span.category == CATEGORY_CRYPTO:
+                parent.crypto_wall += span.wall_duration
+            else:
+                parent.crypto_wall += span.crypto_wall
+        with self._lock:
+            self._account(span)
+            if span.keep:
+                self.spans.append(span)
+        return span
+
+    def record_span(
+        self,
+        name: str,
+        category: str = CATEGORY_OTHER,
+        track: str | None = None,
+        wall_start: float = 0.0,
+        wall_end: float = 0.0,
+        span_id: int | None = None,
+        keep: bool = True,
+        **args: Any,
+    ) -> Span:
+        """Record an already-measured span without stack participation.
+
+        For operations whose concurrency breaks the stack discipline -- a
+        batch wave of RPCs is N overlapping calls on one thread -- the
+        caller measures ``wall_start``/``wall_end`` itself (same
+        ``time.perf_counter`` timescale) and records the finished span here.
+        """
+        stack = self._stack
+        span = Span(
+            name,
+            category,
+            track if track is not None else name,
+            self.clock(),
+            wall_start,
+            args,
+            keep,
+            len(stack),
+            span_id if span_id is not None else self.next_span_id(),
+            threading.current_thread().name,
+        )
+        span.sim_end = span.sim_start
+        span.wall_end = wall_end
+        with self._lock:
+            self._account(span)
+            if span.keep:
+                self.spans.append(span)
         return span
 
     @contextmanager
@@ -264,6 +368,43 @@ class Tracer:
     def measure(self, category: str):
         """An unkept span that only feeds wall-clock attribution."""
         return self.span(category, category=category, keep=False)
+
+    # ------------------------------------------------------------------
+    # distributed runs: spans harvested from worker processes
+
+    def drain_spans(self) -> list[dict[str, Any]]:
+        """Atomically take every recorded span as plain dicts (worker side).
+
+        A worker's telemetry RPC drains incrementally, so repeated harvests
+        ship each span exactly once.
+        """
+        with self._lock:
+            spans, self.spans = self.spans, []
+        return [span.to_dict() for span in spans]
+
+    def add_remote_process(self, pid: int, label: str, endpoints: list[str]) -> None:
+        """Declare one worker OS process for the merged Perfetto export."""
+        with self._lock:
+            self.remote_processes[pid] = {"label": label, "endpoints": list(endpoints)}
+
+    def add_remote_spans(
+        self, pid: int, spans: list[dict[str, Any]], clock_offset_s: float = 0.0
+    ) -> None:
+        """Merge harvested worker spans, aligning their wall clocks.
+
+        ``clock_offset_s`` is the ping-estimated offset such that
+        ``worker_perf_counter - clock_offset_s`` lands on this process's
+        ``time.perf_counter`` timeline (see
+        :func:`repro.obs.distributed.estimate_clock_offset`).
+        """
+        adjusted = []
+        for span in spans:
+            span = dict(span)
+            span["pid"] = pid
+            span["wall_start"] = span.get("wall_start", 0.0) - clock_offset_s
+            adjusted.append(span)
+        with self._lock:
+            self.remote_spans.extend(adjusted)
 
     # ------------------------------------------------------------------
     # attribution
@@ -303,20 +444,27 @@ class Tracer:
     def to_trace_events(self) -> list[dict[str, Any]]:
         """Chrome/Perfetto ``trace_event`` list.
 
-        Two processes: pid ``SIM_PID`` holds the simulated-time timeline
-        (stage spans as complete ``X`` events, one track per protocol) and
-        pid ``WALL_PID`` holds the wall-clock flame chart (every kept span
-        as a balanced ``B``/``E`` pair on a single track).  Timestamps are
-        microseconds, as the format requires.
+        Process layout: pid ``SIM_PID`` holds the simulated-time timeline
+        (stage spans as complete ``X`` events, one track per protocol), pid
+        ``WALL_PID`` holds this process's wall-clock flame chart (every kept
+        span as a balanced ``B``/``E`` pair, one track per recording
+        thread), and -- for distributed runs -- every harvested worker
+        process appears under its real OS pid with one named track per
+        endpoint.  Timestamps are microseconds, as the format requires.
         """
+        main_thread = threading.main_thread().name
         events: list[dict[str, Any]] = [
             _meta(SIM_PID, 0, "process_name", name="simulated time"),
-            _meta(WALL_PID, 0, "process_name", name="wall clock"),
+            _meta(
+                WALL_PID, 0, "process_name",
+                name=f"wall clock (coordinator pid {os.getpid()})",
+            ),
             _meta(WALL_PID, 1, "thread_name", name="run"),
         ]
         tids: dict[str, int] = {}
+        wall_tids: dict[str, int] = {main_thread: 1}
         sim_events: list[dict[str, Any]] = []
-        wall_events: list[tuple[float, int, dict[str, Any]]] = []
+        wall_events: list[tuple[int, float, int, dict[str, Any]]] = []
         for span in self.spans:
             if span.category == CATEGORY_STAGE:
                 if span.track not in tids:
@@ -336,20 +484,71 @@ class Tracer:
                         "args": _json_safe(span.args),
                     }
                 )
+            thread = span.thread or main_thread
+            tid = wall_tids.get(thread)
+            if tid is None:
+                tid = wall_tids[thread] = len(wall_tids) + 1
+                events.append(_meta(WALL_PID, tid, "thread_name", name=thread))
             begin_ts = round((span.wall_start - self.wall_epoch) * 1e6, 3)
             end_ts = round((span.wall_end - self.wall_epoch) * 1e6, 3)
-            common = {"name": span.name, "cat": span.category, "pid": WALL_PID, "tid": 1}
+            common = {"name": span.name, "cat": span.category, "pid": WALL_PID, "tid": tid}
             wall_events.append(
-                (begin_ts, span.depth, {**common, "ph": "B", "ts": begin_ts, "args": _json_safe(span.args)})
+                (tid, begin_ts, span.depth, {**common, "ph": "B", "ts": begin_ts, "args": _json_safe(span.args)})
             )
             # At equal timestamps a deeper span's E must precede its
             # parent's E, and any E must precede an adjacent span's B;
             # sorting by (ts, key) with E keyed below B achieves both.
-            wall_events.append((end_ts, -span.depth - 1, {**common, "ph": "E", "ts": end_ts}))
+            wall_events.append((tid, end_ts, -span.depth - 1, {**common, "ph": "E", "ts": end_ts}))
         sim_events.sort(key=lambda ev: (ev["tid"], ev["ts"]))
-        wall_events.sort(key=lambda item: (item[0], item[1]))
+        wall_events.sort(key=lambda item: (item[0], item[1], item[2]))
         events.extend(sim_events)
-        events.extend(ev for _ts, _order, ev in wall_events)
+        events.extend(ev for _tid, _ts, _order, ev in wall_events)
+        events.extend(self._remote_trace_events())
+        return events
+
+    def _remote_trace_events(self) -> list[dict[str, Any]]:
+        """One Perfetto process per worker OS pid, tracks named by endpoint."""
+        if not self.remote_spans and not self.remote_processes:
+            return []
+        events: list[dict[str, Any]] = []
+        spans_by_pid: dict[int, list[dict[str, Any]]] = {}
+        for span in self.remote_spans:
+            spans_by_pid.setdefault(int(span.get("pid", 0)), []).append(span)
+        for pid in sorted(set(self.remote_processes) | set(spans_by_pid)):
+            info = self.remote_processes.get(pid, {})
+            label = info.get("label") or f"worker pid {pid}"
+            events.append(_meta(pid, 0, "process_name", name=f"{label} (pid {pid})"))
+            track_tids: dict[str, int] = {}
+            for endpoint in info.get("endpoints", []):
+                track_tids[endpoint] = len(track_tids) + 1
+                events.append(_meta(pid, track_tids[endpoint], "thread_name", name=endpoint))
+            pid_events: list[tuple[int, float, int, dict[str, Any]]] = []
+            for span in spans_by_pid.get(pid, []):
+                track = str(span.get("track") or span.get("name") or "worker")
+                tid = track_tids.get(track)
+                if tid is None:
+                    tid = track_tids[track] = len(track_tids) + 1
+                    events.append(_meta(pid, tid, "thread_name", name=track))
+                # Clamp at the coordinator epoch: a worker span can map
+                # fractionally before it only through offset-estimate error.
+                begin_ts = max(
+                    0.0, round((span.get("wall_start", 0.0) - self.wall_epoch) * 1e6, 3)
+                )
+                end_ts = round(begin_ts + max(0.0, span.get("wall_dur", 0.0)) * 1e6, 3)
+                depth = int(span.get("depth", 0))
+                common = {
+                    "name": span.get("name", "?"),
+                    "cat": span.get("cat", CATEGORY_OTHER),
+                    "pid": pid,
+                    "tid": tid,
+                }
+                pid_events.append(
+                    (tid, begin_ts, depth,
+                     {**common, "ph": "B", "ts": begin_ts, "args": _json_safe(span.get("args", {}))})
+                )
+                pid_events.append((tid, end_ts, -depth - 1, {**common, "ph": "E", "ts": end_ts}))
+            pid_events.sort(key=lambda item: (item[0], item[1], item[2]))
+            events.extend(ev for _tid, _ts, _order, ev in pid_events)
         return events
 
     def write_chrome_trace(self, path: str | Path) -> Path:
@@ -453,13 +652,20 @@ def set_active_tracer(tracer: Tracer | NullTracer | None) -> Tracer | NullTracer
 _KNOWN_PHASES = {"B", "E", "X", "M", "I", "i", "C"}
 
 
-def validate_trace_events(events: Any) -> list[str]:
+def validate_trace_events(events: Any, min_propagation: float | None = None) -> list[str]:
     """Return a list of schema problems (empty means the trace is valid).
 
     Checks: the payload is a list of dicts, phases are known, ``B``/``E``
     events balance per ``(pid, tid)`` with matching names, timestamps are
-    numeric and non-decreasing per ``(pid, tid)``, and ``X`` durations are
-    non-negative.
+    numeric, non-negative, and non-decreasing per ``(pid, tid)``, and ``X``
+    durations are non-negative.  These checks are applied per pid, so a
+    merged multi-process trace (one pid per worker) gets per-pid track
+    balance and monotonic aligned timestamps for free.
+
+    With ``min_propagation`` set, additionally requires that at least that
+    fraction of ``rpc.serve`` spans carry a ``parent_span`` resolving to an
+    ``rpc.call`` span present in the same trace (see
+    :func:`propagation_coverage`).
     """
     if not isinstance(events, list):
         return ["traceEvents is not a list"]
@@ -482,6 +688,8 @@ def validate_trace_events(events: Any) -> list[str]:
         if not isinstance(ts, (int, float)):
             problems.append(f"{where}: non-numeric ts {ts!r}")
             continue
+        if ts < 0:
+            problems.append(f"{where}: negative ts {ts} (clock alignment bug)")
         if ts < last_ts.get(key, float("-inf")):
             problems.append(
                 f"{where}: ts {ts} goes backwards on pid/tid {key} "
@@ -512,10 +720,51 @@ def validate_trace_events(events: Any) -> list[str]:
     for key, stack in stacks.items():
         if stack:
             problems.append(f"pid/tid {key}: {len(stack)} unclosed B event(s): {stack[-3:]}")
+    if min_propagation is not None:
+        coverage = propagation_coverage(events)
+        if coverage["serve"] and coverage["fraction"] < min_propagation:
+            problems.append(
+                f"propagation coverage {coverage['fraction']:.3f} below "
+                f"{min_propagation:.3f} ({coverage['resolved']}/{coverage['serve']} "
+                "rpc.serve spans resolve a remote parent)"
+            )
     return problems
 
 
-def validate_trace_file(path: str | Path) -> list[str]:
+def propagation_coverage(events: Any) -> dict[str, Any]:
+    """Fraction of ``rpc.serve`` spans whose ``parent_span`` arg resolves to
+    an ``rpc.call`` span in the same merged trace.
+
+    Returns ``{"serve": n, "resolved": k, "fraction": f}``; ``fraction`` is
+    1.0 when the trace has no serve spans at all (nothing to propagate to).
+    """
+    call_ids: set[int] = set()
+    serve = resolved = 0
+    if not isinstance(events, list):
+        return {"serve": 0, "resolved": 0, "fraction": 1.0}
+    parents: list[Any] = []
+    for event in events:
+        if not isinstance(event, dict) or event.get("ph") != "B":
+            continue
+        args = event.get("args") or {}
+        if event.get("name") == "rpc.call":
+            span_id = args.get("span_id")
+            if isinstance(span_id, int):
+                call_ids.add(span_id)
+        elif event.get("name") == "rpc.serve":
+            serve += 1
+            parents.append(args.get("parent_span"))
+    for parent in parents:
+        if isinstance(parent, int) and parent in call_ids:
+            resolved += 1
+    return {
+        "serve": serve,
+        "resolved": resolved,
+        "fraction": (resolved / serve) if serve else 1.0,
+    }
+
+
+def validate_trace_file(path: str | Path, min_propagation: float | None = None) -> list[str]:
     """Validate a trace file (either ``{"traceEvents": [...]}`` or a bare
     JSON array, both of which Perfetto accepts)."""
     path = Path(path)
@@ -525,7 +774,7 @@ def validate_trace_file(path: str | Path) -> list[str]:
         return [f"{path}: unreadable or malformed JSON: {exc}"]
     if isinstance(payload, dict):
         payload = payload.get("traceEvents")
-    return validate_trace_events(payload)
+    return validate_trace_events(payload, min_propagation=min_propagation)
 
 
 # ----------------------------------------------------------------------

@@ -28,21 +28,57 @@ import asyncio
 import atexit
 import contextlib
 import multiprocessing
+import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.errors import ConfigurationError, NetworkError
 from repro.net.frames import KIND_RESPONSE, Frame, encode_wire_message
+from repro.obs.distributed import (
+    WorkerTelemetry,
+    decode_ping_reply,
+    encode_ping_reply,
+    estimate_clock_offset,
+    rss_bytes,
+)
+from repro.obs.logging import configure_logging, configured_level
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer, active_tracer, set_active_tracer
 from repro.runtime import wire
 from repro.runtime.transport import (
     AsyncioTransport,
-    dispatch_wire_message,
     read_wire_message,
+    serve_wire_message,
 )
 
 #: The control method a parent sends to stop a worker process gracefully.
 SHUTDOWN_METHOD = "__runtime_shutdown__"
+#: Clock ping: replies with the worker's ``perf_counter``, RSS, and pid;
+#: sampled a few times at startup for the clock-offset estimate.
+PING_METHOD = "__runtime_ping__"
+#: Telemetry harvest: replies with a pickled :class:`WorkerTelemetry`
+#: (drained spans + metrics snapshot + vitals).
+TELEMETRY_METHOD = "__runtime_telemetry__"
+
+#: Clock pings sent per worker at the port-map handshake.
+_PING_SAMPLES = 5
+
+
+@dataclass(frozen=True)
+class WorkerOptions:
+    """Observability switches the parent forwards to a spawned worker."""
+
+    #: Install a worker-local ``Tracer`` + ``MetricsRegistry`` and answer
+    #: ``collect_telemetry`` harvests with real content.
+    telemetry: bool = False
+    #: The coordinator's trace id, so worker spans tie to the same run.
+    trace_id: str = ""
+    #: Level for the worker's own ``repro`` logger (None = stay silent).
+    log_level: str | None = None
+    #: Label used in logs and the merged trace's process name.
+    label: str = ""
 
 
 @dataclass(frozen=True)
@@ -73,6 +109,12 @@ def _build_mix(name: str, params: dict):
     from repro.utils.rng import DeterministicRng
 
     backend = get_backend(params.get("crypto_backend", "pure"))
+    if params.get("instrument"):
+        # Same wrapping Deployment applies in-parent when traced: engine
+        # calls feed the (worker-local) tracer's crypto attribution.
+        from repro.obs.instrument import InstrumentedCryptoBackend
+
+        backend = InstrumentedCryptoBackend(backend)
     set_active_backend(backend)
     server = MixServer(name, rng=DeterministicRng(params["rng_seed"]), engine=backend)
     return server.handle_rpc
@@ -81,18 +123,41 @@ def _build_mix(name: str, params: dict):
 _BUILDERS = {"mix": _build_mix}
 
 
-def worker_main(specs: list[EndpointSpec], conn, host: str) -> None:
+def worker_main(
+    specs: list[EndpointSpec], conn, host: str, options: WorkerOptions | None = None
+) -> None:
     """Entry point of one spawned worker process."""
-    asyncio.run(_worker_async(specs, conn, host))
+    asyncio.run(_worker_async(specs, conn, host, options))
 
 
-async def _worker_async(specs: list[EndpointSpec], conn, host: str) -> None:
+async def _worker_async(
+    specs: list[EndpointSpec], conn, host: str, options: WorkerOptions | None = None
+) -> None:
+    options = options if options is not None else WorkerOptions()
+    label = options.label or f"worker-{os.getpid()}"
+    if options.log_level:
+        # The spawned interpreter starts with no logging config at all; give
+        # it the parent's level with a process tag so multi-process stderr
+        # stays attributable.
+        configure_logging(options.log_level, process=label)
+    tracer: Tracer | None = None
+    registry: MetricsRegistry | None = None
+    if options.telemetry:
+        tracer = Tracer()
+        if options.trace_id:
+            tracer.trace_id = options.trace_id
+        set_active_tracer(tracer)
+        registry = MetricsRegistry()
+
     handlers = {}
     for spec in specs:
         builder = _BUILDERS.get(spec.kind)
         if builder is None:
             raise ConfigurationError(f"unknown worker endpoint kind {spec.kind!r}")
-        handlers[spec.name] = builder(spec.name, spec.params)
+        params = dict(spec.params)
+        if options.telemetry:
+            params["instrument"] = True
+        handlers[spec.name] = builder(spec.name, params)
 
     epoch = time.monotonic()
     clock = lambda: time.monotonic() - epoch  # noqa: E731
@@ -101,28 +166,62 @@ async def _worker_async(specs: list[EndpointSpec], conn, host: str) -> None:
     # of mix work, and its servers' handlers must serialize anyway.
     executor = ThreadPoolExecutor(max_workers=1, thread_name_prefix="worker-rpc")
 
+    def collect_telemetry() -> dict[str, Any]:
+        return WorkerTelemetry(
+            pid=os.getpid(),
+            label=label,
+            endpoints=sorted(handlers),
+            spans=tracer.drain_spans() if tracer is not None else [],
+            metrics=registry.snapshot() if registry is not None else {},
+            rss=rss_bytes(),
+        ).to_payload()
+
     async def serve(name: str, reader, writer) -> None:
         handler = handlers[name]
         loop = asyncio.get_running_loop()
+
+        def handle(message: wire.WireMessage, received: float) -> bytes:
+            queue_s = max(0.0, time.perf_counter() - received)
+            started = time.perf_counter()
+            reply = serve_wire_message(message, handler, None, clock, name, queue_s)
+            if registry is not None:
+                registry.count(f"{name}.rpcs")
+                registry.observe(f"{name}.queue_s", queue_s)
+                registry.observe(f"{name}.handler_s", time.perf_counter() - started)
+                registry.count(f"{name}.bytes_in", len(message.frame.payload))
+            return reply
+
         try:
             while True:
                 try:
                     body = await read_wire_message(reader)
                 except (asyncio.IncompleteReadError, ConnectionError, asyncio.CancelledError):
                     return
+                received = time.perf_counter()
                 message = wire.decode_message(body)
-                if message.frame.method == SHUTDOWN_METHOD:
+                method = message.frame.method
+                if method in (SHUTDOWN_METHOD, PING_METHOD, TELEMETRY_METHOD):
+                    # Control RPCs answer inline on the loop: the ping must
+                    # not queue behind mix batches (it measures the clock,
+                    # not the executor), and shutdown/harvest are rare.
                     frame = message.frame
+                    payload = b""
+                    flag, data = wire.OBJ_NONE, b""
+                    if method == PING_METHOD:
+                        payload = encode_ping_reply()
+                    elif method == TELEMETRY_METHOD:
+                        flag, data = wire.encode_obj(collect_telemetry(), None)
                     reply = Frame(
                         kind=KIND_RESPONSE, msg_id=frame.msg_id, src=frame.dst,
-                        dst=frame.src, method=frame.method, payload=b"",
+                        dst=frame.src, method=frame.method, payload=payload,
                     )
-                    writer.write(encode_wire_message(wire.encode_message(reply)))
+                    writer.write(encode_wire_message(wire.encode_message(reply, flag, data)))
                     await writer.drain()
-                    stop.set()
+                    if method == SHUTDOWN_METHOD:
+                        stop.set()
                     continue
                 reply_body = await loop.run_in_executor(
-                    executor, dispatch_wire_message, message, handler, None, clock
+                    executor, handle, message, received
                 )
                 writer.write(encode_wire_message(reply_body))
                 await writer.drain()
@@ -174,20 +273,41 @@ class MultiprocessTransport(AsyncioTransport):
         worker_specs: list[list[EndpointSpec]],
         host: str = "127.0.0.1",
         start_timeout_s: float = 60.0,
+        telemetry: bool | None = None,
+        log_level: str | None = None,
     ) -> None:
         super().__init__(host=host, start_timeout_s=start_timeout_s)
+        #: Defaults track the parent's observability state: telemetry is on
+        #: exactly when a tracer is active, and workers inherit whatever
+        #: level ``configure_logging`` was last given.
+        tracer = active_tracer()
+        if telemetry is None:
+            telemetry = bool(getattr(tracer, "enabled", False))
+        if log_level is None:
+            log_level = configured_level()
+        self._telemetry = telemetry
         self._processes: list = []
         #: One (process, any endpoint it serves) pair per worker, for the
         #: graceful shutdown RPC.
         self._worker_contacts: list[tuple[object, str]] = []
+        #: Contact endpoint -> {pid, label, endpoints, offset_s, rss}.
+        self._worker_info: dict[str, dict[str, Any]] = {}
+        #: Worker label -> latest (cumulative) metrics snapshot harvested.
+        self.worker_metrics: dict[str, dict[str, Any]] = {}
         context = multiprocessing.get_context("spawn")
         try:
-            for specs in worker_specs:
+            for index, specs in enumerate(worker_specs):
                 if not specs:
                     raise ConfigurationError("a worker process needs at least one endpoint")
+                options = WorkerOptions(
+                    telemetry=telemetry,
+                    trace_id=getattr(tracer, "trace_id", ""),
+                    log_level=log_level,
+                    label=f"worker-{index}",
+                )
                 parent_conn, child_conn = context.Pipe()
                 process = context.Process(
-                    target=worker_main, args=(list(specs), child_conn, host)
+                    target=worker_main, args=(list(specs), child_conn, host, options)
                 )
                 process.start()
                 child_conn.close()
@@ -200,7 +320,17 @@ class MultiprocessTransport(AsyncioTransport):
                 parent_conn.close()
                 self._remote_ports.update(ports)
                 self._processes.append(process)
-                self._worker_contacts.append((process, specs[0].name))
+                contact = specs[0].name
+                self._worker_contacts.append((process, contact))
+                self._worker_info[contact] = {
+                    "pid": process.pid,
+                    "label": options.label,
+                    "endpoints": sorted(spec.name for spec in specs),
+                    "offset_s": 0.0,
+                    "rss": 0,
+                }
+            if telemetry:
+                self._align_clocks(tracer)
         except Exception:
             self.close()
             raise
@@ -215,9 +345,71 @@ class MultiprocessTransport(AsyncioTransport):
     def remote_endpoints(self) -> list[str]:
         return sorted(self._remote_ports)
 
+    # -- telemetry ------------------------------------------------------------
+    def _align_clocks(self, tracer) -> None:
+        """Ping each worker at the handshake to map its ``perf_counter``
+        onto ours (min-RTT midpoint estimate); declares the worker process
+        to the tracer for the merged export."""
+        for contact, info in self._worker_info.items():
+            samples = []
+            for _ in range(_PING_SAMPLES):
+                t0 = time.perf_counter()
+                result = self._call("runtime", contact, PING_METHOD, b"", None, 0, 10.0)
+                t1 = time.perf_counter()
+                worker_t, rss, pid = decode_ping_reply(result.payload)
+                samples.append((t0, t1, worker_t))
+                info["rss"] = rss
+                info["pid"] = pid
+            info["offset_s"] = estimate_clock_offset(samples)
+            if getattr(tracer, "enabled", False):
+                tracer.add_remote_process(info["pid"], info["label"], info["endpoints"])
+
+    def harvest_telemetry(self) -> list[WorkerTelemetry]:
+        """Pull spans + metrics from every live worker into the parent.
+
+        Spans land in the active tracer (wall clocks aligned); metric
+        snapshots replace the previous harvest (they are cumulative on the
+        worker side).  Safe to call repeatedly — workers drain spans, so
+        each span ships exactly once.
+        """
+        if not self._telemetry or self._closed:
+            return []
+        tracer = active_tracer()
+        harvested: list[WorkerTelemetry] = []
+        for process, contact in self._worker_contacts:
+            if not process.is_alive():
+                continue
+            try:
+                result = self._call("runtime", contact, TELEMETRY_METHOD, b"", None, 0, 10.0)
+            except Exception:  # noqa: BLE001 - a dying worker loses its tail
+                continue
+            telemetry = WorkerTelemetry.from_payload(result.obj or {})
+            info = self._worker_info.get(contact, {})
+            info["rss"] = telemetry.rss
+            if getattr(tracer, "enabled", False) and telemetry.spans:
+                tracer.add_remote_spans(
+                    telemetry.pid, telemetry.spans, info.get("offset_s", 0.0)
+                )
+            if telemetry.metrics:
+                self.worker_metrics[telemetry.label] = telemetry.metrics
+            harvested.append(telemetry)
+        return harvested
+
+    def runtime_snapshot(self) -> dict[str, dict[str, float]]:
+        snapshot = super().runtime_snapshot()
+        for info in self._worker_info.values():
+            snapshot[f"worker:{info['label']}"] = {
+                "rss_mib": round(info.get("rss", 0) / 2**20, 1),
+            }
+        return snapshot
+
     def close(self) -> None:
         if self._closed:
             return
+        # Last harvest first: spans recorded since the final round would
+        # otherwise die with the workers.
+        with contextlib.suppress(Exception):
+            self.harvest_telemetry()
         for process, endpoint in self._worker_contacts:
             if process.is_alive():
                 with contextlib.suppress(Exception):

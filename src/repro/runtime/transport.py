@@ -33,11 +33,14 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.errors import NetworkError, TransportTimeoutError
+from repro.obs.distributed import TraceContext
+from repro.obs.trace import CATEGORY_RPC, active_tracer
 from repro.net.frames import (
     Frame,
     KIND_ERROR,
@@ -57,6 +60,13 @@ from repro.net.transport import (
     normalize_response,
 )
 from repro.runtime import wire
+
+#: Runtime-internal control RPCs (worker shutdown, clock pings, telemetry
+#: harvest) use methods with this prefix.  They are bookkeeping, not
+#: protocol traffic: they skip bandwidth stats and tracing entirely so a
+#: traced or multiprocess run stays byte-for-byte comparable to the
+#: simulated one.
+CONTROL_PREFIX = "__runtime_"
 
 
 def dispatch_wire_message(
@@ -91,7 +101,7 @@ def dispatch_wire_message(
             src=frame.dst,
             dst=frame.src,
             method=frame.method,
-            payload=wire.encode_error(exc),
+            payload=wire.encode_error(exc, endpoint=frame.dst),
         )
         return wire.encode_message(error_frame)
     reply_frame = Frame(
@@ -104,6 +114,47 @@ def dispatch_wire_message(
     )
     flag, data = wire.encode_obj(response.obj, obj_channel)
     return wire.encode_message(reply_frame, flag, data, response.size_hint)
+
+
+def serve_wire_message(
+    message: wire.WireMessage,
+    handler: RpcHandler,
+    obj_channel: wire.LocalObjectChannel | None,
+    clock,
+    endpoint: str,
+    queue_s: float = 0.0,
+) -> bytes:
+    """:func:`dispatch_wire_message` wrapped in a server-side ``rpc.serve``
+    span when the request carried a trace context.
+
+    The span links to the client's ``rpc.call`` via ``parent_span``, records
+    the handler-executor queue wait separately from handler time, and splits
+    out the wall seconds its handler spent in crypto (rolled up through the
+    span tree).  Shared by the in-parent servers and the mp workers.
+    """
+    tracer = active_tracer()
+    context = message.trace
+    if not tracer.enabled or context is None:
+        return dispatch_wire_message(message, handler, obj_channel, clock)
+    span = tracer.start(
+        "rpc.serve",
+        category=CATEGORY_RPC,
+        track=endpoint,
+        method=message.frame.method,
+        src=message.frame.src,
+        parent_span=context.span_id,
+        trace=context.trace,
+        origin=context.origin,
+        origin_pid=context.pid,
+        queue_s=round(queue_s, 6),
+    )
+    try:
+        return dispatch_wire_message(message, handler, obj_channel, clock)
+    finally:
+        tracer.end(span)
+        # crypto_wall is only final once the span has ended; args stay
+        # mutable after recording, so the split lands in the export.
+        span.set(crypto_s=round(span.crypto_wall, 6))
 
 
 async def read_wire_message(reader: asyncio.StreamReader) -> bytes:
@@ -153,6 +204,9 @@ class AsyncioTransport(Transport):
         #: Serializes msg-id allocation and stats mutation across the
         #: concurrently calling handler threads.
         self._send_lock = threading.Lock()
+        #: Destination -> requests currently awaiting a reply (loop thread
+        #: only); feeds :meth:`runtime_snapshot`.
+        self._in_flight: dict[str, int] = {}
         self._epoch = time.monotonic()
         self._closed = False
         self._loop = asyncio.new_event_loop()
@@ -195,9 +249,10 @@ class AsyncioTransport(Transport):
                     body = await read_wire_message(reader)
                 except (asyncio.IncompleteReadError, ConnectionError):
                     return  # peer hung up; its own call already failed
+                received = time.perf_counter()
                 loop = asyncio.get_running_loop()
                 reply = await loop.run_in_executor(
-                    self._executors[endpoint], self._handle_message, endpoint, body
+                    self._executors[endpoint], self._handle_message, endpoint, body, received
                 )
                 writer.write(encode_wire_message(reply))
                 await writer.drain()
@@ -208,18 +263,24 @@ class AsyncioTransport(Transport):
             with contextlib.suppress(Exception):
                 await writer.wait_closed()
 
-    def _handle_message(self, endpoint: str, body: bytes) -> bytes:
-        """Executor-thread entry: decode, dispatch, encode (never raises)."""
+    def _handle_message(self, endpoint: str, body: bytes, received: float = 0.0) -> bytes:
+        """Executor-thread entry: decode, dispatch, encode (never raises).
+
+        ``received`` is the loop's ``perf_counter`` when the request bytes
+        finished arriving; the gap to here is time spent queued behind the
+        endpoint's single-thread executor.
+        """
+        queue_s = max(0.0, time.perf_counter() - received) if received else 0.0
         try:
             message = wire.decode_message(body)
         except Exception as exc:  # noqa: BLE001 - malformed wire bytes
             error_frame = Frame(
                 kind=KIND_ERROR, msg_id=0, src=endpoint, dst="", method="",
-                payload=wire.encode_error(exc),
+                payload=wire.encode_error(exc, endpoint=endpoint),
             )
             return wire.encode_message(error_frame)
-        return dispatch_wire_message(
-            message, self._handlers[endpoint], self._objects, self.now
+        return serve_wire_message(
+            message, self._handlers[endpoint], self._objects, self.now, endpoint, queue_s
         )
 
     def _port_for(self, dst: str) -> int:
@@ -263,24 +324,29 @@ class AsyncioTransport(Transport):
         conn.close()
 
     async def _request(self, dst: str, port: int, data: bytes, timeout_s: float | None) -> bytes:
-        conn = await self._acquire(dst, port)
+        # Per-destination in-flight gauge; loop-thread only, like the pool.
+        self._in_flight[dst] = self._in_flight.get(dst, 0) + 1
         try:
-            if timeout_s is None:
-                reply = await conn.roundtrip(data)
-            else:
-                reply = await asyncio.wait_for(conn.roundtrip(data), timeout_s)
-        except asyncio.TimeoutError:
-            # The connection is mid-exchange; a late reply would desync the
-            # stream, so the connection dies with the deadline.
-            self._discard(conn)
-            raise TransportTimeoutError(
-                f"call to {dst!r} exceeded its {timeout_s}s deadline"
-            ) from None
-        except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
-            self._discard(conn)
-            raise NetworkError(f"connection to {dst!r} failed mid-call: {exc}") from exc
-        self._release(dst, conn)
-        return reply
+            conn = await self._acquire(dst, port)
+            try:
+                if timeout_s is None:
+                    reply = await conn.roundtrip(data)
+                else:
+                    reply = await asyncio.wait_for(conn.roundtrip(data), timeout_s)
+            except asyncio.TimeoutError:
+                # The connection is mid-exchange; a late reply would desync the
+                # stream, so the connection dies with the deadline.
+                self._discard(conn)
+                raise TransportTimeoutError(
+                    f"call to {dst!r} exceeded its {timeout_s}s deadline"
+                ) from None
+            except (ConnectionError, asyncio.IncompleteReadError, OSError) as exc:
+                self._discard(conn)
+                raise NetworkError(f"connection to {dst!r} failed mid-call: {exc}") from exc
+            self._release(dst, conn)
+            return reply
+        finally:
+            self._in_flight[dst] -= 1
 
     # -- the Transport surface -----------------------------------------------
     def _call(
@@ -296,38 +362,55 @@ class AsyncioTransport(Transport):
         if self._closed:
             raise NetworkError("transport is closed")
         port = self._port_for(dst)
+        control = method.startswith(CONTROL_PREFIX)
         with self._send_lock:
             frame = self._frame(src, dst, method, payload)
             # Request accounting matches the in-process transports: payload
             # + declared size hint + frame overhead (the stream's 4-byte
             # length prefix is transport framing, not protocol bandwidth).
-            self.stats.record(
-                src, dst, method, len(payload) + size_hint + frame_overhead(src, dst, method)
+            if not control:
+                self.stats.record(
+                    src, dst, method, len(payload) + size_hint + frame_overhead(src, dst, method)
+                )
+        tracer = active_tracer()
+        span = context = None
+        if tracer.enabled and not control:
+            span = tracer.start(
+                "rpc.call", category=CATEGORY_RPC, track=src, src=src, dst=dst, method=method
             )
+            span.set(span_id=span.span_id)
+            context = TraceContext(tracer.trace_id, span.span_id, src, os.getpid())
         flag, data = wire.encode_obj(obj, self._obj_channel_for(dst))
-        body = encode_wire_message(wire.encode_message(frame, flag, data, size_hint))
+        body = encode_wire_message(wire.encode_message(frame, flag, data, size_hint, context))
         started = time.monotonic()
-        future = asyncio.run_coroutine_threadsafe(
-            self._request(dst, port, body, timeout_s), self._loop
-        )
-        reply_body = future.result()
-        return self._finish_call(src, dst, method, reply_body, started)
+        try:
+            future = asyncio.run_coroutine_threadsafe(
+                self._request(dst, port, body, timeout_s), self._loop
+            )
+            reply_body = future.result()
+            return self._finish_call(src, dst, method, reply_body, started)
+        finally:
+            if span is not None:
+                tracer.end(span)
 
     def _finish_call(
         self, src: str, dst: str, method: str, reply_body: bytes, started: float
     ) -> RpcResult:
         message = wire.decode_message(reply_body)
         reply = message.frame
+        control = method.startswith(CONTROL_PREFIX)
         overhead = frame_overhead(dst, src, method)
         if reply.kind == KIND_ERROR:
-            with self._send_lock:
-                self.stats.record(dst, src, method, len(reply.payload) + overhead)
+            if not control:
+                with self._send_lock:
+                    self.stats.record(dst, src, method, len(reply.payload) + overhead)
             raise wire.decode_error(reply.payload)
         response_obj = wire.decode_obj(message, self._objects)
-        with self._send_lock:
-            self.stats.record(
-                dst, src, method, len(reply.payload) + message.size_hint + overhead
-            )
+        if not control:
+            with self._send_lock:
+                self.stats.record(
+                    dst, src, method, len(reply.payload) + message.size_hint + overhead
+                )
         return RpcResult(
             payload=reply.payload,
             obj=response_obj,
@@ -348,12 +431,17 @@ class AsyncioTransport(Transport):
             return []
         if self._closed:
             raise NetworkError("transport is closed")
-        prepared: list[tuple[BatchCall, bytes | None, Exception | None]] = []
+        tracer = active_tracer()
+        traced = tracer.enabled
+        # (call, (port, body) | None, prepare-error, span id): a wave of N
+        # overlapping calls on one thread cannot nest on the span stack, so
+        # each exchange is timed on the loop and recorded as a detached span.
+        prepared: list[tuple[BatchCall, tuple[int, bytes] | None, Exception | None, int]] = []
         for call in calls:
             try:
                 port = self._port_for(call.dst)
             except NetworkError as exc:
-                prepared.append((call, None, exc))
+                prepared.append((call, None, exc, 0))
                 continue
             with self._send_lock:
                 frame = self._frame(call.src, call.dst, call.method, call.payload)
@@ -363,24 +451,31 @@ class AsyncioTransport(Transport):
                     call.method,
                     len(call.payload) + call.size_hint + frame_overhead(call.src, call.dst, call.method),
                 )
+            context = None
+            span_id = 0
+            if traced:
+                span_id = tracer.next_span_id()
+                context = TraceContext(tracer.trace_id, span_id, call.src, os.getpid())
             flag, data = wire.encode_obj(call.obj, self._obj_channel_for(call.dst))
             body = encode_wire_message(
-                wire.encode_message(frame, flag, data, call.size_hint)
+                wire.encode_message(frame, flag, data, call.size_hint, context)
             )
-            prepared.append((call, (port, body), None))  # type: ignore[arg-type]
+            prepared.append((call, (port, body), None, span_id))
 
         async def run_one(dst: str, port: int, data: bytes):
+            t0 = time.perf_counter()
             try:
-                return await self._request(dst, port, data, None)
+                reply = await self._request(dst, port, data, None)
             except Exception as exc:  # noqa: BLE001 - captured per call
-                return exc
+                return exc, t0, time.perf_counter()
+            return reply, t0, time.perf_counter()
 
         async def run_wave():
             tasks = []
-            for call, req, error in prepared:
+            for call, req, error, _span_id in prepared:
                 if error is not None:
                     async def failed(error=error):
-                        return error
+                        return error, 0.0, 0.0
 
                     tasks.append(failed())
                 else:
@@ -391,8 +486,22 @@ class AsyncioTransport(Transport):
         started = time.monotonic()
         replies = asyncio.run_coroutine_threadsafe(run_wave(), self._loop).result()
         outcomes: list[BatchCallOutcome] = []
-        for (call, _req, _error), reply in zip(prepared, replies):
+        for (call, _req, _error, span_id), (reply, t0, t1) in zip(prepared, replies):
             finished = self.now()
+            if traced and span_id:
+                span = tracer.record_span(
+                    "rpc.call",
+                    category=CATEGORY_RPC,
+                    track=call.src,
+                    wall_start=t0,
+                    wall_end=t1,
+                    span_id=span_id,
+                    src=call.src,
+                    dst=call.dst,
+                    method=call.method,
+                    batch=True,
+                )
+                span.set(span_id=span_id)
             if isinstance(reply, Exception):
                 outcomes.append(BatchCallOutcome(error=reply, finished_at=finished))
                 continue
@@ -419,6 +528,32 @@ class AsyncioTransport(Transport):
 
     def _retry_wait(self, seconds: float) -> None:
         time.sleep(seconds)
+
+    # -- live visibility ------------------------------------------------------
+    def runtime_snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-endpoint live gauges for the dashboard's Runtime panel.
+
+        ``queue_depth`` is the handler executor's backlog, ``in_flight``
+        outstanding requests *to* the endpoint, ``connections`` idle pooled
+        connections.  Best-effort reads of loop-thread state; staleness is
+        fine for a dashboard.
+        """
+        names = set(self._executors) | set(self._in_flight) | set(self._idle)
+        snapshot: dict[str, dict[str, float]] = {}
+        for name in sorted(names):
+            queue_depth = 0
+            executor = self._executors.get(name)
+            if executor is not None:
+                work_queue = getattr(executor, "_work_queue", None)
+                if work_queue is not None:
+                    with contextlib.suppress(Exception):
+                        queue_depth = work_queue.qsize()
+            snapshot[name] = {
+                "queue_depth": queue_depth,
+                "in_flight": self._in_flight.get(name, 0),
+                "connections": len(self._idle.get(name, ())),
+            }
+        return snapshot
 
     # -- teardown -------------------------------------------------------------
     async def _shutdown_async(self) -> None:

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import repro.errors as errors_module
 from repro.errors import RemoteCallError, SerializationError
 from repro.net.frames import Frame
+from repro.obs.distributed import TraceContext, read_context, write_context
 from repro.utils.serialization import Packer, Unpacker
 
 #: Object-channel modes (the u8 flag after the embedded frame).
@@ -48,20 +49,27 @@ class WireMessage:
     obj_flag: int = OBJ_NONE
     obj_data: bytes = b""
     size_hint: int = 0
+    #: Optional trace-context trailer (tracing enabled on the sender only);
+    #: never charged to bandwidth accounting, like the length prefix.
+    trace: TraceContext | None = None
 
 
 def encode_message(
-    frame: Frame, obj_flag: int = OBJ_NONE, obj_data: bytes = b"", size_hint: int = 0
+    frame: Frame,
+    obj_flag: int = OBJ_NONE,
+    obj_data: bytes = b"",
+    size_hint: int = 0,
+    trace: TraceContext | None = None,
 ) -> bytes:
     """Encode one frame + object trailer into a wire body (no length prefix)."""
-    return (
+    packer = (
         Packer()
         .bytes(frame.to_bytes())
         .u8(obj_flag)
         .bytes(obj_data)
         .u64(size_hint)
-        .pack()
     )
+    return write_context(packer, trace).pack()
 
 
 def decode_message(body: bytes) -> WireMessage:
@@ -72,8 +80,13 @@ def decode_message(body: bytes) -> WireMessage:
         raise SerializationError(f"unknown object-channel flag {obj_flag}")
     obj_data = unpacker.bytes()
     size_hint = unpacker.u64()
+    # The trailer is optional both ways: absent bytes (a peer that never
+    # writes it) and a 0 presence flag both decode to "no context".
+    trace = read_context(unpacker)
     unpacker.done()
-    return WireMessage(frame=frame, obj_flag=obj_flag, obj_data=obj_data, size_hint=size_hint)
+    return WireMessage(
+        frame=frame, obj_flag=obj_flag, obj_data=obj_data, size_hint=size_hint, trace=trace
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -151,9 +164,10 @@ _ERROR_TYPES: dict[str, type] = {
 }
 
 
-def encode_error(exc: BaseException) -> bytes:
-    """The payload of a ``KIND_ERROR`` frame: class name + message."""
-    return Packer().str(type(exc).__name__).str(str(exc)).pack()
+def encode_error(exc: BaseException, endpoint: str = "") -> bytes:
+    """The payload of a ``KIND_ERROR`` frame: class name + message + the
+    endpoint whose handler raised it."""
+    return Packer().str(type(exc).__name__).str(str(exc)).str(endpoint).pack()
 
 
 def decode_error(payload: bytes) -> Exception:
@@ -163,12 +177,25 @@ def decode_error(payload: bytes) -> Exception:
     same contract as the simulated network's error replies -- so no
     ``request_delivered`` tag rides along: callers that treat a lost ack as
     success must not treat a rejection as one.
+
+    The reconstructed exception carries ``remote_endpoint`` naming the
+    server that raised it.  Known :mod:`repro.errors` classes reconstruct
+    with their message untouched (abort/requeue semantics key on them);
+    unknown classes become :class:`~repro.errors.RemoteCallError` with the
+    endpoint folded into the message.
     """
     unpacker = Unpacker(payload)
     name = unpacker.str()
     message = unpacker.str()
+    # Optional on the wire: error payloads from a sender that predates the
+    # endpoint field simply run out of bytes here.
+    endpoint = unpacker.str() if unpacker.remaining() else ""
     unpacker.done()
     error_type = _ERROR_TYPES.get(name)
     if error_type is None:
-        return RemoteCallError(f"{name}: {message}")
-    return error_type(message)
+        where = f" (from {endpoint})" if endpoint else ""
+        exc: Exception = RemoteCallError(f"{name}: {message}{where}")
+    else:
+        exc = error_type(message)
+    exc.remote_endpoint = endpoint  # type: ignore[attr-defined]
+    return exc

@@ -519,6 +519,18 @@ def write_trace_outputs(path: str, tracer, result) -> None:
         "round_latency_s": total_latency,
         "fraction": (stage_sim / total_latency) if total_latency else 1.0,
     }
+    # Real runtimes (asyncio/mp): per-endpoint wall buckets from the merged
+    # rpc.call/rpc.serve pairs, plus how many serve spans resolved a remote
+    # parent (the propagation health of the trace-context trailer).
+    runtime = {}
+    if hasattr(tracer, "remote_spans"):
+        from repro.obs.distributed import runtime_attribution
+        from repro.obs.trace import propagation_coverage
+
+        runtime = runtime_attribution(tracer)
+        if runtime:
+            report["runtime"] = runtime
+            report["propagation"] = propagation_coverage(tracer.to_trace_events())
     bench_path = write_json_report("trace", report)
     print(f"wrote {trace_path} ({report['span_count']} spans), {jsonl_path}")
     print(
@@ -526,6 +538,12 @@ def write_trace_outputs(path: str, tracer, result) -> None:
         f"{report['coverage']['fraction'] * 100:.1f}% of "
         f"{total_latency:.1f}s simulated round latency"
     )
+    if runtime:
+        propagation = report["propagation"]
+        print(
+            f"runtime attribution: {len(runtime)} endpoints, propagation "
+            f"{propagation['resolved']}/{propagation['serve']} rpc.serve spans linked"
+        )
 
 
 def run_crypto_sweep_cli(args, overrides: dict) -> int:

@@ -652,7 +652,22 @@ class Scenario:
                 registry.count(f"crypto.calls.{op}", row["calls"])
                 registry.count(f"crypto.items.{op}", row["items"])
                 registry.count(f"crypto.wall_s.{op}", row["wall_s"])
+        # Multiprocess runtime: pull the final worker snapshots and merge
+        # them under the endpoint.<name>. namespace.  Worker registries are
+        # cumulative, so only the latest harvest per worker is merged.
+        self._harvest_telemetry(net)
+        worker_metrics = getattr(net, "worker_metrics", None)
+        if worker_metrics:
+            for worker_snapshot in worker_metrics.values():
+                registry.merge_snapshot(worker_snapshot, prefix="endpoint.")
         return registry.snapshot()
+
+    @staticmethod
+    def _harvest_telemetry(net: Transport) -> None:
+        """Pull worker spans/metrics into the parent (mp runtime only)."""
+        harvest = getattr(net, "harvest_telemetry", None)
+        if harvest is not None:
+            harvest()
 
     def _friend_request_stats(self) -> dict:
         """Liveness accounting over the handles this scenario queued."""
@@ -735,6 +750,7 @@ class Scenario:
             if not summary.aborted:
                 self.after_round(deployment, net, summary)
             self._notify("on_round", result.rounds[-1], deployment)
+            self._harvest_telemetry(net)
 
         started_clock = deployment.clock
         deployment.run_rounds(
@@ -800,6 +816,7 @@ class Scenario:
         result.rounds.append(RoundStats.from_summary(summary))
         self.after_round(deployment, net, summary)
         self._notify("on_round", result.rounds[-1], deployment)
+        self._harvest_telemetry(net)
         return summary.latency_s
 
 
