@@ -107,6 +107,87 @@ def paper_noise_parameters() -> dict[str, dict[str, float]]:
     }
 
 
+def distinguishing_advantage(epsilon: float) -> float:
+    """The analytic advantage bound for a passive observer.
+
+    An adversary distinguishing two neighboring inputs through an
+    ``epsilon``-DP observation has advantage (total variation between the
+    two output distributions) at most ``(e^eps - 1) / (e^eps + 1)``.  This
+    is the bound the passive-adversary audit harness compares its empirical
+    distinguishing advantage against.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    if epsilon > 700:  # exp overflow; the bound saturates at 1 long before
+        return 1.0
+    return (math.exp(epsilon) - 1.0) / (math.exp(epsilon) + 1.0)
+
+
+class PrivacyAccountant:
+    """Incremental advanced-composition accounting over observed rounds.
+
+    The per-round ledger feeds one observation at a time (a round, with the
+    Laplace scale the servers actually used); the accountant keeps the
+    running (epsilon, delta) spend.  When every round used the same scale
+    the cumulative epsilon is computed through :func:`privacy_cost` itself,
+    so a live ledger and an offline ``privacy_cost(rounds, b)`` call agree
+    to the last float.  With heterogeneous scales it falls back to the
+    generalized advanced-composition bound
+
+        epsilon = sqrt(2 ln(1/delta) * sum(eps_i^2)) + sum(eps_i * (e^{eps_i} - 1))
+
+    which reduces to the homogeneous formula when all ``eps_i`` are equal.
+    """
+
+    def __init__(self, delta: float = 1e-4, sensitivity: float = ACTION_SENSITIVITY) -> None:
+        if not 0 < delta < 1:
+            raise ValueError("delta must be in (0, 1)")
+        self.delta = delta
+        self.sensitivity = sensitivity
+        #: Observed-round counts keyed by the Laplace scale they used.
+        self._rounds_by_scale: dict[float, int] = {}
+
+    @property
+    def actions(self) -> int:
+        return sum(self._rounds_by_scale.values())
+
+    @property
+    def scales(self) -> dict[float, int]:
+        return dict(self._rounds_by_scale)
+
+    def record(self, laplace_scale: float, actions: int = 1) -> PrivacyCost:
+        """Account ``actions`` observations at ``laplace_scale``; returns the
+        cumulative spend after recording."""
+        if actions <= 0:
+            raise ValueError("actions must be positive")
+        per_round_epsilon(laplace_scale, self.sensitivity)  # validates the scale
+        self._rounds_by_scale[laplace_scale] = (
+            self._rounds_by_scale.get(laplace_scale, 0) + actions
+        )
+        return self.spend()
+
+    def spend(self) -> PrivacyCost:
+        """The cumulative (epsilon, delta) spend over everything recorded."""
+        if not self._rounds_by_scale:
+            return PrivacyCost(epsilon=0.0, delta=self.delta, actions=0, laplace_scale=0.0)
+        if len(self._rounds_by_scale) == 1:
+            ((scale, count),) = self._rounds_by_scale.items()
+            return privacy_cost(count, scale, self.delta, self.sensitivity)
+        sum_sq = 0.0
+        sum_linear = 0.0
+        for scale, count in self._rounds_by_scale.items():
+            eps1 = per_round_epsilon(scale, self.sensitivity)
+            sum_sq += count * eps1 * eps1
+            sum_linear += count * eps1 * (math.exp(eps1) - 1)
+        epsilon = math.sqrt(2 * math.log(1 / self.delta) * sum_sq) + sum_linear
+        return PrivacyCost(
+            epsilon=epsilon,
+            delta=self.delta,
+            actions=self.actions,
+            laplace_scale=min(self._rounds_by_scale),
+        )
+
+
 def noise_floor_delta(mu: float, b: float) -> float:
     """Probability that a server's (clamped) noise draw is zero or negative.
 

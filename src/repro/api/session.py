@@ -67,6 +67,15 @@ class ClientSession:
         self.redial_attempts = redial_attempts
         self._requests: dict[str, FriendRequestHandle] = {}
         self._calls: list[CallHandle] = []
+        #: Privacy-relevant actions this session actually submitted: real
+        #: friend requests and placed dials (cover traffic excluded).  The
+        #: privacy ledger reads these against the §8.1 lifetime budgets.
+        self.action_counts: dict[str, int] = {"add-friend": 0, "dialing": 0}
+        #: Lifetime budgets the counts are judged against; crossing one
+        #: emits a ``privacy_budget_exceeded`` event on this session's bus.
+        from repro.obs.privacy import PAPER_ACTION_BUDGETS
+
+        self.action_budgets: dict[str, int] = dict(PAPER_ACTION_BUDGETS)
         if accept_friend is not None:
             client.callbacks.new_friend = accept_friend
         # The bridge tap turns the client's callback invocations into bus
@@ -148,6 +157,27 @@ class ClientSession:
         return f"ClientSession({self.email!r}, requests={len(self._requests)})"
 
     # ------------------------------------------------------------------ #
+    # Privacy budget accounting (§8.1)
+    # ------------------------------------------------------------------ #
+    def _note_action(self, protocol: str, round_number: int) -> None:
+        """Count one real submitted action against the lifetime budget.
+
+        Cover-only rounds never reach here (the submitted hooks bail out
+        before emitting), so the counts track exactly the actions the DP
+        budget protects.  Crossing the budget is announced once.
+        """
+        self.action_counts[protocol] = self.action_counts.get(protocol, 0) + 1
+        budget = self.action_budgets.get(protocol)
+        if budget is not None and self.action_counts[protocol] == budget + 1:
+            self.events.emit(
+                "privacy_budget_exceeded",
+                round_number=round_number,
+                protocol=protocol,
+                actions=self.action_counts[protocol],
+                budget=budget,
+            )
+
+    # ------------------------------------------------------------------ #
     # Bridge tap: scan-time callbacks -> bus events
     # ------------------------------------------------------------------ #
     def _tap(self, kind: str, payload: dict) -> None:
@@ -181,6 +211,7 @@ class ClientSession:
         handle.round_submitted = round_number
         handle.rounds_submitted.append(round_number)
         handle.attempts += 1
+        self._note_action("add-friend", round_number)
         self.events.emit(
             "request_submitted",
             email=handle.email,
@@ -199,6 +230,7 @@ class ClientSession:
                 handle.round_submitted = round_number
                 handle.placed = placed
                 handle.attempts += 1
+                self._note_action("dialing", round_number)
                 self.events.emit(
                     "call_placed",
                     email=handle.friend,

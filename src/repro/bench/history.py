@@ -1,0 +1,169 @@
+"""Bench-trajectory persistence: ``BENCH_history.jsonl`` across runs.
+
+Every scenario run and sweep appends one summary line (name, wall clock,
+key stats, git sha, timestamp) to ``BENCH_history.jsonl`` next to the other
+``BENCH_*`` artifacts, so the performance trajectory accumulates across
+runs instead of each ``BENCH_*.json`` overwriting the last.  CI uploads the
+file as an artifact, downloads the previous run's copy, and runs::
+
+    python -m repro.bench.history check previous.jsonl current.jsonl
+
+which warns (exit 0 -- warn, never fail: CI runners are noisy) when a
+smoke scenario's wall clock regressed by more than 25% against the latest
+matching entry in the previous file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.bench.reporting import results_dir
+
+#: Wall-clock growth beyond this fraction triggers a regression warning.
+DEFAULT_REGRESSION_THRESHOLD = 0.25
+
+
+def history_path() -> Path:
+    return results_dir() / "BENCH_history.jsonl"
+
+
+def git_sha() -> str:
+    """The current commit, or "unknown" outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def append_history(
+    kind: str,
+    name: str,
+    wall_seconds: float,
+    stats: dict | None = None,
+    path: Path | str | None = None,
+) -> Path:
+    """Append one summary line; returns the file written."""
+    target = Path(path) if path is not None else history_path()
+    target.parent.mkdir(parents=True, exist_ok=True)
+    entry = {
+        "kind": kind,
+        "name": name,
+        "wall_seconds": round(wall_seconds, 3),
+        "stats": stats or {},
+        "git_sha": git_sha(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    with target.open("a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True) + "\n")
+    return target
+
+
+def load_history(path: Path | str) -> list[dict]:
+    """Parse a history file, skipping unparseable lines (append races)."""
+    entries: list[dict] = []
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError:
+        return entries
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(entry, dict) and "name" in entry:
+            entries.append(entry)
+    return entries
+
+
+def latest_by_key(entries: list[dict]) -> dict[tuple[str, str], dict]:
+    """The most recent entry per (kind, name) -- file order is append order."""
+    latest: dict[tuple[str, str], dict] = {}
+    for entry in entries:
+        latest[(entry.get("kind", "scenario"), entry["name"])] = entry
+    return latest
+
+
+def check_regressions(
+    previous: Path | str,
+    current: Path | str,
+    threshold: float = DEFAULT_REGRESSION_THRESHOLD,
+) -> list[str]:
+    """Wall-clock regressions of ``current`` vs ``previous``; returns warnings."""
+    baseline = latest_by_key(load_history(previous))
+    warnings: list[str] = []
+    for key, entry in latest_by_key(load_history(current)).items():
+        before = baseline.get(key)
+        if before is None:
+            continue
+        old = before.get("wall_seconds") or 0.0
+        new = entry.get("wall_seconds") or 0.0
+        if old > 0 and new > old * (1 + threshold):
+            kind, name = key
+            warnings.append(
+                f"{kind} {name}: wall clock {new:.2f}s is "
+                f"{(new / old - 1) * 100:.0f}% over the previous {old:.2f}s "
+                f"(threshold {threshold * 100:.0f}%)"
+            )
+    return warnings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.history",
+        description="Inspect or regression-check BENCH_history.jsonl files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    check = sub.add_parser("check", help="warn on wall-clock regressions")
+    check.add_argument("previous", help="the earlier run's BENCH_history.jsonl")
+    check.add_argument("current", nargs="?", default=None, help="the current run's file (default: the repo's)")
+    check.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_REGRESSION_THRESHOLD,
+        help="regression fraction that triggers a warning (default: 0.25)",
+    )
+    show = sub.add_parser("show", help="print the latest entry per (kind, name)")
+    show.add_argument("path", nargs="?", default=None, help="history file (default: the repo's)")
+    args = parser.parse_args(argv)
+
+    if args.command == "show":
+        for (kind, name), entry in sorted(
+            latest_by_key(load_history(args.path or history_path())).items()
+        ):
+            print(
+                f"{kind:10s} {name:24s} {entry.get('wall_seconds', 0.0):8.2f}s  "
+                f"{entry.get('git_sha', '')[:12]}  {entry.get('recorded_at', '')}"
+            )
+        return 0
+
+    current = args.current or history_path()
+    if not Path(args.previous).exists():
+        print(f"no previous history at {args.previous}; nothing to compare")
+        return 0
+    warnings = check_regressions(args.previous, current, args.threshold)
+    if warnings:
+        for warning in warnings:
+            print(f"WARNING: {warning}")
+    else:
+        print("no wall-clock regressions beyond the threshold")
+    # Warn, never fail: shared CI runners are too noisy for a hard gate.
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -141,6 +141,24 @@ class MailboxSet:
             return {mid: mailbox.size_bytes() for mid, mailbox in self.addfriend.items()}
         return {mid: mailbox.size_bytes() for mid, mailbox in self.dialing.items()}
 
+    def message_counts(self) -> list[int]:
+        """Messages per mailbox ID -- the round's *observable* count vector.
+
+        This is exactly what a passive adversary (or any client) sees when
+        the round publishes: per-mailbox message counts with the servers'
+        noise already folded in.  The privacy ledger records it per round.
+        """
+        counts = [0] * self.mailbox_count
+        if self.protocol == "add-friend":
+            for mid, mailbox in self.addfriend.items():
+                if 0 <= mid < self.mailbox_count:
+                    counts[mid] = len(mailbox)
+        else:
+            for mid, mailbox in self.dialing.items():
+                if 0 <= mid < self.mailbox_count:
+                    counts[mid] = mailbox.token_count
+        return counts
+
     def total_size_bytes(self) -> int:
         return sum(self.mailbox_sizes().values())
 

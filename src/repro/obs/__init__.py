@@ -36,6 +36,13 @@ from repro.obs.distributed import (
 )
 from repro.obs.logging import configure_logging, configured_level, get_logger
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.privacy import (
+    PassiveObserver,
+    PrivacyLedger,
+    PrivacyLedgerMonitor,
+    validate_privacy_file,
+    validate_privacy_report,
+)
 from repro.obs.trace import (
     NullTracer,
     Span,
@@ -53,6 +60,9 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NullTracer",
+    "PassiveObserver",
+    "PrivacyLedger",
+    "PrivacyLedgerMonitor",
     "Span",
     "TraceContext",
     "Tracer",
@@ -66,6 +76,8 @@ __all__ = [
     "propagation_coverage",
     "runtime_attribution",
     "set_active_tracer",
+    "validate_privacy_file",
+    "validate_privacy_report",
     "validate_trace_events",
     "validate_trace_file",
 ]

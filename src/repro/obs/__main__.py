@@ -1,21 +1,40 @@
 """``python -m repro.obs`` -- observability utilities.
 
-``validate PATH...`` checks emitted Chrome/Perfetto trace files against the
+``validate PATH...`` checks emitted observability artifacts; the file kind
+is auto-detected.  Chrome/Perfetto trace files are checked against the
 trace-event schema (well-formed JSON, known phases, balanced begin/end
 pairs per pid/tid track, monotonic non-negative per-track timestamps,
 non-negative durations).  These checks apply per process, so merged
 multi-process runtime traces are covered too; ``--min-propagation F``
 additionally requires that at least fraction ``F`` of the trace's
-``rpc.serve`` spans carry a resolved remote parent.  CI runs it on the
-scenario smoke's ``--trace`` output; exit status 1 means problems.
+``rpc.serve`` spans carry a resolved remote parent.  ``BENCH_privacy.json``
+reports are checked against the privacy schema instead: cumulative epsilon
+monotone and re-derivable from ``analysis.dp.privacy_cost``, noise counts
+nonnegative, and every audit point's empirical advantage within the
+analytic bound.  CI runs it on the scenario smoke's ``--trace`` output and
+on the privacy-audit smoke's report; exit status 1 means problems.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
+from repro.obs.privacy import is_privacy_report, validate_privacy_report
 from repro.obs.trace import validate_trace_file
+
+
+def validate_path(path: str, min_propagation: float | None) -> list[str]:
+    """Dispatch on file kind: privacy report envelope vs trace-event file."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        payload = None  # let the trace validator report the real problem
+    if is_privacy_report(payload):
+        return validate_privacy_report(payload)
+    return validate_trace_file(path, min_propagation=min_propagation)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -23,8 +42,12 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.obs", description=__doc__.splitlines()[0]
     )
     sub = parser.add_subparsers(dest="command", required=True)
-    validate = sub.add_parser("validate", help="validate trace-event files")
-    validate.add_argument("paths", nargs="+", help="trace JSON files to check")
+    validate = sub.add_parser(
+        "validate", help="validate trace-event files and privacy reports"
+    )
+    validate.add_argument(
+        "paths", nargs="+", help="trace or BENCH_privacy JSON files to check"
+    )
     validate.add_argument(
         "--min-propagation",
         type=float,
@@ -37,7 +60,7 @@ def main(argv: list[str] | None = None) -> int:
 
     status = 0
     for path in args.paths:
-        problems = validate_trace_file(path, min_propagation=args.min_propagation)
+        problems = validate_path(path, args.min_propagation)
         if problems:
             status = 1
             print(f"{path}: INVALID ({len(problems)} problem(s))")

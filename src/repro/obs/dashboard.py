@@ -120,6 +120,10 @@ class DashboardServer:
             self._state["net"] = data
         elif event_type == "runtime":
             self._state["runtime"] = data
+        elif event_type == "privacy":
+            # Keyed by protocol: the latest cumulative spend wins.
+            privacy = self._state.setdefault("privacy", {})
+            privacy[data.get("protocol", "?")] = data
         elif event_type == "scenario_finished":
             self._state["status"] = "finished"
             self._state["summary"] = data
@@ -386,6 +390,8 @@ _PAGE = """<!doctype html>
 <div id="net" class="muted">no scheduler stats yet</div>
 <h2>Runtime</h2>
 <div id="runtime" class="muted">simulated transport (no live endpoints)</div>
+<h2>Privacy</h2>
+<div id="privacy" class="muted">no privacy ledger events yet</div>
 <h2>Session events</h2>
 <div id="events" class="muted">none yet</div>
 <h2>Summary</h2>
@@ -442,6 +448,29 @@ _PAGE = """<!doctype html>
       const parts = Object.keys(g).sort().map(m => m + ' <b>' + g[m] + '</b>');
       return '<span style="display:inline-block;margin:0 1em .2em 0">' + k + ': '
         + parts.join(' \\u00b7 ') + '</span>';
+    }).join('');
+  });
+  const privacyState = {};
+  source.addEventListener('privacy', (e) => {
+    const d = JSON.parse(e.data).data;
+    privacyState[d.protocol] = d;
+    $('privacy').className = '';
+    $('privacy').innerHTML = Object.keys(privacyState).sort().map(p => {
+      const s = privacyState[p];
+      const gauge = Math.min(140, 140 * s.epsilon / Math.max(s.epsilon, 5));
+      const noiseBars = (s.per_server_noise || []).map((n, i) =>
+        'mix' + i + ' <span class="bar" style="width:'
+        + Math.min(120, n) + 'px"></span> ' + n).join(' \\u00b7 ');
+      const shardBars = (s.per_shard_noise || []).length
+        ? '<br><span class="muted">expected noise/shard:</span> '
+          + s.per_shard_noise.map((n, i) => i + ':' + n.toFixed(1)).join(' ')
+        : '';
+      return '<div style="margin-bottom:.5em"><b>' + p + '</b> round ' + s.round
+        + ' \\u00b7 \\u03b5 <span class="bar" style="width:' + gauge + 'px"></span> '
+        + s.epsilon.toFixed(3) + ' (\\u03b4=' + s.delta + ', bound '
+        + s.advantage_bound.toFixed(3) + ')'
+        + '<br>noise fraction ' + (100 * s.noise_fraction).toFixed(1)
+        + '% \\u00b7 ' + noiseBars + shardBars + '</div>';
     }).join('');
   });
   source.addEventListener('events', (e) => {

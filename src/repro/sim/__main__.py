@@ -298,6 +298,50 @@ def build_parser() -> argparse.ArgumentParser:
         help="client counts for the --sweep-runtime grid (default: 24,60)",
     )
     parser.add_argument(
+        "--noise-mu",
+        type=float,
+        default=None,
+        metavar="MU",
+        help="per-server, per-mailbox noise mean (default: the scenario's)",
+    )
+    parser.add_argument(
+        "--noise-b",
+        type=float,
+        default=None,
+        metavar="B",
+        help="per-server Laplace noise scale (default: the scenario's, or "
+        "derived from --privacy-budget)",
+    )
+    parser.add_argument(
+        "--privacy-budget",
+        type=int,
+        default=None,
+        metavar="ACTIONS",
+        help="lifetime action budget the run claims to protect at "
+        "(eps=ln 2, delta=1e-4); derives the noise scale when --noise-b is "
+        "unset and records a consistency warning when both are given",
+    )
+    parser.add_argument(
+        "--sweep-privacy",
+        nargs="?",
+        const="0.05,0.5,1,4",
+        default=None,
+        metavar="B,B,...",
+        help="run the paired passive-observer distinguishing audit over these "
+        "Laplace noise scales (plus a ledger leg on the baseline scenario) "
+        "and write BENCH_privacy.json; default grid 0.05,0.5,1,4 -- the "
+        "0.05 point is deliberately under-noised so the analytic bound's "
+        "degradation is visible",
+    )
+    parser.add_argument(
+        "--privacy-trials",
+        type=int,
+        default=24,
+        metavar="N",
+        help="paired trials per arm per --sweep-privacy grid point "
+        "(half calibrate the distinguisher, half evaluate it; default: 24)",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
@@ -385,16 +429,25 @@ def main(argv: list[str] | None = None) -> int:
         overrides["runtime"] = args.runtime
     if args.mp_workers is not None:
         overrides["mp_workers"] = args.mp_workers
+    if args.noise_mu is not None:
+        overrides["noise_mu"] = args.noise_mu
+    if args.noise_b is not None:
+        overrides["noise_b"] = args.noise_b
+    if args.privacy_budget is not None:
+        overrides["privacy_budget"] = args.privacy_budget
 
     sweeping = args.sweep_crypto is not None or args.sweep_shards is not None
     sweeping = sweeping or args.sweep_cdn_egress is not None or args.sweep
     sweeping = sweeping or args.sweep_fidelity is not None
     sweeping = sweeping or args.sweep_runtime is not None
+    sweeping = sweeping or args.sweep_privacy is not None
     if sweeping and (args.trace or args.dashboard is not None):
         print("note: --trace/--dashboard apply to single runs only; ignored with sweeps")
         args.trace = None
         args.dashboard = None
 
+    if args.sweep_privacy is not None:
+        return run_privacy_sweep_cli(args, overrides)
     if args.sweep_runtime is not None:
         return run_runtime_sweep_cli(args, overrides)
     if args.sweep_fidelity is not None:
@@ -426,6 +479,7 @@ def main(argv: list[str] | None = None) -> int:
         scenario.monitors.append(
             DashboardMonitor(dashboard, paused=args.dashboard_paused)
         )
+        scenario.privacy.server = dashboard  # stream privacy events too
         print(f"dashboard: {dashboard.url}  (run/pause/step from the page)")
         if args.dashboard_paused:
             print("dashboard: starting paused; press Run or Step to begin")
@@ -485,6 +539,46 @@ def main(argv: list[str] | None = None) -> int:
             f"{initial['confirmed']}/{initial['total']} "
             f"({initial['confirmed_fraction'] * 100:.0f}%)"
         )
+
+    protocols = result.privacy.get("protocols", {})
+    if protocols:
+        spend = "  ".join(
+            f"{proto}: eps={row['epsilon']:.3f} over {row['rounds']} rounds "
+            f"(b={row['laplace_scale']:g}, delta={row['delta']:g})"
+            for proto, row in sorted(protocols.items())
+        )
+        print(f"privacy spend: {spend}")
+    check = result.privacy.get("budget_check")
+    if check and not check["consistent"]:
+        print(
+            f"privacy budget WARNING: configured b={check['configured_b']:g} is "
+            f"{check['under_noised_factor']:g}x under the b={check['prescribed_b']:.1f} "
+            f"that {check['protected_actions']} actions prescribe "
+            f"(achieved eps={check['achieved_epsilon']:.3f})"
+        )
+
+    if args.trace:
+        from repro.bench.reporting import write_json_report
+
+        privacy_path = write_json_report(
+            "privacy", {"ledger": result.privacy, "audit": None}
+        )
+        print(f"wrote {privacy_path}")
+
+    from repro.bench.history import append_history
+
+    append_history(
+        kind="scenario",
+        name=result.name,
+        wall_seconds=result.wall_seconds,
+        stats={
+            "clients": result.spec.num_clients,
+            "rounds": len(result.rounds),
+            "friendships_confirmed": result.friendships_confirmed,
+            "calls_delivered": result.calls_delivered,
+            "total_bytes_sent": result.total_bytes_sent,
+        },
+    )
 
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
@@ -651,6 +745,91 @@ def run_shard_sweep_cli(args, overrides: dict) -> int:
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(result.to_report(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def run_privacy_sweep_cli(args, overrides: dict) -> int:
+    """--sweep-privacy: the paired audit grid plus a baseline ledger leg."""
+    from repro.bench.history import append_history
+    from repro.bench.reporting import write_json_report
+    from repro.sim.privacy_sweep import audit_table, run_privacy_sweep
+    from repro.sim.scenarios import run_scenario
+
+    ignored = [
+        flag
+        for flag, key in (
+            ("--noise-b", "noise_b"),
+            ("--seed", "seed"),
+            ("--pipelined", "pipelined"),
+        )
+        if overrides.pop(key, None) is not None
+    ]
+    if ignored:
+        print(
+            f"note: {', '.join(ignored)} ignored with --sweep-privacy "
+            "(the grid supplies noise scales, the harness supplies seeds)"
+        )
+    try:
+        grid = [float(v) for v in args.sweep_privacy.split(",") if v.strip()]
+    except ValueError:
+        print(
+            "error: --sweep-privacy must be comma-separated noise scales",
+            file=sys.stderr,
+        )
+        return 2
+    if not grid or args.privacy_trials < 4:
+        print(
+            "error: --sweep-privacy needs at least one noise scale and "
+            "--privacy-trials >= 4",
+            file=sys.stderr,
+        )
+        return 2
+    ledger_clients = overrides.pop("num_clients", None) or 40
+    noise_mu = overrides.pop("noise_mu", None)
+    overrides.pop("privacy_budget", None)
+    audit_overrides = dict(overrides)
+    if noise_mu is not None:
+        audit_overrides["noise_mu"] = noise_mu
+    for key in ("addfriend_rounds", "dialing_rounds", "friend_pairs"):
+        audit_overrides.pop(key, None)  # the audit scenarios fix their shape
+
+    print(
+        f"privacy audit: {len(grid)} noise scales x {args.privacy_trials} "
+        "paired trials per arm (this runs 2 scenarios per trial)"
+    )
+    import time
+
+    sweep_started = time.perf_counter()
+    audit = run_privacy_sweep(grid, trials=args.privacy_trials, **audit_overrides)
+    headers, rows = audit_table(audit)
+    print(format_table(headers, rows, title="empirical advantage vs analytic bound"))
+
+    ledger_result = run_scenario("baseline", num_clients=ledger_clients, **overrides)
+    report = {"ledger": ledger_result.privacy, "audit": audit}
+    path = write_json_report("privacy", report)
+    print(f"wrote {path}")
+    if not audit["all_within_bound"]:
+        print(
+            "error: empirical advantage exceeded the analytic bound -- "
+            "the DP accounting or the noise pipeline is broken",
+            file=sys.stderr,
+        )
+        return 1
+    append_history(
+        kind="sweep",
+        name="privacy",
+        wall_seconds=time.perf_counter() - sweep_started,
+        stats={
+            "grid": grid,
+            "trials_per_arm": args.privacy_trials,
+            "all_within_bound": audit["all_within_bound"],
+        },
+    )
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {args.json}")
     return 0

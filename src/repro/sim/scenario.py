@@ -54,9 +54,19 @@ class ScenarioSpec:
     #: Link between any two servers (entry, mixes, PKGs, CDN).
     server_link: LinkSpec = field(default_factory=lambda: LinkSpec.of(latency_ms=2, bandwidth_mbps=1000))
     #: Per-server, per-mailbox noise (mu, b) -- kept small so simulations
-    #: at hundreds of clients stay CI-feasible.
-    noise_mu: float = 4.0
-    noise_b: float = 1.0
+    #: at hundreds of clients stay CI-feasible.  ``None`` defers to
+    #: ``privacy_budget`` (which derives b via
+    #: :func:`repro.analysis.dp.laplace_scale_for_budget`) and otherwise to
+    #: the CI-feasible defaults (4.0, 1.0); an explicit value always wins,
+    #: so adversarial scenarios can state a budget *and* under-noise (the
+    #: startup consistency check records the mismatch instead of failing).
+    noise_mu: float | None = None
+    noise_b: float | None = None
+    #: Lifetime action budget (§8.1) this run claims to protect at
+    #: (epsilon = ln 2, delta = 1e-4).  Used to derive the Laplace scale
+    #: when ``noise_b`` is unset, and checked against the configured scale
+    #: (warn-and-record) when both are given.
+    privacy_budget: int | None = None
     addfriend_target_per_mailbox: int = 16
     dialing_target_per_mailbox: int = 16
     seed: str = "scenario"
@@ -143,6 +153,26 @@ class ScenarioSpec:
             return self.friend_pairs
         return max(1, self.num_clients // 8)
 
+    def resolved_noise(self) -> tuple[float, float]:
+        """The (mu, b) this run actually uses.
+
+        Explicit ``noise_mu``/``noise_b`` win; otherwise a stated
+        ``privacy_budget`` prescribes b (and an mu that keeps the
+        clamp-to-zero noise floor below delta: ``mu = b ln(1/(2 delta))``);
+        otherwise the CI-feasible defaults.
+        """
+        import math
+
+        from repro.analysis.dp import laplace_scale_for_budget
+
+        if self.privacy_budget is not None and self.noise_b is None:
+            b = laplace_scale_for_budget(self.privacy_budget)
+            mu = self.noise_mu if self.noise_mu is not None else math.ceil(b * math.log(1 / (2 * 1e-4)))
+            return float(mu), b
+        mu = self.noise_mu if self.noise_mu is not None else 4.0
+        b = self.noise_b if self.noise_b is not None else 1.0
+        return float(mu), float(b)
+
 
 @dataclass
 class RoundStats:
@@ -168,6 +198,12 @@ class RoundStats:
     #: The client scan/download slice of ``latency_s`` (the stage a capped
     #: CDN egress link stretches).
     scan_stage_s: float = 0.0
+    #: Noise each mix server actually drew this round (the privacy ledger's
+    #: raw material; only the honest server's entry matters for the bound).
+    per_server_noise: list[int] = field(default_factory=list)
+    #: The published per-mailbox message counts -- the round's *observable*
+    #: vector, noise included (what a passive adversary conditions on).
+    mailbox_counts: list[int] = field(default_factory=list)
 
     @staticmethod
     def from_summary(summary: RoundSummary) -> "RoundStats":
@@ -187,6 +223,12 @@ class RoundStats:
             submit_stage_s=summary.submit_stage_s,
             mix_stage_s=summary.mix_stage_s,
             scan_stage_s=summary.scan_stage_s,
+            per_server_noise=list(mix.per_server_noise) if mix is not None else [],
+            mailbox_counts=(
+                mix.mailboxes.message_counts()
+                if mix is not None and mix.mailboxes is not None
+                else []
+            ),
         )
 
     def to_dict(self) -> dict:
@@ -205,6 +247,7 @@ class RoundStats:
             "scan_stage_s": round(self.scan_stage_s, 6),
             "bytes_sent": self.bytes_sent,
             "aborted": self.aborted,
+            "per_server_noise": list(self.per_server_noise),
         }
 
 
@@ -245,6 +288,10 @@ class ScenarioResult:
     #: transport totals, per-shard loads, outbox depth, round-stage
     #: histograms, and per-op crypto timings when the engine was traced.
     metrics: dict = field(default_factory=dict)
+    #: The privacy ledger's report (see :mod:`repro.obs.privacy`): per-
+    #: protocol cumulative (epsilon, delta) spend, noise telemetry, action
+    #: budgets, and the budget-consistency check.
+    privacy: dict = field(default_factory=dict)
 
     def rounds_for(self, protocol: str) -> list[RoundStats]:
         return [r for r in self.rounds if r.protocol == protocol]
@@ -310,6 +357,7 @@ class ScenarioResult:
             "calls_by_method": self.calls_by_method,
             "bytes_by_method": self.bytes_by_method,
             "metrics": self.metrics,
+            "privacy": self.privacy,
         }
 
     def table(self) -> tuple[list[str], list[list]]:
@@ -354,6 +402,14 @@ class Scenario:
         #: blocks), ``on_round(stats, deployment)`` after each round
         #: (aborted ones included), ``on_finish(result)`` at the end.
         self.monitors: list = []
+        #: The always-on privacy ledger monitor: every run accounts its
+        #: (epsilon, delta) spend, whether or not anyone asked (privacy
+        #: observability is not opt-in).  Its report lands in
+        #: ``ScenarioResult.privacy``.
+        from repro.obs.privacy import PrivacyLedgerMonitor
+
+        self.privacy = PrivacyLedgerMonitor()
+        self.monitors.append(self.privacy)
         #: Handles for the pre-run friendship pairs (queued via sessions).
         self.request_handles: list = []
         #: Handles for requests queued mid-run (e.g. a churn scenario's late
@@ -468,12 +524,13 @@ class Scenario:
                 f"unknown fidelity {spec.fidelity!r}: expected frames, slotted, or fluid"
             )
         net = self.build_transport()
+        noise_mu, noise_b = spec.resolved_noise()
         config = AlpenhornConfig(
             num_mix_servers=spec.num_mix_servers,
             num_pkg_servers=spec.num_pkg_servers,
             ibe_backend="simulated",
             crypto_backend=spec.crypto_backend,
-            noise=NoiseConfig(spec.noise_mu, spec.noise_b, spec.noise_mu, spec.noise_b),
+            noise=NoiseConfig(noise_mu, noise_b, noise_mu, noise_b),
             addfriend_target_per_mailbox=spec.addfriend_target_per_mailbox,
             dialing_target_per_mailbox=spec.dialing_target_per_mailbox,
             bloom_false_positive_rate=1e-6,
@@ -592,6 +649,7 @@ class Scenario:
             cluster = getattr(deployment, "cluster", None)
             if cluster is not None:
                 result.shard_loads = cluster.load_report()
+            result.privacy = self.privacy.report()
             result.metrics = self._collect_metrics(deployment, net, result)
         finally:
             deployment.close()
@@ -641,6 +699,27 @@ class Scenario:
             registry.observe(f"round.mix_stage_s.{proto}", stats_row.mix_stage_s)
             registry.observe(f"round.scan_stage_s.{proto}", stats_row.scan_stage_s)
             registry.count(f"round.failures.{proto}", stats_row.failures)
+        # Privacy observability (repro.obs.privacy): noise telemetry and the
+        # ledger's cumulative spend, surfaced beside the performance metrics.
+        per_server_totals: dict[int, int] = {}
+        for stats_row in result.rounds:
+            if stats_row.aborted:
+                continue
+            registry.count(f"mix.noise.count.{stats_row.protocol}", stats_row.noise_added)
+            for server_index, drawn in enumerate(stats_row.per_server_noise):
+                per_server_totals[server_index] = per_server_totals.get(server_index, 0) + drawn
+        for server_index, total in per_server_totals.items():
+            registry.count(f"mix.noise.per_server.{server_index}", total)
+        privacy = result.privacy
+        if privacy:
+            traffic = privacy.get("noise_traffic", {})
+            registry.set_gauge(
+                "mix.noise.share_of_bytes", traffic.get("noise_share_of_bytes", 0.0)
+            )
+            for protocol, summary in privacy.get("protocols", {}).items():
+                registry.set_gauge(f"privacy.epsilon.{protocol}", summary["epsilon"])
+                registry.set_gauge(f"privacy.delta.{protocol}", summary["delta"])
+                registry.set_gauge(f"privacy.rounds.{protocol}", summary["rounds"])
         shard_loads = result.shard_loads.get("submissions_by_shard")
         if shard_loads:
             for shard_index, load in enumerate(shard_loads):

@@ -285,6 +285,35 @@ class GeoDistributedScenario(Scenario):
             net.topology.assign_region(self.client_email(index), region)
 
 
+class PassiveObserverScenario(Scenario):
+    """One arm of the paired distinguishing experiment (§6's threat model).
+
+    A target client either queues one real friend request ("acts") or stays
+    idle; every other client -- and, when idle, the target too -- submits
+    only cover traffic.  Since every online client participates every round
+    regardless, the two arms are wire-identical: the only signal a passive
+    observer gets is the published noisy mailbox counts, where acting adds
+    one message on top of the Laplace noise.  The audit harness
+    (:mod:`repro.sim.privacy_sweep`) runs many paired trials over a noise
+    grid and compares the empirical advantage to ``(e^eps - 1)/(e^eps + 1)``.
+    """
+
+    target_acts = True
+
+    def queue_friendships(self, deployment: Deployment) -> None:
+        if not self.target_acts:
+            return
+        a, b = self.client_email(0), self.client_email(1)
+        self.request_handles.append(deployment.session(a).add_friend(b))
+        self.sender_emails.add(a)
+
+
+class PassiveObserverIdleScenario(PassiveObserverScenario):
+    """The idle arm: the target submits cover traffic like everyone else."""
+
+    target_acts = False
+
+
 SCENARIOS: dict[str, tuple[type[Scenario], ScenarioSpec]] = {
     "baseline": (
         BaselineScenario,
@@ -359,6 +388,26 @@ SCENARIOS: dict[str, tuple[type[Scenario], ScenarioSpec]] = {
             ingress_batch_size=16,
             shard_access_mbps=1.0,
             fixed_mailbox_count=8,
+        ),
+    ),
+    "passive_observer": (
+        PassiveObserverScenario,
+        ScenarioSpec(
+            name="passive_observer",
+            description="distinguishing-audit arm: the target acts",
+            num_clients=16,
+            addfriend_rounds=1,
+            dialing_rounds=0,
+        ),
+    ),
+    "passive_observer_idle": (
+        PassiveObserverIdleScenario,
+        ScenarioSpec(
+            name="passive_observer_idle",
+            description="distinguishing-audit arm: the target stays idle",
+            num_clients=16,
+            addfriend_rounds=1,
+            dialing_rounds=0,
         ),
     ),
     "pipelined_rounds": (

@@ -8,6 +8,8 @@ import pytest
 
 from repro.analysis.bandwidth import addfriend_bandwidth, dialing_bandwidth, figure6_series, figure7_series
 from repro.analysis.dp import (
+    PrivacyAccountant,
+    distinguishing_advantage,
     laplace_scale_for_budget,
     noise_floor_delta,
     paper_noise_parameters,
@@ -179,3 +181,88 @@ class TestDifferentialPrivacy:
             privacy_cost(0, 100)
         with pytest.raises(ValueError):
             laplace_scale_for_budget(0)
+        with pytest.raises(ValueError):
+            privacy_cost(10, 0)
+        with pytest.raises(ValueError):
+            privacy_cost(-1, 100)
+        with pytest.raises(ValueError):
+            laplace_scale_for_budget(-5)
+
+    def test_epsilon_monotone_in_actions(self):
+        """Property (§8.1 composition): more protected actions always cost
+        more epsilon at a fixed noise scale."""
+        costs = [privacy_cost(k, 406.0).epsilon for k in (1, 10, 100, 900, 5_000)]
+        assert costs == sorted(costs)
+        assert all(a < b for a, b in zip(costs, costs[1:]))
+
+    def test_epsilon_decreases_with_noise_scale(self):
+        """Property: more noise (bigger b) always buys a smaller epsilon."""
+        costs = [privacy_cost(900, b).epsilon for b in (50.0, 100.0, 406.0, 2_000.0)]
+        assert costs == sorted(costs, reverse=True)
+        assert all(a > b for a, b in zip(costs, costs[1:]))
+
+
+class TestPrivacyAccountant:
+    def test_homogeneous_spend_is_exactly_privacy_cost(self):
+        """Bit-for-bit, not approximately: the ledger's live number must be
+        the same float the offline analysis produces."""
+        accountant = PrivacyAccountant()
+        for k in range(1, 8):
+            spend = accountant.record(406.0)
+            assert spend.epsilon == privacy_cost(k, 406.0).epsilon
+        assert accountant.actions == 7
+        assert accountant.scales == {406.0: 7}
+
+    def test_batch_record(self):
+        one_by_one = PrivacyAccountant()
+        for _ in range(5):
+            one_by_one.record(100.0)
+        batched = PrivacyAccountant()
+        batched.record(100.0, actions=5)
+        assert batched.spend().epsilon == one_by_one.spend().epsilon
+
+    def test_empty_accountant_has_spent_nothing(self):
+        spend = PrivacyAccountant().spend()
+        assert spend.epsilon == 0.0
+        assert spend.actions == 0
+
+    def test_heterogeneous_scales_compose_conservatively(self):
+        """Mixed scales cost at least what the same rounds would cost if
+        they had all used the *noisiest* of the scales involved."""
+        mixed = PrivacyAccountant()
+        mixed.record(406.0, actions=3)
+        mixed.record(100.0, actions=2)
+        all_noisy = privacy_cost(5, 406.0).epsilon
+        assert mixed.spend().epsilon > all_noisy
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            PrivacyAccountant(delta=0)
+        with pytest.raises(ValueError):
+            PrivacyAccountant(delta=1.0)
+        accountant = PrivacyAccountant()
+        with pytest.raises(ValueError):
+            accountant.record(0)
+        with pytest.raises(ValueError):
+            accountant.record(406.0, actions=0)
+
+
+class TestDistinguishingAdvantage:
+    def test_zero_epsilon_means_no_advantage(self):
+        assert distinguishing_advantage(0.0) == 0.0
+
+    def test_known_value(self):
+        e = math.e
+        assert distinguishing_advantage(1.0) == pytest.approx((e - 1) / (e + 1))
+
+    def test_monotone_and_bounded(self):
+        values = [distinguishing_advantage(eps) for eps in (0.1, 0.5, 1.0, 5.0, 50.0)]
+        assert values == sorted(values)
+        assert all(0 <= v <= 1 for v in values)
+
+    def test_saturates_at_one_for_huge_epsilon(self):
+        assert distinguishing_advantage(1_000.0) == 1.0
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            distinguishing_advantage(-0.1)

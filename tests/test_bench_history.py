@@ -1,0 +1,102 @@
+"""Tests for the bench-history trajectory file and its regression check."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.history import (
+    append_history,
+    check_regressions,
+    latest_by_key,
+    load_history,
+    main,
+)
+
+
+class TestAppendAndLoad:
+    def test_append_writes_one_json_line(self, tmp_path):
+        path = tmp_path / "BENCH_history.jsonl"
+        append_history("scenario", "baseline", 1.2345, stats={"clients": 40}, path=path)
+        append_history("sweep", "privacy", 9.87, path=path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first["kind"] == "scenario"
+        assert first["name"] == "baseline"
+        assert first["wall_seconds"] == 1.234  # rounded to ms
+        assert first["stats"] == {"clients": 40}
+        assert first["git_sha"]
+        assert first["recorded_at"]
+
+    def test_load_skips_garbage_lines(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        path.write_text('{"kind": "scenario", "name": "a", "wall_seconds": 1}\n'
+                        "not json\n"
+                        "\n"
+                        '{"no_name_key": true}\n')
+        entries = load_history(path)
+        assert len(entries) == 1
+        assert entries[0]["name"] == "a"
+
+    def test_load_missing_file_is_empty(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+    def test_latest_by_key_keeps_the_last_entry(self, tmp_path):
+        path = tmp_path / "h.jsonl"
+        append_history("scenario", "baseline", 1.0, path=path)
+        append_history("scenario", "baseline", 2.0, path=path)
+        latest = latest_by_key(load_history(path))
+        assert latest[("scenario", "baseline")]["wall_seconds"] == 2.0
+
+
+class TestRegressionCheck:
+    def _histories(self, tmp_path, old_wall, new_wall):
+        prev = tmp_path / "prev.jsonl"
+        curr = tmp_path / "curr.jsonl"
+        append_history("scenario", "baseline", old_wall, path=prev)
+        append_history("scenario", "baseline", new_wall, path=curr)
+        return prev, curr
+
+    def test_regression_beyond_threshold_warns(self, tmp_path):
+        prev, curr = self._histories(tmp_path, 1.0, 1.5)
+        warnings = check_regressions(prev, curr)
+        assert len(warnings) == 1
+        assert "baseline" in warnings[0]
+
+    def test_within_threshold_is_quiet(self, tmp_path):
+        prev, curr = self._histories(tmp_path, 1.0, 1.2)
+        assert check_regressions(prev, curr) == []
+
+    def test_speedup_is_quiet(self, tmp_path):
+        prev, curr = self._histories(tmp_path, 2.0, 1.0)
+        assert check_regressions(prev, curr) == []
+
+    def test_new_entries_without_baseline_are_ignored(self, tmp_path):
+        prev = tmp_path / "prev.jsonl"
+        curr = tmp_path / "curr.jsonl"
+        append_history("scenario", "other", 1.0, path=prev)
+        append_history("scenario", "baseline", 99.0, path=curr)
+        assert check_regressions(prev, curr) == []
+
+
+class TestCli:
+    def test_check_warns_but_exits_zero(self, tmp_path, capsys):
+        prev = tmp_path / "prev.jsonl"
+        curr = tmp_path / "curr.jsonl"
+        append_history("scenario", "baseline", 1.0, path=prev)
+        append_history("scenario", "baseline", 2.0, path=curr)
+        assert main(["check", str(prev), str(curr)]) == 0
+        out = capsys.readouterr().out
+        assert "WARNING" in out
+
+    def test_check_missing_previous_exits_zero(self, tmp_path, capsys):
+        curr = tmp_path / "curr.jsonl"
+        append_history("scenario", "baseline", 1.0, path=curr)
+        assert main(["check", str(tmp_path / "absent.jsonl"), str(curr)]) == 0
+        assert "nothing to compare" in capsys.readouterr().out
+
+    def test_show_lists_latest_entries(self, tmp_path, capsys):
+        path = tmp_path / "h.jsonl"
+        append_history("sweep", "privacy", 3.2, path=path)
+        assert main(["show", str(path)]) == 0
+        assert "privacy" in capsys.readouterr().out

@@ -11,6 +11,7 @@ from repro.mixnet.mailbox import (
     COVER_MAILBOX_ID,
     AddFriendMailbox,
     DialingMailbox,
+    MailboxSet,
     choose_mailbox_count,
     mailbox_for_identity,
 )
@@ -100,6 +101,18 @@ class TestMailboxRouting:
     def test_inner_payload_roundtrip(self):
         encoded = encode_inner_payload(7, b"body")
         assert decode_inner_payload(encoded) == (7, b"body")
+
+    def test_message_counts_is_the_observable_vector(self):
+        """The per-mailbox count vector the privacy ledger records: message
+        counts (noise included), indexed by mailbox ID, zeros for empties."""
+        mailboxes = MailboxSet(round_number=1, protocol="add-friend", mailbox_count=3)
+        mailboxes.addfriend[0] = AddFriendMailbox(mailbox_id=0, ciphertexts=[b"a", b"b"])
+        mailboxes.addfriend[2] = AddFriendMailbox(mailbox_id=2, ciphertexts=[b"c"])
+        assert mailboxes.message_counts() == [2, 0, 1]
+
+        dialing = MailboxSet(round_number=2, protocol="dialing", mailbox_count=2)
+        dialing.dialing[1] = DialingMailbox.build(1, [bytes([i]) * 32 for i in range(5)])
+        assert dialing.message_counts() == [0, 5]
 
 
 class TestMixServer:
